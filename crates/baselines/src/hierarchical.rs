@@ -1,0 +1,148 @@
+//! Hierarchical clustering on point data — single, complete, average, and
+//! Ward linkage — the stand-in for the Matlab `linkage`/`cluster` pair the
+//! paper uses for four of the five Figure-3 input clusterings.
+//!
+//! Built on the shared nearest-neighbor-chain engine in
+//! [`aggclust_core::linkage`]; Ward runs on squared Euclidean distances as
+//! required by its Lance–Williams recurrence (heights are therefore in the
+//! squared scale, which does not affect cluster extraction by count).
+
+use aggclust_core::clustering::Clustering;
+use aggclust_core::linkage::{linkage, CondensedMatrix, Dendrogram};
+
+pub use aggclust_core::linkage::LinkageMethod;
+
+/// Parameters for [`hierarchical`].
+#[derive(Clone, Copy, Debug)]
+pub struct HierarchicalParams {
+    /// Linkage criterion.
+    pub method: LinkageMethod,
+    /// Number of flat clusters to extract.
+    pub k: usize,
+}
+
+impl HierarchicalParams {
+    /// Convenience constructor.
+    pub fn new(method: LinkageMethod, k: usize) -> Self {
+        HierarchicalParams { method, k }
+    }
+}
+
+/// Euclidean distance matrix of row-major point data (squared when `squared`
+/// is set, as Ward requires).
+pub fn euclidean_matrix(points: &[Vec<f64>], squared: bool) -> CondensedMatrix {
+    let dim = points.first().map_or(0, |p| p.len());
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "inconsistent dimensionality"
+    );
+    CondensedMatrix::from_fn(points.len(), |u, v| {
+        let d2: f64 = points[u]
+            .iter()
+            .zip(&points[v])
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        if squared {
+            d2
+        } else {
+            d2.sqrt()
+        }
+    })
+}
+
+/// Build the dendrogram for point data under the given linkage.
+pub fn dendrogram(points: &[Vec<f64>], method: LinkageMethod) -> Dendrogram {
+    let squared = method == LinkageMethod::Ward;
+    linkage(euclidean_matrix(points, squared), method)
+}
+
+/// Run hierarchical clustering and extract `k` flat clusters.
+///
+/// # Panics
+/// Panics if `k` is zero or exceeds the number of points.
+pub fn hierarchical(points: &[Vec<f64>], params: HierarchicalParams) -> Clustering {
+    assert!(
+        params.k >= 1 && params.k <= points.len(),
+        "k = {} out of range for n = {}",
+        params.k,
+        points.len()
+    );
+    dendrogram(points, params.method).cut_num_clusters(params.k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_and_blob() -> Vec<Vec<f64>> {
+        // A chain of near points (0..5 spaced 1.0) and a distant tight blob.
+        let mut pts: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64, 0.0]).collect();
+        for i in 0..6 {
+            pts.push(vec![100.0 + 0.1 * i as f64, 0.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn all_linkages_separate_distant_groups() {
+        let pts = chain_and_blob();
+        for method in [
+            LinkageMethod::Single,
+            LinkageMethod::Complete,
+            LinkageMethod::Average,
+            LinkageMethod::Ward,
+        ] {
+            let c = hierarchical(&pts, HierarchicalParams::new(method, 2));
+            assert_eq!(c.num_clusters(), 2, "{method:?}");
+            assert!(c.same_cluster(0, 5), "{method:?}");
+            assert!(c.same_cluster(6, 11), "{method:?}");
+            assert!(!c.same_cluster(0, 6), "{method:?}");
+        }
+    }
+
+    #[test]
+    fn single_linkage_follows_chains_complete_breaks_them() {
+        // A long chain of step 1.0 plus one point at distance 1.5 from the
+        // chain end; k = 2. Single linkage keeps the chain whole and splits
+        // the far point; complete linkage splits the chain in half instead.
+        let mut pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 0.0]).collect();
+        pts.push(vec![11.5, 0.0]);
+        let single = hierarchical(&pts, HierarchicalParams::new(LinkageMethod::Single, 2));
+        assert!(single.same_cluster(0, 9));
+        assert!(!single.same_cluster(9, 10));
+        let complete = hierarchical(&pts, HierarchicalParams::new(LinkageMethod::Complete, 2));
+        assert!(!complete.same_cluster(0, 9));
+    }
+
+    #[test]
+    fn ward_balances_cluster_sizes() {
+        // 3 tight blobs; Ward at k = 3 recovers them exactly.
+        let mut pts = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (10.0, 0.0), (5.0, 8.0)] {
+            for i in 0..8 {
+                pts.push(vec![cx + 0.05 * i as f64, cy]);
+            }
+        }
+        let c = hierarchical(&pts, HierarchicalParams::new(LinkageMethod::Ward, 3));
+        assert_eq!(c.num_clusters(), 3);
+        assert_eq!(c.cluster_sizes(), vec![8, 8, 8]);
+    }
+
+    #[test]
+    fn k_extremes() {
+        let pts: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let c1 = hierarchical(&pts, HierarchicalParams::new(LinkageMethod::Average, 1));
+        assert_eq!(c1, Clustering::one_cluster(5));
+        let cn = hierarchical(&pts, HierarchicalParams::new(LinkageMethod::Average, 5));
+        assert_eq!(cn, Clustering::singletons(5));
+    }
+
+    #[test]
+    fn euclidean_matrix_values() {
+        let pts = vec![vec![0.0, 0.0], vec![3.0, 4.0]];
+        let m = euclidean_matrix(&pts, false);
+        assert!((m.get(0, 1) - 5.0).abs() < 1e-12);
+        let m2 = euclidean_matrix(&pts, true);
+        assert!((m2.get(0, 1) - 25.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,279 @@
+//! Lloyd's k-means with k-means++ seeding, restarts, and empty-cluster
+//! repair — the stand-in for the Matlab `kmeans` the paper feeds into its
+//! aggregation experiments (Figures 3–5).
+
+use aggclust_core::clustering::Clustering;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeding strategy for [`kmeans`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KMeansInit {
+    /// k-means++ (D² weighting) — the default.
+    PlusPlus,
+    /// Uniformly random distinct points as initial centers.
+    Random,
+}
+
+/// Parameters for [`kmeans`].
+#[derive(Clone, Debug)]
+pub struct KMeansParams {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations per restart.
+    pub max_iters: usize,
+    /// Number of restarts; the run with the lowest inertia wins.
+    pub n_init: usize,
+    /// Seeding strategy.
+    pub init: KMeansInit,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KMeansParams {
+    /// Defaults mirroring common practice: k-means++, 100 iterations,
+    /// 4 restarts.
+    pub fn new(k: usize, seed: u64) -> Self {
+        KMeansParams {
+            k,
+            max_iters: 100,
+            n_init: 4,
+            init: KMeansInit::PlusPlus,
+            seed,
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Cluster assignment of every point.
+    pub clustering: Clustering,
+    /// Final cluster centers.
+    pub centers: Vec<Vec<f64>>,
+    /// Sum of squared distances of points to their centers.
+    pub inertia: f64,
+    /// Lloyd iterations used by the winning restart.
+    pub iterations: usize,
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Run k-means on row-major point data.
+///
+/// # Panics
+/// Panics if `k` is zero or exceeds the number of points, or if rows have
+/// inconsistent dimensionality.
+pub fn kmeans(points: &[Vec<f64>], params: &KMeansParams) -> KMeansResult {
+    let n = points.len();
+    assert!(params.k >= 1, "k must be positive");
+    assert!(params.k <= n, "k = {} exceeds n = {n}", params.k);
+    let dim = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "inconsistent dimensionality"
+    );
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    let mut best: Option<KMeansResult> = None;
+    for _restart in 0..params.n_init.max(1) {
+        let mut centers = match params.init {
+            KMeansInit::PlusPlus => seed_plus_plus(points, params.k, &mut rng),
+            KMeansInit::Random => seed_random(points, params.k, &mut rng),
+        };
+        let mut labels = vec![0u32; n];
+        let mut iterations = 0;
+        for iter in 0..params.max_iters {
+            iterations = iter + 1;
+            // Assignment step.
+            let mut changed = false;
+            for (i, p) in points.iter().enumerate() {
+                let mut best_c = 0usize;
+                let mut best_d = f64::INFINITY;
+                for (c, center) in centers.iter().enumerate() {
+                    let d = sq_dist(p, center);
+                    if d < best_d {
+                        best_d = d;
+                        best_c = c;
+                    }
+                }
+                if labels[i] != best_c as u32 {
+                    labels[i] = best_c as u32;
+                    changed = true;
+                }
+            }
+            if !changed && iter > 0 {
+                break;
+            }
+            // Update step.
+            let mut counts = vec![0usize; params.k];
+            let mut sums = vec![vec![0.0; dim]; params.k];
+            for (i, p) in points.iter().enumerate() {
+                let c = labels[i] as usize;
+                counts[c] += 1;
+                for (s, &x) in sums[c].iter_mut().zip(p) {
+                    *s += x;
+                }
+            }
+            for c in 0..params.k {
+                if counts[c] == 0 {
+                    // Empty-cluster repair: re-seed at the point furthest
+                    // from its center.
+                    let (far, _) = points
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| (i, sq_dist(p, &centers[labels[i] as usize])))
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                        .unwrap();
+                    centers[c] = points[far].clone();
+                } else {
+                    for (x, s) in centers[c].iter_mut().zip(&sums[c]) {
+                        *x = s / counts[c] as f64;
+                    }
+                }
+            }
+        }
+        let inertia: f64 = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| sq_dist(p, &centers[labels[i] as usize]))
+            .sum();
+        if best.as_ref().is_none_or(|b| inertia < b.inertia) {
+            best = Some(KMeansResult {
+                clustering: Clustering::from_labels(labels),
+                centers,
+                inertia,
+                iterations,
+            });
+        }
+    }
+    best.expect("at least one restart ran")
+}
+
+fn seed_random(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let picks = rand::seq::index::sample(rng, points.len(), k);
+    picks.into_iter().map(|i| points[i].clone()).collect()
+}
+
+fn seed_plus_plus(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let n = points.len();
+    let mut centers = Vec::with_capacity(k);
+    centers.push(points[rng.gen_range(0..n)].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centers[0])).collect();
+    while centers.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with a center; pick uniformly.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centers.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = sq_dist(p, centers.last().unwrap());
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            pts.push(vec![10.0 + 0.01 * i as f64, 10.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let res = kmeans(&pts, &KMeansParams::new(2, 42));
+        let c = &res.clustering;
+        assert_eq!(c.num_clusters(), 2);
+        // Even indices are blob A, odd are blob B.
+        for i in (0..pts.len()).step_by(2) {
+            assert_eq!(c.label(i), c.label(0));
+        }
+        for i in (1..pts.len()).step_by(2) {
+            assert_eq!(c.label(i), c.label(1));
+        }
+        assert_ne!(c.label(0), c.label(1));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = two_blobs();
+        let a = kmeans(&pts, &KMeansParams::new(3, 7));
+        let b = kmeans(&pts, &KMeansParams::new(3, 7));
+        assert_eq!(a.clustering, b.clustering);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let pts = two_blobs();
+        let i2 = kmeans(&pts, &KMeansParams::new(2, 1)).inertia;
+        let i4 = kmeans(&pts, &KMeansParams::new(4, 1)).inertia;
+        assert!(i4 <= i2 + 1e-9);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64, 0.0]).collect();
+        let res = kmeans(&pts, &KMeansParams::new(6, 3));
+        assert!(res.inertia < 1e-12);
+        assert_eq!(res.clustering.num_clusters(), 6);
+    }
+
+    #[test]
+    fn k_one_groups_everything() {
+        let pts = two_blobs();
+        let res = kmeans(&pts, &KMeansParams::new(1, 5));
+        assert_eq!(res.clustering, Clustering::one_cluster(pts.len()));
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let pts: Vec<Vec<f64>> = (0..10).map(|_| vec![1.0, 2.0]).collect();
+        let res = kmeans(&pts, &KMeansParams::new(3, 1));
+        assert!(res.inertia < 1e-12);
+    }
+
+    #[test]
+    fn random_init_also_works() {
+        let pts = two_blobs();
+        let params = KMeansParams {
+            init: KMeansInit::Random,
+            ..KMeansParams::new(2, 11)
+        };
+        let res = kmeans(&pts, &params);
+        assert_eq!(res.clustering.num_clusters(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds n")]
+    fn k_too_large_rejected() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let _ = kmeans(&pts, &KMeansParams::new(3, 1));
+    }
+}

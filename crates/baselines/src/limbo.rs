@@ -1,0 +1,496 @@
+//! LIMBO — "Scalable Clustering of Categorical Data" (Andritsos, Tsaparas,
+//! Miller & Sevcik, EDBT 2004), the second comparator in Tables 2–3 of the
+//! paper.
+//!
+//! LIMBO is an information-bottleneck method: each tuple is a probability
+//! distribution over its (attribute, value) pairs, a cluster is summarized
+//! by a *distributional cluster feature* (DCF) — its total weight and the
+//! weighted mixture of its members' distributions — and merging two
+//! clusters costs the information loss
+//!
+//! ```text
+//! δI(c₁, c₂) = (p₁ + p₂) · JS_{π₁,π₂}(d₁, d₂),
+//! ```
+//!
+//! the weighted Jensen–Shannon divergence of their distributions.
+//!
+//! The implementation follows LIMBO's three phases:
+//!
+//! 1. **Summarization**: one sequential pass folds tuples into at most
+//!    `max_summaries` micro-clusters; a tuple joins the nearest DCF when the
+//!    merge loss is below the `φ`-derived threshold `τ = φ·I/n` (where `I`
+//!    is the tuples↔values mutual information of the dataset), else it
+//!    starts a new DCF. `φ = 0` merges only duplicates.
+//! 2. **Clustering**: agglomerative information bottleneck (repeatedly
+//!    merge the pair of DCFs with the least δI) down to `k` clusters.
+//! 3. **Assignment**: every original tuple is placed with the cluster DCF
+//!    whose merge loss is smallest.
+
+use aggclust_core::clustering::Clustering;
+use aggclust_data::categorical::CategoricalDataset;
+
+/// Parameters for [`limbo`].
+#[derive(Clone, Copy, Debug)]
+pub struct LimboParams {
+    /// Space-control parameter `φ ≥ 0`; larger values merge more
+    /// aggressively during summarization (the paper's comparisons use
+    /// `φ ∈ {0.0, 0.3, 1.0}`).
+    pub phi: f64,
+    /// Number of output clusters.
+    pub k: usize,
+    /// Hard cap on phase-1 micro-clusters (LIMBO's buffer size); when
+    /// exceeded, the two closest DCFs are merged.
+    pub max_summaries: usize,
+}
+
+impl LimboParams {
+    /// Convenience constructor with the default buffer of 256 summaries.
+    ///
+    /// # Panics
+    /// Panics if `phi < 0` or `k == 0`.
+    pub fn new(phi: f64, k: usize) -> Self {
+        assert!(phi >= 0.0, "phi must be non-negative");
+        assert!(k >= 1, "k must be positive");
+        LimboParams {
+            phi,
+            k,
+            max_summaries: 256,
+        }
+    }
+}
+
+/// A sparse distribution over (attribute, value) item codes, sorted by item.
+#[derive(Clone, Debug, PartialEq)]
+struct Dist(Vec<(u32, f64)>);
+
+impl Dist {
+    /// Weighted mixture `πa·a + πb·b` (πa + πb = 1).
+    fn mix(a: &Dist, pa: f64, b: &Dist, pb: f64) -> Dist {
+        let mut out = Vec::with_capacity(a.0.len() + b.0.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.0.len() || j < b.0.len() {
+            match (a.0.get(i), b.0.get(j)) {
+                (Some(&(ia, va)), Some(&(ib, vb))) => {
+                    if ia == ib {
+                        out.push((ia, pa * va + pb * vb));
+                        i += 1;
+                        j += 1;
+                    } else if ia < ib {
+                        out.push((ia, pa * va));
+                        i += 1;
+                    } else {
+                        out.push((ib, pb * vb));
+                        j += 1;
+                    }
+                }
+                (Some(&(ia, va)), None) => {
+                    out.push((ia, pa * va));
+                    i += 1;
+                }
+                (None, Some(&(ib, vb))) => {
+                    out.push((ib, pb * vb));
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        Dist(out)
+    }
+
+    /// KL divergence `KL(self ‖ mix)` where `mix` must dominate `self`.
+    fn kl(&self, mix: &Dist) -> f64 {
+        let mut out = 0.0;
+        let mut j = 0;
+        for &(item, p) in &self.0 {
+            while mix.0[j].0 != item {
+                j += 1;
+            }
+            let q = mix.0[j].1;
+            if p > 0.0 && q > 0.0 {
+                out += p * (p / q).ln();
+            }
+        }
+        out.max(0.0)
+    }
+}
+
+/// A distributional cluster feature: member count/weight + distribution.
+#[derive(Clone, Debug)]
+struct Dcf {
+    weight: f64,
+    dist: Dist,
+    members: Vec<usize>,
+}
+
+/// Information loss of merging two DCFs (weights are tuple counts; the
+/// global 1/n factor is constant and omitted).
+fn merge_loss(a: &Dcf, b: &Dcf) -> f64 {
+    let total = a.weight + b.weight;
+    let (pa, pb) = (a.weight / total, b.weight / total);
+    let mix = Dist::mix(&a.dist, pa, &b.dist, pb);
+    let js = pa * a.dist.kl(&mix) + pb * b.dist.kl(&mix);
+    total * js
+}
+
+fn merge_dcf(a: &Dcf, b: &Dcf) -> Dcf {
+    let total = a.weight + b.weight;
+    let (pa, pb) = (a.weight / total, b.weight / total);
+    let mut members = a.members.clone();
+    members.extend_from_slice(&b.members);
+    Dcf {
+        weight: total,
+        dist: Dist::mix(&a.dist, pa, &b.dist, pb),
+        members,
+    }
+}
+
+/// One greedy consolidation pass: merge every pair of summaries whose
+/// information loss is within `tau` (each summary absorbs greedily, left to
+/// right). Used when the phase-1 buffer overflows.
+fn consolidate(summaries: &mut Vec<Dcf>, tau: f64) {
+    let mut i = 0;
+    while i < summaries.len() {
+        let mut j = i + 1;
+        while j < summaries.len() {
+            if merge_loss(&summaries[i], &summaries[j]) <= tau {
+                let merged = merge_dcf(&summaries[i], &summaries[j]);
+                summaries[i] = merged;
+                summaries.swap_remove(j);
+            } else {
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Tuple → normalized distribution over its defined (attr, value) items.
+fn tuple_dist(ds: &CategoricalDataset, row: usize, attr_offsets: &[u32]) -> Dist {
+    let defined: Vec<(u32, f64)> = ds
+        .row(row)
+        .iter()
+        .enumerate()
+        .filter_map(|(j, v)| v.map(|v| (attr_offsets[j] + v as u32, 0.0)))
+        .collect();
+    let mass = 1.0 / defined.len().max(1) as f64;
+    Dist(defined.into_iter().map(|(item, _)| (item, mass)).collect())
+}
+
+/// Mutual information `I(tuples; values)` of the dataset, used to scale the
+/// `φ` threshold exactly as LIMBO scales its DCF-tree node radii.
+fn dataset_mutual_information(dists: &[Dist]) -> f64 {
+    let n = dists.len();
+    if n == 0 {
+        return 0.0;
+    }
+    // Global item distribution: mixture of all tuples at weight 1/n.
+    let mut global: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    for d in dists {
+        for &(item, p) in &d.0 {
+            *global.entry(item).or_insert(0.0) += p / n as f64;
+        }
+    }
+    // I = (1/n) Σ_t KL(p_t || global).
+    let mut total = 0.0;
+    for d in dists {
+        let mut kl = 0.0;
+        for &(item, p) in &d.0 {
+            let q = global[&item];
+            if p > 0.0 && q > 0.0 {
+                kl += p * (p / q).ln();
+            }
+        }
+        total += kl.max(0.0);
+    }
+    total / n as f64
+}
+
+/// Run LIMBO on a categorical dataset. Returns exactly `min(k, n)` clusters
+/// unless the data has fewer distinct summaries.
+pub fn limbo(ds: &CategoricalDataset, params: LimboParams) -> Clustering {
+    let n = ds.len();
+    if n == 0 {
+        return Clustering::from_labels(Vec::new());
+    }
+    // Item code space: one contiguous block per attribute.
+    let mut attr_offsets = Vec::with_capacity(ds.attributes().len());
+    let mut next = 0u32;
+    for a in ds.attributes() {
+        attr_offsets.push(next);
+        next += a.arity as u32;
+    }
+
+    let dists: Vec<Dist> = (0..n).map(|r| tuple_dist(ds, r, &attr_offsets)).collect();
+    let tau = if params.phi > 0.0 {
+        params.phi * dataset_mutual_information(&dists) / n as f64
+    } else {
+        0.0
+    };
+
+    // Phase 1: sequential summarization. When the buffer overflows, the
+    // effective threshold doubles and the buffer is consolidated — the
+    // space-adaptation heuristic of the LIMBO DCF-tree.
+    let tau_floor = {
+        let i_hat = dataset_mutual_information(&dists);
+        (i_hat / n as f64) * 0.01 + 1e-12
+    };
+    let mut tau_eff = tau;
+    let mut summaries: Vec<Dcf> = Vec::new();
+    for (row, dist) in dists.iter().enumerate() {
+        let tuple = Dcf {
+            weight: 1.0,
+            dist: dist.clone(),
+            members: vec![row],
+        };
+        let best = summaries
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, merge_loss(s, &tuple)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        match best {
+            Some((i, loss)) if loss <= tau_eff + 1e-15 => {
+                summaries[i] = merge_dcf(&summaries[i], &tuple);
+            }
+            _ => summaries.push(tuple),
+        }
+        while summaries.len() > params.max_summaries {
+            tau_eff = if tau_eff <= 0.0 {
+                tau_floor
+            } else {
+                tau_eff * 2.0
+            };
+            consolidate(&mut summaries, tau_eff);
+        }
+    }
+
+    // Phase 2: agglomerative information bottleneck down to k clusters,
+    // with a cached pairwise-loss matrix so each merge costs O(B) loss
+    // evaluations instead of O(B²).
+    let k = params.k.min(n);
+    let mut loss: Vec<Vec<f64>> = {
+        let s = summaries.len();
+        let mut m = vec![vec![f64::INFINITY; s]; s];
+        for i in 0..s {
+            for j in (i + 1)..s {
+                let l = merge_loss(&summaries[i], &summaries[j]);
+                m[i][j] = l;
+                m[j][i] = l;
+            }
+        }
+        m
+    };
+    while summaries.len() > k {
+        let s = summaries.len();
+        let mut best_pair = (0, 1, f64::INFINITY);
+        for (i, row) in loss.iter().enumerate() {
+            for (j, &l) in row.iter().enumerate().skip(i + 1) {
+                if l < best_pair.2 {
+                    best_pair = (i, j, l);
+                }
+            }
+        }
+        let (i, j, _) = best_pair;
+        let merged = merge_dcf(&summaries[i], &summaries[j]);
+        summaries[i] = merged;
+        summaries.swap_remove(j);
+        // Mirror the swap_remove in the loss matrix: row/column j takes the
+        // last row/column's values, then the last is dropped.
+        let last = s - 1;
+        if j != last {
+            for row in loss.iter_mut() {
+                row[j] = row[last];
+            }
+            loss.swap(j, last);
+        }
+        loss.truncate(last);
+        for row in loss.iter_mut() {
+            row.truncate(last);
+        }
+        // Recompute losses involving the merged cluster i.
+        for r in 0..summaries.len() {
+            if r != i {
+                let l = merge_loss(&summaries[i], &summaries[r]);
+                loss[i][r] = l;
+                loss[r][i] = l;
+            }
+        }
+    }
+
+    // Phase 3: assign every tuple to the cluster of least merge loss.
+    let mut labels = vec![0u32; n];
+    for (row, dist) in dists.iter().enumerate() {
+        let tuple = Dcf {
+            weight: 1.0,
+            dist: dist.clone(),
+            members: Vec::new(),
+        };
+        let mut best = (0usize, f64::INFINITY);
+        for (c, s) in summaries.iter().enumerate() {
+            let l = merge_loss(s, &tuple);
+            if l < best.1 {
+                best = (c, l);
+            }
+        }
+        labels[row] = best.0 as u32;
+    }
+    Clustering::from_labels(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggclust_data::categorical::{Attribute, CategoricalDataset};
+
+    fn blocks(n_per: usize, attrs: usize) -> CategoricalDataset {
+        let attr_list = (0..attrs)
+            .map(|i| Attribute {
+                name: format!("a{i}"),
+                arity: 3,
+            })
+            .collect();
+        let mut values = Vec::new();
+        let mut classes = Vec::new();
+        for block in 0..3u16 {
+            for _ in 0..n_per {
+                for _ in 0..attrs {
+                    values.push(Some(block));
+                }
+                classes.push(block as u32);
+            }
+        }
+        CategoricalDataset::new(
+            "blocks3",
+            attr_list,
+            values,
+            classes,
+            vec!["x".into(), "y".into(), "z".into()],
+        )
+    }
+
+    #[test]
+    fn recovers_three_blocks() {
+        let ds = blocks(8, 4);
+        let c = limbo(&ds, LimboParams::new(0.0, 3));
+        assert_eq!(c.num_clusters(), 3);
+        for block in 0..3 {
+            let base = block * 8;
+            for r in base..base + 8 {
+                assert_eq!(c.label(r), c.label(base));
+            }
+        }
+    }
+
+    #[test]
+    fn phi_zero_merges_duplicates_losslessly() {
+        // With φ = 0 all identical tuples collapse into one summary; three
+        // distinct blocks → exactly three summaries before phase 2.
+        let ds = blocks(5, 3);
+        let c = limbo(&ds, LimboParams::new(0.0, 3));
+        assert_eq!(c.num_clusters(), 3);
+    }
+
+    #[test]
+    fn positive_phi_still_recovers_blocks() {
+        let ds = blocks(8, 4);
+        let c = limbo(&ds, LimboParams::new(0.5, 3));
+        assert_eq!(c.num_clusters(), 3);
+        assert!(c.same_cluster(0, 7));
+        assert!(!c.same_cluster(0, 8));
+    }
+
+    #[test]
+    fn buffer_cap_is_respected() {
+        let ds = blocks(10, 4);
+        let params = LimboParams {
+            phi: 0.0,
+            k: 3,
+            max_summaries: 2,
+        };
+        // Must still terminate and produce ≤ 3 clusters even with a buffer
+        // smaller than the natural block count.
+        let c = limbo(&ds, params);
+        assert!(c.num_clusters() <= 3);
+    }
+
+    #[test]
+    fn k_larger_than_distinct_rows() {
+        let ds = blocks(2, 2);
+        let c = limbo(&ds, LimboParams::new(0.0, 50));
+        assert_eq!(c.len(), 6);
+        assert!(c.num_clusters() <= 6);
+    }
+
+    #[test]
+    fn merge_loss_of_identical_is_zero() {
+        let a = Dcf {
+            weight: 2.0,
+            dist: Dist(vec![(0, 0.5), (3, 0.5)]),
+            members: vec![0, 1],
+        };
+        let b = Dcf {
+            weight: 1.0,
+            dist: Dist(vec![(0, 0.5), (3, 0.5)]),
+            members: vec![2],
+        };
+        assert!(merge_loss(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn merge_loss_grows_with_divergence() {
+        let a = Dcf {
+            weight: 1.0,
+            dist: Dist(vec![(0, 1.0)]),
+            members: vec![0],
+        };
+        let near = Dcf {
+            weight: 1.0,
+            dist: Dist(vec![(0, 0.8), (1, 0.2)]),
+            members: vec![1],
+        };
+        let far = Dcf {
+            weight: 1.0,
+            dist: Dist(vec![(1, 1.0)]),
+            members: vec![2],
+        };
+        assert!(merge_loss(&a, &near) < merge_loss(&a, &far));
+    }
+
+    #[test]
+    fn handles_missing_values() {
+        let attrs = vec![
+            Attribute {
+                name: "a".into(),
+                arity: 2,
+            },
+            Attribute {
+                name: "b".into(),
+                arity: 2,
+            },
+        ];
+        let values = vec![
+            Some(0),
+            Some(0),
+            Some(0),
+            None,
+            Some(1),
+            Some(1),
+            None,
+            Some(1),
+        ];
+        let ds = CategoricalDataset::new("miss", attrs, values, vec![0; 4], vec!["x".into()]);
+        let c = limbo(&ds, LimboParams::new(0.0, 2));
+        assert_eq!(c.num_clusters(), 2);
+        assert!(c.same_cluster(0, 1));
+        assert!(c.same_cluster(2, 3));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let attrs = vec![Attribute {
+            name: "a".into(),
+            arity: 1,
+        }];
+        let ds = CategoricalDataset::new("empty", attrs, vec![], vec![], vec!["x".into()]);
+        assert_eq!(limbo(&ds, LimboParams::new(0.0, 2)).len(), 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the baseline clusterers.
+
+use aggclust_baselines::hierarchical::{
+    dendrogram, hierarchical, HierarchicalParams, LinkageMethod,
+};
+use aggclust_baselines::kmeans::{kmeans, KMeansParams};
+use aggclust_baselines::limbo::{limbo, LimboParams};
+use aggclust_baselines::rock::{jaccard, rock, RockParams};
+use aggclust_data::categorical::{Attribute, CategoricalDataset};
+use proptest::prelude::*;
+
+/// Strategy: 2-D points in a box.
+fn points_strategy(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        (0.0f64..10.0, 0.0f64..10.0).prop_map(|(x, y)| vec![x, y]),
+        n,
+    )
+}
+
+/// Strategy: a small categorical dataset.
+fn dataset_strategy() -> impl Strategy<Value = CategoricalDataset> {
+    (4usize..24, 2usize..5).prop_flat_map(|(n, a)| {
+        prop::collection::vec(prop::option::weighted(0.9, 0u16..3), n * a).prop_map(move |values| {
+            let attrs = (0..a)
+                .map(|i| Attribute {
+                    name: format!("a{i}"),
+                    arity: 3,
+                })
+                .collect();
+            CategoricalDataset::new("prop", attrs, values, vec![0; n], vec!["x".into()])
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kmeans_produces_exactly_k_nonempty_clusters(
+        (pts, k, seed) in points_strategy(6..30).prop_flat_map(|pts| {
+            let n = pts.len();
+            (Just(pts), 1..=n.min(5), any::<u64>())
+        })
+    ) {
+        let res = kmeans(&pts, &KMeansParams::new(k, seed));
+        prop_assert!(res.clustering.num_clusters() <= k);
+        prop_assert!(res.clustering.num_clusters() >= 1);
+        prop_assert!(res.inertia >= 0.0);
+        prop_assert_eq!(res.clustering.len(), pts.len());
+    }
+
+    #[test]
+    fn kmeans_inertia_never_increases_with_k(
+        (pts, seed) in (points_strategy(10..30), any::<u64>())
+    ) {
+        // With shared seeding and restarts, a larger k can always match a
+        // smaller k's inertia; allow tiny slack for local optima.
+        let i2 = kmeans(&pts, &KMeansParams::new(2, seed)).inertia;
+        let i5 = kmeans(&pts, &KMeansParams::new(5.min(pts.len()), seed)).inertia;
+        prop_assert!(i5 <= i2 * 1.05 + 1e-9, "i5 = {}, i2 = {}", i5, i2);
+    }
+
+    #[test]
+    fn linkage_cuts_are_nested(
+        pts in points_strategy(5..25)
+    ) {
+        // Cutting at k clusters refines cutting at k-1 clusters.
+        for method in [LinkageMethod::Single, LinkageMethod::Average, LinkageMethod::Ward] {
+            let dend = dendrogram(&pts, method);
+            for k in 2..=pts.len().min(6) {
+                let fine = dend.cut_num_clusters(k);
+                let coarse = dend.cut_num_clusters(k - 1);
+                prop_assert!(fine.refines(&coarse), "{:?} k={}", method, k);
+            }
+        }
+    }
+
+    #[test]
+    fn linkage_heights_are_monotone(
+        pts in points_strategy(5..25)
+    ) {
+        // Single/complete/average/Ward are monotone: sorted merge heights
+        // never decrease along the tree (checked via the sorted sequence
+        // equaling the child-before-parent order).
+        for method in [
+            LinkageMethod::Single,
+            LinkageMethod::Complete,
+            LinkageMethod::Average,
+            LinkageMethod::Ward,
+        ] {
+            let dend = dendrogram(&pts, method);
+            // Parent height ≥ each child cluster's creation height.
+            let n = pts.len();
+            let mut creation = vec![0.0f64; n + dend.merges().len()];
+            for (i, m) in dend.merges().iter().enumerate() {
+                let h = m.height;
+                prop_assert!(
+                    h >= creation[m.a] - 1e-9 && h >= creation[m.b] - 1e-9,
+                    "{:?}: inversion at merge {}", method, i
+                );
+                creation[n + i] = h;
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_k_is_exact(
+        (pts, k) in points_strategy(6..20).prop_flat_map(|pts| {
+            let n = pts.len();
+            (Just(pts), 1..=n)
+        })
+    ) {
+        let c = hierarchical(&pts, HierarchicalParams::new(LinkageMethod::Average, k));
+        prop_assert_eq!(c.num_clusters(), k);
+    }
+
+    #[test]
+    fn jaccard_is_a_similarity(ds in dataset_strategy()) {
+        let n = ds.len();
+        for a in 0..n.min(8) {
+            for b in 0..n.min(8) {
+                let s = jaccard(&ds, a, b);
+                prop_assert!((0.0..=1.0).contains(&s));
+                prop_assert!((s - jaccard(&ds, b, a)).abs() < 1e-12);
+            }
+            if ds.row(a).iter().any(|v| v.is_some()) {
+                prop_assert_eq!(jaccard(&ds, a, a), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rock_and_limbo_always_produce_valid_partitions(ds in dataset_strategy()) {
+        let r = rock(&ds, RockParams::new(0.5, 2));
+        prop_assert_eq!(r.len(), ds.len());
+        let l = limbo(&ds, LimboParams::new(0.3, 2));
+        prop_assert_eq!(l.len(), ds.len());
+        prop_assert!(l.num_clusters() <= ds.len().max(1));
+    }
+
+    #[test]
+    fn identical_rows_cluster_together_in_limbo(
+        (block_a, block_b) in (2usize..8, 2usize..8)
+    ) {
+        let attrs = (0..3)
+            .map(|i| Attribute { name: format!("a{i}"), arity: 2 })
+            .collect();
+        let mut values = Vec::new();
+        for _ in 0..block_a { values.extend([Some(0), Some(0), Some(0)]); }
+        for _ in 0..block_b { values.extend([Some(1), Some(1), Some(1)]); }
+        let ds = CategoricalDataset::new(
+            "two", attrs, values, vec![0; block_a + block_b], vec!["x".into()],
+        );
+        let c = limbo(&ds, LimboParams::new(0.0, 2));
+        prop_assert_eq!(c.num_clusters(), 2);
+        prop_assert!(c.same_cluster(0, block_a - 1));
+        prop_assert!(c.same_cluster(block_a, block_a + block_b - 1));
+    }
+}

@@ -1,0 +1,58 @@
+//! Benchmarks for the baseline clusterers: k-means, the four hierarchical
+//! linkages, ROCK, and LIMBO.
+
+use aggclust_baselines::hierarchical::{hierarchical, HierarchicalParams, LinkageMethod};
+use aggclust_baselines::kmeans::{kmeans, KMeansParams};
+use aggclust_baselines::limbo::{limbo, LimboParams};
+use aggclust_baselines::rock::{rock, RockParams};
+use aggclust_data::presets::mushrooms_like;
+use aggclust_data::synth2d::gaussian_with_noise;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_vector_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vector_baselines");
+    group.sample_size(10);
+    for &n_per in &[100usize, 300] {
+        let data = gaussian_with_noise(5, n_per, 0.2, 0.02, 1);
+        let rows = data.rows();
+        let n = rows.len();
+        group.bench_with_input(BenchmarkId::new("kmeans_k7", n), &n, |b, _| {
+            b.iter(|| kmeans(black_box(&rows), &KMeansParams::new(7, 1)))
+        });
+        for method in [
+            LinkageMethod::Single,
+            LinkageMethod::Complete,
+            LinkageMethod::Average,
+            LinkageMethod::Ward,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("linkage_{method:?}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| hierarchical(black_box(&rows), HierarchicalParams::new(method, 7)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_categorical_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("categorical_baselines");
+    group.sample_size(10);
+    let (full, _) = mushrooms_like(1);
+    for &n in &[300usize, 1_000] {
+        let ds = full.subsample_random(n, 1);
+        group.bench_with_input(BenchmarkId::new("rock_t0.8_k7", n), &n, |b, _| {
+            b.iter(|| rock(black_box(&ds), RockParams::new(0.8, 7)))
+        });
+        group.bench_with_input(BenchmarkId::new("limbo_phi0.3_k7", n), &n, |b, _| {
+            b.iter(|| limbo(black_box(&ds), LimboParams::new(0.3, 7)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vector_baselines, bench_categorical_baselines);
+criterion_main!(benches);

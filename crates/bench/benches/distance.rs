@@ -1,0 +1,35 @@
+//! Micro-benchmarks for the disagreement distance `d_V`: the naive O(n²)
+//! pair scan vs the contingency-table O(n + k₁k₂) computation.
+
+use aggclust_core::clustering::Clustering;
+use aggclust_core::distance::{disagreement_distance, disagreement_distance_naive};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_clustering(n: usize, k: u32, seed: u64) -> Clustering {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Clustering::from_labels((0..n).map(|_| rng.gen_range(0..k)).collect())
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disagreement_distance");
+    group.sample_size(20);
+    for &n in &[100usize, 1_000, 5_000] {
+        let a = random_clustering(n, 8, 1);
+        let b = random_clustering(n, 8, 2);
+        group.bench_with_input(BenchmarkId::new("contingency", n), &n, |bench, _| {
+            bench.iter(|| disagreement_distance(black_box(&a), black_box(&b)))
+        });
+        if n <= 1_000 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+                bench.iter(|| disagreement_distance_naive(black_box(&a), black_box(&b)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Benchmarks for the two distance-oracle implementations: dense
+//! precomputed matrix (O(1) lookups, O(n²·m) build) vs lazy label-vector
+//! oracle (O(m) lookups, zero build).
+
+use aggclust_core::clustering::Clustering;
+use aggclust_core::instance::{ClusteringsOracle, DenseOracle, DistanceOracle};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn inputs(n: usize, m: usize, seed: u64) -> Vec<Clustering> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| Clustering::from_labels((0..n).map(|_| rng.gen_range(0..8u32)).collect()))
+        .collect()
+}
+
+fn bench_oracles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracles");
+    group.sample_size(10);
+    for &n in &[500usize, 2_000] {
+        let cs = inputs(n, 16, 7);
+        group.bench_with_input(BenchmarkId::new("dense_build", n), &n, |b, _| {
+            b.iter(|| DenseOracle::from_clusterings(black_box(&cs)))
+        });
+        let dense = DenseOracle::from_clusterings(&cs);
+        let lazy = ClusteringsOracle::from_total(&cs);
+        group.bench_with_input(BenchmarkId::new("dense_full_scan", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for u in 0..n {
+                    for v in (u + 1)..n {
+                        acc += dense.dist(u, v);
+                    }
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lazy_full_scan", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for u in 0..n {
+                    for v in (u + 1)..n {
+                        acc += lazy.dist(u, v);
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracles);
+criterion_main!(benches);

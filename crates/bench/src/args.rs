@@ -1,0 +1,88 @@
+//! A minimal `--key value` / `--flag` argument parser for the experiment
+//! binaries (keeps the dependency surface at zero).
+
+use std::collections::HashMap;
+
+/// Parsed command-line options.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse from `std::env::args` (skipping the program name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (used by tests).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        out.values.insert(key.to_string(), iter.next().unwrap());
+                    }
+                    _ => out.flags.push(key.to_string()),
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` if `--name` was given without a value.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The value of `--name value`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Parse `--name value` as a type, falling back to a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                panic!("could not parse --{name} value {v:?}");
+            }),
+            None => default,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn values_and_flags() {
+        let a = args(&["--seed", "42", "--full", "--scale", "0.5"]);
+        assert_eq!(a.get("seed"), Some("42"));
+        assert_eq!(a.get_or("seed", 0u64), 42);
+        assert!(a.flag("full"));
+        assert!(!a.flag("quick"));
+        assert_eq!(a.get_or("scale", 1.0f64), 0.5);
+    }
+
+    #[test]
+    fn defaults() {
+        let a = args(&[]);
+        assert_eq!(a.get_or("seed", 7u64), 7);
+        assert!(!a.flag("full"));
+    }
+
+    #[test]
+    #[should_panic(expected = "could not parse")]
+    fn bad_value_panics() {
+        let a = args(&["--seed", "abc"]);
+        let _ = a.get_or("seed", 0u64);
+    }
+}

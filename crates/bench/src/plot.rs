@@ -1,0 +1,104 @@
+//! Minimal ASCII scatter plots for the Figure-3/4 binaries: clusters render
+//! as letters on a character grid, so the paper's panels can be eyeballed
+//! directly in the terminal.
+
+use aggclust_core::clustering::Clustering;
+
+/// Character assigned to cluster `i` (cycles after 52 clusters; clusters
+/// beyond that render as `*`).
+fn glyph(i: usize) -> char {
+    const GLYPHS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    if i < GLYPHS.len() {
+        GLYPHS[i] as char
+    } else {
+        '*'
+    }
+}
+
+/// Render points labeled by a clustering onto a `width × height` grid.
+/// Later points overwrite earlier ones in the same cell; empty cells are
+/// spaces. Returns a newline-joined string with a border.
+///
+/// # Panics
+/// Panics if `points` and `clustering` disagree, or the grid is empty.
+pub fn scatter(
+    points: &[[f64; 2]],
+    clustering: &Clustering,
+    width: usize,
+    height: usize,
+) -> String {
+    assert_eq!(points.len(), clustering.len(), "points/labels mismatch");
+    assert!(width >= 2 && height >= 2, "grid too small");
+    let mut grid = vec![vec![' '; width]; height];
+    if !points.is_empty() {
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            min_x = min_x.min(p[0]);
+            max_x = max_x.max(p[0]);
+            min_y = min_y.min(p[1]);
+            max_y = max_y.max(p[1]);
+        }
+        let span_x = (max_x - min_x).max(f64::MIN_POSITIVE);
+        let span_y = (max_y - min_y).max(f64::MIN_POSITIVE);
+        for (v, p) in points.iter().enumerate() {
+            let col = (((p[0] - min_x) / span_x) * (width - 1) as f64).round() as usize;
+            // Rows top-down: larger y first.
+            let row = (((max_y - p[1]) / span_y) * (height - 1) as f64).round() as usize;
+            grid[row][col] = glyph(clustering.label(v) as usize);
+        }
+    }
+    let mut out = String::with_capacity((width + 3) * (height + 2));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push_str("+\n");
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push_str("+\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_expected_corners() {
+        let points = [[0.0, 0.0], [10.0, 10.0]];
+        let c = Clustering::from_labels(vec![0, 1]);
+        let s = scatter(&points, &c, 10, 5);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 7); // border + 5 rows + border
+                                    // Cluster 1 (higher y) is on the top row, cluster 0 bottom.
+        assert!(lines[1].contains('b'));
+        assert!(lines[5].contains('a'));
+    }
+
+    #[test]
+    fn grid_dimensions_respected() {
+        let points = [[1.0, 1.0]];
+        let c = Clustering::one_cluster(1);
+        let s = scatter(&points, &c, 20, 8);
+        for line in s.lines() {
+            assert_eq!(line.chars().count(), 22);
+        }
+    }
+
+    #[test]
+    fn many_clusters_cycle_glyphs() {
+        assert_eq!(glyph(0), 'a');
+        assert_eq!(glyph(26), 'A');
+        assert_eq!(glyph(100), '*');
+    }
+
+    #[test]
+    fn empty_points() {
+        let s = scatter(&[], &Clustering::from_labels(vec![]), 5, 3);
+        assert!(s.lines().count() == 5);
+    }
+}

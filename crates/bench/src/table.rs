@@ -1,0 +1,106 @@
+//! Aligned plain-text table rendering for the experiment binaries, matching
+//! the row/column layout of the paper's tables.
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with padded columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for c in 0..cols {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                // First column left-aligned, the rest right-aligned.
+                if c == 0 {
+                    out.push_str(&format!("{:<width$}", cells[c], width = widths[c]));
+                } else {
+                    out.push_str(&format!("{:>width$}", cells[c], width = widths[c]));
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Format a float with the given number of decimals.
+pub fn fmt_f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Format a disagreement error the way the paper does: plain integers below
+/// one million, `x.yyy M` above.
+pub fn fmt_ed(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.3} M", v / 1e6)
+    } else {
+        format!("{}", v.round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["name", "k", "E_C(%)"]);
+        t.row(vec!["Agglomerative".into(), "2".into(), "14.7".into()]);
+        t.row(vec!["Balls".into(), "10".into(), "9.9".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[2].starts_with("Agglomerative"));
+    }
+
+    #[test]
+    fn ed_formatting() {
+        assert_eq!(fmt_ed(34184.0), "34184");
+        assert_eq!(fmt_ed(13_537_000.0), "13.537 M");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+}

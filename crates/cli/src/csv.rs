@@ -1,0 +1,188 @@
+//! Label-matrix CSV I/O for the CLI.
+//!
+//! The input format is one row per object and one column per input
+//! clustering; cells are arbitrary label tokens (interned per column) and
+//! `?` (or an empty cell) marks a missing label. An optional header row is
+//! auto-detected: if every cell of the first row is unique within its
+//! column's remaining values... that is unreliable, so instead a header is
+//! assumed when `--header` is passed by the caller.
+
+use aggclust_core::clustering::{Clustering, PartialClustering};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Ragged rows.
+    Shape {
+        /// 1-based line number.
+        line: usize,
+        /// Expected column count.
+        expected: usize,
+        /// Found column count.
+        found: usize,
+    },
+    /// No data rows.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Shape {
+                line,
+                expected,
+                found,
+            } => write!(f, "line {line}: expected {expected} columns, found {found}"),
+            CsvError::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parse a label matrix: columns become [`PartialClustering`]s.
+///
+/// `separator` is a single character (`,` for CSV, `\t` for TSV);
+/// `skip_header` drops the first non-empty line.
+pub fn parse_label_matrix(
+    text: &str,
+    separator: char,
+    skip_header: bool,
+) -> Result<Vec<PartialClustering>, CsvError> {
+    let mut rows: Vec<Vec<&str>> = Vec::new();
+    let mut expected = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(separator).map(str::trim).collect();
+        match expected {
+            None => expected = Some(fields.len()),
+            Some(e) if e != fields.len() => {
+                return Err(CsvError::Shape {
+                    line: lineno + 1,
+                    expected: e,
+                    found: fields.len(),
+                })
+            }
+            _ => {}
+        }
+        rows.push(fields);
+    }
+    if skip_header && !rows.is_empty() {
+        rows.remove(0);
+    }
+    if rows.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    let columns = rows[0].len();
+    let mut out = Vec::with_capacity(columns);
+    for col in 0..columns {
+        let mut intern: HashMap<&str, u32> = HashMap::new();
+        let labels: Vec<Option<u32>> = rows
+            .iter()
+            .map(|row| {
+                let cell = row[col];
+                if cell == "?" || cell.is_empty() {
+                    None
+                } else {
+                    let next = intern.len() as u32;
+                    Some(*intern.entry(cell).or_insert(next))
+                }
+            })
+            .collect();
+        out.push(PartialClustering::from_labels(labels));
+    }
+    Ok(out)
+}
+
+/// Parse a single-column label file into a total clustering (for
+/// `aggclust eval --candidate`). Missing markers are not allowed.
+pub fn parse_single_clustering(
+    text: &str,
+    separator: char,
+    skip_header: bool,
+) -> Result<Clustering, CsvError> {
+    let partials = parse_label_matrix(text, separator, skip_header)?;
+    // Use the first column; complete would be wrong for a candidate, so
+    // missing cells become singletons (documented).
+    Ok(partials[0].complete_with_singletons())
+}
+
+/// Render a clustering as one label per line.
+pub fn render_labels(c: &Clustering) -> String {
+    let mut out = String::with_capacity(c.len() * 4);
+    for v in 0..c.len() {
+        out.push_str(&c.label(v).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_columns_into_clusterings() {
+        let text = "a,x\na,y\nb,x\nb,?\n";
+        let cs = parse_label_matrix(text, ',', false).unwrap();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].num_clusters(), 2);
+        assert_eq!(cs[0].label(0), cs[0].label(1));
+        assert_ne!(cs[0].label(0), cs[0].label(2));
+        assert_eq!(cs[1].label(3), None);
+        assert_eq!(cs[1].num_missing(), 1);
+    }
+
+    #[test]
+    fn header_skipping() {
+        let text = "alg1,alg2\n0,0\n0,1\n";
+        let cs = parse_label_matrix(text, ',', true).unwrap();
+        assert_eq!(cs[0].len(), 2);
+    }
+
+    #[test]
+    fn tsv_separator() {
+        let text = "0\t1\n0\t1\n1\t0\n";
+        let cs = parse_label_matrix(text, '\t', false).unwrap();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].len(), 3);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = parse_label_matrix("0,1\n0\n", ',', false).unwrap_err();
+        assert!(matches!(err, CsvError::Shape { line: 2, .. }));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(
+            parse_label_matrix("", ',', false),
+            Err(CsvError::Empty)
+        ));
+        assert!(matches!(
+            parse_label_matrix("h1,h2\n", ',', true),
+            Err(CsvError::Empty)
+        ));
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let c = Clustering::from_labels(vec![0, 1, 0, 2]);
+        let text = render_labels(&c);
+        let parsed = parse_single_clustering(&text, ',', false).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn empty_cells_are_missing() {
+        let text = "0,\n1,2\n";
+        let cs = parse_label_matrix(text, ',', false).unwrap();
+        assert_eq!(cs[1].label(0), None);
+    }
+}

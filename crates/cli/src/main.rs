@@ -1,0 +1,261 @@
+//! `aggclust` — clustering aggregation from the command line.
+//!
+//! ```text
+//! aggclust aggregate --input clusterings.csv [options]   # find consensus
+//! aggclust eval --input clusterings.csv --candidate labels.txt
+//! aggclust diagnose --input clusterings.csv              # consensus health
+//! aggclust demo                                          # paper Figure 1
+//! ```
+//!
+//! The input is a label matrix: one row per object, one column per input
+//! clustering, `?` or empty for a missing label. See `aggclust help`.
+
+mod csv;
+
+use aggclust_bench::args::Args;
+use aggclust_core::algorithms::{
+    AgglomerativeParams, Algorithm, AnnealingParams, BallsParams, FurthestParams,
+    LocalSearchParams, PivotParams,
+};
+use aggclust_core::clustering::PartialClustering;
+use aggclust_core::consensus::ConsensusBuilder;
+use aggclust_core::instance::MissingPolicy;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+aggclust — clustering aggregation (Gionis, Mannila, Tsaparas; ICDE 2005)
+
+USAGE:
+    aggclust <command> [options]
+
+COMMANDS:
+    aggregate   Aggregate the input clusterings into a consensus clustering
+    eval        Evaluate a candidate clustering against the inputs
+    diagnose    Report consensus health and likely outliers
+    demo        Run the paper's Figure-1 worked example
+    help        Show this message
+
+COMMON OPTIONS:
+    --input PATH          label-matrix file (rows = objects, columns =
+                          clusterings, '?' or empty = missing label)
+    --separator CHAR      field separator (default ',')
+    --header              skip the first line
+    --missing POLICY      coin (default) | ignore
+
+AGGREGATE OPTIONS:
+    --algorithm NAME      agglomerative (default) | balls | furthest |
+                          local-search | pivot | annealing
+    --alpha X             Balls threshold (default 0.4)
+    --no-refine           skip the LocalSearch refinement pass
+    --sample N            force SAMPLING with this sample size
+    --seed N              RNG seed (default 0)
+    --output PATH         write one label per line (default: stdout)
+
+EVAL OPTIONS:
+    --candidate PATH      single-column label file to evaluate
+";
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().unwrap_or_else(|| "help".to_string());
+    let args = Args::parse(argv);
+    let result = match command.as_str() {
+        "aggregate" => cmd_aggregate(&args),
+        "eval" => cmd_eval(&args),
+        "diagnose" => cmd_diagnose(&args),
+        "demo" => {
+            cmd_demo();
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `aggclust help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_inputs(args: &Args) -> Result<Vec<PartialClustering>, String> {
+    let path = args
+        .get("input")
+        .ok_or_else(|| "--input PATH is required".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let separator = parse_separator(args)?;
+    csv::parse_label_matrix(&text, separator, args.flag("header"))
+        .map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn parse_separator(args: &Args) -> Result<char, String> {
+    match args.get("separator") {
+        None => Ok(','),
+        Some("\\t") | Some("tab") => Ok('\t'),
+        Some(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+        Some(s) => Err(format!("--separator must be one character, got {s:?}")),
+    }
+}
+
+fn parse_policy(args: &Args) -> Result<MissingPolicy, String> {
+    match args.get("missing").unwrap_or("coin") {
+        "coin" => Ok(MissingPolicy::Coin(0.5)),
+        "ignore" => Ok(MissingPolicy::Ignore),
+        other => Err(format!("--missing must be coin or ignore, got {other:?}")),
+    }
+}
+
+fn parse_algorithm(args: &Args) -> Result<Algorithm, String> {
+    let seed = args.get_or("seed", 0u64);
+    Ok(match args.get("algorithm").unwrap_or("agglomerative") {
+        "agglomerative" => Algorithm::Agglomerative(AgglomerativeParams::default()),
+        "balls" => Algorithm::Balls(BallsParams::with_alpha(args.get_or("alpha", 0.4))),
+        "furthest" => Algorithm::Furthest(FurthestParams::default()),
+        "local-search" => Algorithm::LocalSearch(LocalSearchParams::default()),
+        "pivot" => Algorithm::Pivot(PivotParams::randomized(seed, 9)),
+        "annealing" => Algorithm::Annealing(AnnealingParams {
+            seed,
+            ..Default::default()
+        }),
+        other => return Err(format!("unknown --algorithm {other:?}")),
+    })
+}
+
+fn cmd_aggregate(args: &Args) -> Result<(), String> {
+    let inputs = load_inputs(args)?;
+    let n = inputs[0].len();
+    let mut builder = ConsensusBuilder::new()
+        .algorithm(parse_algorithm(args)?)
+        .missing_policy(parse_policy(args)?)
+        .refine(!args.flag("no-refine"))
+        .seed(args.get_or("seed", 0u64));
+    if let Some(sample) = args.get("sample") {
+        let sample: usize = sample
+            .parse()
+            .map_err(|_| "--sample must be an integer".to_string())?;
+        builder = builder.sampling_threshold(0).sample_size(sample);
+    }
+    let result = builder.aggregate_partial(inputs);
+    eprintln!(
+        "aggregated {} objects into {} clusters{}",
+        n,
+        result.clustering.num_clusters(),
+        if result.sampled {
+            " (sampled)".to_string()
+        } else {
+            format!(
+                " (cost {:.3}, lower bound {:.3})",
+                result.cost,
+                result.lower_bound.unwrap_or(f64::NAN)
+            )
+        }
+    );
+    let rendered = csv::render_labels(&result.clustering);
+    match args.get("output") {
+        Some(path) => {
+            std::fs::write(path, rendered).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("labels written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    let inputs = load_inputs(args)?;
+    let candidate_path = args
+        .get("candidate")
+        .ok_or_else(|| "--candidate PATH is required".to_string())?;
+    let text =
+        std::fs::read_to_string(candidate_path).map_err(|e| format!("{candidate_path}: {e}"))?;
+    let candidate =
+        csv::parse_single_clustering(&text, parse_separator(args)?, args.flag("header"))
+            .map_err(|e| format!("parsing {candidate_path}: {e}"))?;
+    if candidate.len() != inputs[0].len() {
+        return Err(format!(
+            "candidate covers {} objects, inputs cover {}",
+            candidate.len(),
+            inputs[0].len()
+        ));
+    }
+    let instance =
+        aggclust_core::instance::CorrelationInstance::from_partial(inputs, parse_policy(args)?);
+    let oracle = instance.dense_oracle();
+    let cost = aggclust_core::cost::correlation_cost(&oracle, &candidate);
+    let lb = aggclust_core::cost::lower_bound(&oracle);
+    println!("objects:          {}", candidate.len());
+    println!("clusters:         {}", candidate.num_clusters());
+    println!("cost d(C):        {cost:.4}");
+    println!("lower bound:      {lb:.4}");
+    println!(
+        "gap to bound:     {:.2}%",
+        if lb > 0.0 {
+            100.0 * (cost - lb) / lb
+        } else {
+            0.0
+        }
+    );
+    println!(
+        "E_D = m·d(C):     {:.1}",
+        cost * instance.num_clusterings() as f64
+    );
+    Ok(())
+}
+
+fn cmd_diagnose(args: &Args) -> Result<(), String> {
+    let inputs = load_inputs(args)?;
+    let instance =
+        aggclust_core::instance::CorrelationInstance::from_partial(inputs, parse_policy(args)?);
+    let oracle = instance.dense_oracle();
+    let hist = aggclust_metrics::stability::agreement_histogram(&oracle, 10);
+    let total: u64 = hist.iter().sum();
+    println!("pairwise distance histogram (10 bins over [0,1]):");
+    for (b, &count) in hist.iter().enumerate() {
+        let share = if total > 0 {
+            100.0 * count as f64 / total as f64
+        } else {
+            0.0
+        };
+        let bar = "#".repeat((share / 2.0).round() as usize);
+        println!(
+            "  [{:.1},{:.1}) {:>7} {:>5.1}% {}",
+            b as f64 / 10.0,
+            (b + 1) as f64 / 10.0,
+            count,
+            share,
+            bar
+        );
+    }
+    let ambiguous = aggclust_metrics::stability::ambiguous_pair_fraction(&oracle, 0.25, 0.75);
+    println!(
+        "\nambiguous pairs (X in (0.25, 0.75)): {:.1}%",
+        100.0 * ambiguous
+    );
+    let outliers = aggclust_metrics::stability::top_outliers(&oracle, 10.min(oracle_len(&oracle)));
+    println!("top outlier candidates (object indices): {outliers:?}");
+    Ok(())
+}
+
+fn oracle_len(o: &impl aggclust_core::instance::DistanceOracle) -> usize {
+    o.len()
+}
+
+fn cmd_demo() {
+    use aggclust_core::clustering::Clustering;
+    let inputs = vec![
+        Clustering::from_labels(vec![0, 0, 1, 1, 2, 2]),
+        Clustering::from_labels(vec![0, 1, 0, 1, 2, 3]),
+        Clustering::from_labels(vec![0, 1, 0, 1, 2, 2]),
+    ];
+    let result = aggclust_core::consensus::aggregate(&inputs);
+    println!("Figure 1 of the paper: 6 objects, 3 input clusterings.");
+    println!(
+        "consensus: {:?} with {} total disagreements (paper: 5)",
+        result.clustering.labels(),
+        result.disagreements
+    );
+}

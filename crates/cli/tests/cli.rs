@@ -1,0 +1,175 @@
+//! End-to-end tests of the `aggclust` binary.
+
+use std::fs;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_aggclust"))
+}
+
+fn tmp(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("aggclust-cli-{name}"));
+    fs::write(&path, content).unwrap();
+    path
+}
+
+/// The Figure-1 instance as a label matrix (columns C1, C2, C3).
+const FIGURE1: &str = "0,0,0\n0,1,1\n1,0,0\n1,1,1\n2,2,2\n2,3,2\n";
+
+#[test]
+fn demo_prints_the_paper_example() {
+    let out = bin().arg("demo").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("5 total disagreements"), "{stdout}");
+}
+
+#[test]
+fn aggregate_finds_the_figure1_optimum() {
+    let input = tmp("fig1.csv", FIGURE1);
+    let out = bin()
+        .args(["aggregate", "--input", input.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let labels: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    assert_eq!(labels, vec!["0", "1", "0", "1", "2", "2"]);
+    fs::remove_file(input).ok();
+}
+
+#[test]
+fn aggregate_eval_round_trip() {
+    let input = tmp("rt.csv", FIGURE1);
+    let output = std::env::temp_dir().join("aggclust-cli-rt-labels.txt");
+    let status = bin()
+        .args([
+            "aggregate",
+            "--input",
+            input.to_str().unwrap(),
+            "--output",
+            output.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    let out = bin()
+        .args([
+            "eval",
+            "--input",
+            input.to_str().unwrap(),
+            "--candidate",
+            output.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("clusters:         3"), "{stdout}");
+    assert!(stdout.contains("E_D = m·d(C):     5.0"), "{stdout}");
+    fs::remove_file(input).ok();
+    fs::remove_file(output).ok();
+}
+
+#[test]
+fn all_algorithms_run() {
+    let input = tmp("algos.csv", FIGURE1);
+    for algo in [
+        "agglomerative",
+        "balls",
+        "furthest",
+        "local-search",
+        "pivot",
+        "annealing",
+    ] {
+        let out = bin()
+            .args([
+                "aggregate",
+                "--input",
+                input.to_str().unwrap(),
+                "--algorithm",
+                algo,
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{algo} failed");
+        let lines = out.stdout.split(|&b| b == b'\n').filter(|l| !l.is_empty());
+        assert_eq!(lines.count(), 6, "{algo} wrong label count");
+    }
+    fs::remove_file(input).ok();
+}
+
+#[test]
+fn diagnose_reports_histogram() {
+    let input = tmp("diag.csv", FIGURE1);
+    let out = bin()
+        .args(["diagnose", "--input", input.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("histogram"), "{stdout}");
+    assert!(stdout.contains("outlier candidates"), "{stdout}");
+    fs::remove_file(input).ok();
+}
+
+#[test]
+fn missing_values_and_header_flags() {
+    let input = tmp("hdr.csv", "c1,c2\n0,0\n0,?\n1,1\n1,1\n");
+    let out = bin()
+        .args([
+            "aggregate",
+            "--input",
+            input.to_str().unwrap(),
+            "--header",
+            "--missing",
+            "ignore",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{:?}", out);
+    fs::remove_file(input).ok();
+}
+
+#[test]
+fn unknown_command_fails_gracefully() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn missing_input_is_an_error_not_a_panic() {
+    let out = bin()
+        .args(["aggregate", "--input", "/nonexistent/file.csv"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.starts_with("error:"), "{stderr}");
+}
+
+#[test]
+fn sampled_aggregation_runs() {
+    // Repeat the figure-1 rows to get a bigger instance and force sampling.
+    let mut big = String::new();
+    for _ in 0..40 {
+        big.push_str(FIGURE1);
+    }
+    let input = tmp("big.csv", &big);
+    let out = bin()
+        .args([
+            "aggregate",
+            "--input",
+            input.to_str().unwrap(),
+            "--sample",
+            "60",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("(sampled)"), "{stderr}");
+    fs::remove_file(input).ok();
+}

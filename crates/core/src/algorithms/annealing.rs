@@ -1,0 +1,232 @@
+//! Simulated annealing for clustering aggregation — the approach of Filkov
+//! & Skiena (reference [13] of the paper, which "proposes a simulated
+//! annealing algorithm for finding an aggregate solution and a local search
+//! algorithm similar to ours").
+//!
+//! Included as the related-work comparator: it explores the same move set
+//! as LOCALSEARCH (move one node to another cluster or to a fresh
+//! singleton) but accepts uphill moves with probability
+//! `exp(−Δ/T)` under a geometric cooling schedule, so it can escape the
+//! local optima LOCALSEARCH stops at. A final zero-temperature descent
+//! guarantees the output is itself a single-move local optimum.
+
+use crate::algorithms::local_search::local_search_from;
+use crate::clustering::Clustering;
+use crate::instance::DistanceOracle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`simulated_annealing`].
+#[derive(Clone, Debug)]
+pub struct AnnealingParams {
+    /// Initial temperature (in units of the per-pair cost, which is `O(n)`
+    /// per move; `1.0` is a conservative default).
+    pub initial_temperature: f64,
+    /// Multiplicative cooling factor per sweep, in `(0, 1)`.
+    pub cooling: f64,
+    /// Number of sweeps (each sweep proposes `n` random moves).
+    pub sweeps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealingParams {
+    fn default() -> Self {
+        AnnealingParams {
+            initial_temperature: 1.0,
+            cooling: 0.95,
+            sweeps: 100,
+            seed: 0,
+        }
+    }
+}
+
+/// Run simulated annealing from the all-singletons start, followed by a
+/// zero-temperature LOCALSEARCH descent.
+pub fn simulated_annealing<O: DistanceOracle + ?Sized>(
+    oracle: &O,
+    params: &AnnealingParams,
+) -> Clustering {
+    let n = oracle.len();
+    if n <= 1 {
+        return Clustering::singletons(n);
+    }
+    assert!(
+        params.cooling > 0.0 && params.cooling < 1.0,
+        "cooling factor must be in (0, 1)"
+    );
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    // State: labels + sizes; fresh singleton labels appended at the end.
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut sizes: Vec<usize> = vec![1; n];
+    let mut temperature = params.initial_temperature;
+
+    // Move cost delta for node v → cluster `target` (usize::MAX = fresh
+    // singleton), computed through the LOCALSEARCH M-sums in O(n).
+    let mut m_sums: Vec<f64> = Vec::new();
+    for _sweep in 0..params.sweeps {
+        for _ in 0..n {
+            let v = rng.gen_range(0..n);
+            let k = sizes.len();
+            m_sums.clear();
+            m_sums.resize(k, 0.0);
+            let mut t_v = 0.0;
+            for u in 0..n {
+                if u != v {
+                    let x = oracle.dist(v, u);
+                    m_sums[labels[u] as usize] += x;
+                    t_v += x;
+                }
+            }
+            let cur = labels[v] as usize;
+            let others = (n - 1) as f64;
+            let cost_of = |i: usize| -> f64 {
+                let size_wo_v = sizes[i] - usize::from(i == cur);
+                2.0 * m_sums[i] - t_v + others - size_wo_v as f64
+            };
+            let cur_cost = cost_of(cur);
+
+            // Propose: random existing non-empty cluster or a singleton.
+            let target = if rng.gen_bool(0.2) {
+                usize::MAX
+            } else {
+                // Rejection-sample a non-empty cluster different from cur.
+                let mut t = rng.gen_range(0..k);
+                let mut guard = 0;
+                while (sizes[t] == 0 || t == cur) && guard < 4 * k {
+                    t = rng.gen_range(0..k);
+                    guard += 1;
+                }
+                if sizes[t] == 0 || t == cur {
+                    continue;
+                }
+                t
+            };
+            let new_cost = if target == usize::MAX {
+                others - t_v
+            } else {
+                cost_of(target)
+            };
+            let delta = new_cost - cur_cost;
+            let accept = delta < 0.0
+                || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp());
+            if !accept {
+                continue;
+            }
+            // Apply the move.
+            sizes[cur] -= 1;
+            let dest = if target == usize::MAX {
+                if sizes[cur] == 0 {
+                    cur // moving a singleton to a fresh singleton: no-op
+                } else {
+                    sizes.push(0);
+                    sizes.len() - 1
+                }
+            } else {
+                target
+            };
+            sizes[dest] += 1;
+            labels[v] = dest as u32;
+        }
+        temperature *= params.cooling;
+    }
+
+    // Zero-temperature descent to a guaranteed local optimum.
+    let annealed = Clustering::from_labels(labels);
+    local_search_from(oracle, &annealed, 200, 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::correlation_cost;
+    use crate::exact::optimal_clustering;
+    use crate::instance::DenseOracle;
+
+    fn c(labels: &[u32]) -> Clustering {
+        Clustering::from_labels(labels.to_vec())
+    }
+
+    fn figure1_oracle() -> DenseOracle {
+        DenseOracle::from_clusterings(&[
+            c(&[0, 0, 1, 1, 2, 2]),
+            c(&[0, 1, 0, 1, 2, 3]),
+            c(&[0, 1, 0, 1, 2, 2]),
+        ])
+    }
+
+    #[test]
+    fn finds_the_figure1_optimum() {
+        let oracle = figure1_oracle();
+        let result = simulated_annealing(&oracle, &AnnealingParams::default());
+        assert_eq!(result, c(&[0, 1, 0, 1, 2, 2]));
+    }
+
+    #[test]
+    fn matches_exact_optimum_on_small_instances() {
+        for seed in 0..5u64 {
+            let inputs = vec![
+                c(&[0, 1, 1, 0, 2, 2, 0]),
+                c(&[0, 0, 1, 1, 2, 2, 1]),
+                c(&[0, 1, 0, 1, 2, 0, 2]),
+            ];
+            let oracle = DenseOracle::from_clusterings(&inputs);
+            let opt = optimal_clustering(&oracle).cost;
+            let params = AnnealingParams {
+                seed,
+                ..Default::default()
+            };
+            let cost = correlation_cost(&oracle, &simulated_annealing(&oracle, &params));
+            assert!(cost <= opt + 0.35, "seed {seed}: {cost} vs opt {opt}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let oracle = figure1_oracle();
+        let p = AnnealingParams {
+            seed: 11,
+            sweeps: 30,
+            ..Default::default()
+        };
+        assert_eq!(
+            simulated_annealing(&oracle, &p),
+            simulated_annealing(&oracle, &p)
+        );
+    }
+
+    #[test]
+    fn output_is_a_local_optimum() {
+        // The final descent means no single move improves the result.
+        let oracle = figure1_oracle();
+        let result = simulated_annealing(&oracle, &AnnealingParams::default());
+        let base = correlation_cost(&oracle, &result);
+        let k = result.num_clusters();
+        for v in 0..6 {
+            for target in 0..=k {
+                if target == result.label(v) as usize {
+                    continue;
+                }
+                let mut labels = result.labels().to_vec();
+                labels[v] = target as u32;
+                let moved = Clustering::from_labels(labels);
+                assert!(correlation_cost(&oracle, &moved) >= base - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_instances() {
+        let o0 = DenseOracle::from_fn(0, |_, _| 0.0);
+        assert_eq!(
+            simulated_annealing(&o0, &AnnealingParams::default()).len(),
+            0
+        );
+        let o1 = DenseOracle::from_fn(1, |_, _| 0.0);
+        assert_eq!(
+            simulated_annealing(&o1, &AnnealingParams::default()).num_clusters(),
+            1
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! The BESTCLUSTERING algorithm: return the input clustering closest to all
+//! others.
+//!
+//! Because the disagreement distance `d_V` satisfies the triangle inequality
+//! (paper Observation 1), the best of the `m` inputs is a
+//! `2(1 − 1/m)`-approximation to the optimal aggregate — the classic
+//! "best medoid" argument. The bound is tight (the paper's full version
+//! exhibits a matching instance), and the paper notes the solution is often
+//! unintuitive in practice; it is included as the baseline it is.
+//!
+//! This is the only algorithm that needs the input clusterings themselves
+//! rather than a distance oracle, so it is not part of
+//! [`crate::algorithms::Algorithm`].
+
+use crate::clustering::Clustering;
+use crate::distance::total_disagreement;
+
+/// Result of [`best_clustering`]: the winning input and its objective value.
+#[derive(Clone, Debug)]
+pub struct BestClusteringResult {
+    /// Index of the chosen clustering among the inputs.
+    pub index: usize,
+    /// The chosen clustering.
+    pub clustering: Clustering,
+    /// Its total disagreement `D(C_i) = Σ_j d_V(C_j, C_i)`.
+    pub cost: u64,
+}
+
+/// Pick the input clustering `C_i` minimizing `D(C_i) = Σ_j d_V(C_j, C_i)`.
+///
+/// Runs in `O(m² · (n + k²))` using the contingency-table distance; ties are
+/// broken toward the smallest index.
+///
+/// # Panics
+/// Panics if `inputs` is empty.
+pub fn best_clustering(inputs: &[Clustering]) -> BestClusteringResult {
+    assert!(!inputs.is_empty(), "need at least one input clustering");
+    let mut best_index = 0;
+    let mut best_cost = u64::MAX;
+    for (i, c) in inputs.iter().enumerate() {
+        let cost = total_disagreement(inputs, c);
+        if cost < best_cost {
+            best_cost = cost;
+            best_index = i;
+        }
+    }
+    BestClusteringResult {
+        index: best_index,
+        clustering: inputs[best_index].clone(),
+        cost: best_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(labels: &[u32]) -> Clustering {
+        Clustering::from_labels(labels.to_vec())
+    }
+
+    #[test]
+    fn picks_the_central_clustering() {
+        // Two identical clusterings and one outlier: an identical one wins.
+        let a = c(&[0, 0, 1, 1]);
+        let b = c(&[0, 0, 1, 1]);
+        let outlier = c(&[0, 1, 2, 3]);
+        let res = best_clustering(&[a.clone(), b, outlier]);
+        assert_eq!(res.clustering, a);
+        assert!(res.index <= 1);
+    }
+
+    #[test]
+    fn figure1_best_input() {
+        // Of the three Figure-1 inputs, C3 = {{v1,v3},{v2,v4},{v5,v6}} is
+        // itself the global optimum (D = 5), so BESTCLUSTERING finds it.
+        let inputs = vec![
+            c(&[0, 0, 1, 1, 2, 2]),
+            c(&[0, 1, 0, 1, 2, 3]),
+            c(&[0, 1, 0, 1, 2, 2]),
+        ];
+        let res = best_clustering(&inputs);
+        assert_eq!(res.index, 2);
+        assert_eq!(res.cost, 5);
+    }
+
+    #[test]
+    fn single_input_is_returned_verbatim() {
+        let only = c(&[0, 1, 0, 2]);
+        let res = best_clustering(std::slice::from_ref(&only));
+        assert_eq!(res.clustering, only);
+        assert_eq!(res.cost, 0);
+    }
+
+    #[test]
+    fn cost_matches_total_disagreement() {
+        let inputs = vec![c(&[0, 0, 1]), c(&[0, 1, 1]), c(&[0, 1, 2])];
+        let res = best_clustering(&inputs);
+        assert_eq!(res.cost, total_disagreement(&inputs, &res.clustering));
+    }
+}

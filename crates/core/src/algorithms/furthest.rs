@@ -1,0 +1,227 @@
+//! The FURTHEST algorithm: top-down partitioning by furthest-first
+//! traversal.
+//!
+//! Inspired by Hochbaum & Shmoys' furthest-first 2-approximation for
+//! `p`-centers, the algorithm grows a set of cluster centers: start with the
+//! two most distant nodes, then repeatedly add the node furthest from the
+//! existing centers (maximizing the minimum distance to them). After each
+//! center addition every node is assigned to the center incurring the least
+//! cost, the correlation cost of the new solution is computed, and the
+//! algorithm stops — returning the *previous* solution — as soon as the cost
+//! fails to improve.
+//!
+//! `O(k·n)` oracle lookups for assignments plus `O(k·Σs_i²)` for the
+//! incremental cost evaluations, where `k` is the number of centers tried.
+
+use crate::clustering::Clustering;
+use crate::cost::within_cost;
+use crate::instance::DistanceOracle;
+
+/// Parameters for [`furthest`].
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct FurthestParams {
+    /// Upper bound on the number of centers to try (`None` = up to `n`).
+    /// The paper's algorithm is unbounded; the cap is an engineering guard
+    /// for degenerate instances.
+    pub max_centers: Option<usize>,
+    /// Force exactly this many clusters: keep adding centers (ignoring the
+    /// cost-improvement stopping rule) until `k` centers exist, then return
+    /// that assignment — the paper's "user insists on a predefined number
+    /// of clusters" modification.
+    pub num_clusters: Option<usize>,
+}
+
+impl FurthestParams {
+    /// Force exactly `k` output clusters.
+    pub fn with_num_clusters(k: usize) -> Self {
+        FurthestParams {
+            max_centers: None,
+            num_clusters: Some(k),
+        }
+    }
+}
+
+/// Run the FURTHEST algorithm.
+pub fn furthest<O: DistanceOracle + ?Sized>(oracle: &O, params: FurthestParams) -> Clustering {
+    let n = oracle.len();
+    if n == 0 {
+        return Clustering::from_labels(Vec::new());
+    }
+    if n == 1 {
+        return Clustering::one_cluster(1);
+    }
+    let fixed_k = params.num_clusters;
+    if fixed_k == Some(1) {
+        return Clustering::one_cluster(n);
+    }
+    let cap = fixed_k
+        .unwrap_or_else(|| params.max_centers.unwrap_or(n))
+        .clamp(2, n);
+
+    // The cost comparison only needs the C-dependent "within" term
+    // Σ_{same-cluster pairs} (2X − 1); the Σ(1−X) base is constant.
+    let mut best = Clustering::one_cluster(n);
+    let mut best_within = within_cost(oracle, &best);
+
+    // First two centers: the furthest-apart pair.
+    let (mut ca, mut cb, mut maxd) = (0usize, 1usize, oracle.dist(0, 1));
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let d = oracle.dist(u, v);
+            if d > maxd {
+                maxd = d;
+                ca = u;
+                cb = v;
+            }
+        }
+    }
+    let mut centers: Vec<usize> = vec![ca, cb];
+    // min_dist[v] = distance from v to its nearest center (for picking the
+    // next center in O(n) per round).
+    let mut min_dist: Vec<f64> = (0..n)
+        .map(|v| oracle.dist(v, ca).min(oracle.dist(v, cb)))
+        .collect();
+
+    loop {
+        // Assign every node to the nearest center (ties → earliest center).
+        let mut labels = vec![0u32; n];
+        for (v, label) in labels.iter_mut().enumerate() {
+            let mut best_c = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (ci, &c) in centers.iter().enumerate() {
+                let d = oracle.dist(v, c);
+                if d < best_d {
+                    best_d = d;
+                    best_c = ci;
+                }
+            }
+            *label = best_c as u32;
+        }
+        let candidate = Clustering::from_labels(labels);
+        let cand_within = within_cost(oracle, &candidate);
+
+        if fixed_k.is_some() {
+            // Fixed-k mode: always keep the latest assignment; stop only
+            // when k centers exist.
+            best = candidate;
+            best_within = cand_within;
+        } else if cand_within < best_within {
+            best = candidate;
+            best_within = cand_within;
+        } else {
+            // No improvement: output the previous step's solution.
+            break;
+        }
+
+        if centers.len() >= cap {
+            break;
+        }
+        // Next center: the node furthest from all existing centers.
+        let mut next = usize::MAX;
+        let mut next_d = -1.0;
+        for (v, &d) in min_dist.iter().enumerate() {
+            if d > next_d && !centers.contains(&v) {
+                next_d = d;
+                next = v;
+            }
+        }
+        if next == usize::MAX || next_d <= 0.0 {
+            // Every remaining node coincides with a center; no split helps.
+            break;
+        }
+        centers.push(next);
+        for (v, slot) in min_dist.iter_mut().enumerate() {
+            let d = oracle.dist(v, next);
+            if d < *slot {
+                *slot = d;
+            }
+        }
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::correlation_cost;
+    use crate::instance::DenseOracle;
+
+    fn c(labels: &[u32]) -> Clustering {
+        Clustering::from_labels(labels.to_vec())
+    }
+
+    fn figure1_oracle() -> DenseOracle {
+        DenseOracle::from_clusterings(&[
+            c(&[0, 0, 1, 1, 2, 2]),
+            c(&[0, 1, 0, 1, 2, 3]),
+            c(&[0, 1, 0, 1, 2, 2]),
+        ])
+    }
+
+    #[test]
+    fn recovers_figure1_optimum() {
+        let result = furthest(&figure1_oracle(), FurthestParams::default());
+        assert_eq!(result, c(&[0, 1, 0, 1, 2, 2]));
+    }
+
+    #[test]
+    fn perfect_consensus_is_reproduced() {
+        let consensus = c(&[0, 0, 0, 1, 1, 2, 2, 2]);
+        let oracle = DenseOracle::from_clusterings(&[consensus.clone(), consensus.clone()]);
+        assert_eq!(furthest(&oracle, FurthestParams::default()), consensus);
+    }
+
+    #[test]
+    fn all_identical_stays_one_cluster() {
+        // X ≡ 0: splitting anything only costs; keep the single cluster.
+        let oracle = DenseOracle::from_fn(5, |_, _| 0.0);
+        assert_eq!(
+            furthest(&oracle, FurthestParams::default()),
+            Clustering::one_cluster(5)
+        );
+    }
+
+    #[test]
+    fn never_worse_than_one_cluster() {
+        let oracle = figure1_oracle();
+        let result = furthest(&oracle, FurthestParams::default());
+        assert!(
+            correlation_cost(&oracle, &result)
+                <= correlation_cost(&oracle, &Clustering::one_cluster(6)) + 1e-9
+        );
+    }
+
+    #[test]
+    fn max_centers_cap_respected() {
+        let oracle = figure1_oracle();
+        let result = furthest(
+            &oracle,
+            FurthestParams {
+                max_centers: Some(2),
+                num_clusters: None,
+            },
+        );
+        assert!(result.num_clusters() <= 2);
+    }
+
+    #[test]
+    fn fixed_k_variant() {
+        let oracle = figure1_oracle();
+        for k in 1..=5 {
+            let result = furthest(&oracle, FurthestParams::with_num_clusters(k));
+            assert_eq!(result.num_clusters(), k, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn tiny_instances() {
+        let o0 = DenseOracle::from_fn(0, |_, _| 0.0);
+        assert_eq!(furthest(&o0, FurthestParams::default()).len(), 0);
+        let o1 = DenseOracle::from_fn(1, |_, _| 0.0);
+        assert_eq!(furthest(&o1, FurthestParams::default()).num_clusters(), 1);
+        let o2 = DenseOracle::from_fn(2, |_, _| 1.0);
+        let r2 = furthest(&o2, FurthestParams::default());
+        assert_eq!(r2.num_clusters(), 2);
+    }
+}

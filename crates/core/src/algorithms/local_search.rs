@@ -1,0 +1,296 @@
+//! The LOCALSEARCH algorithm: steepest-descent node moves.
+//!
+//! Starting from some clustering, repeatedly pick up a node and place it in
+//! the cluster (possibly a fresh singleton) minimizing the cost
+//!
+//! ```text
+//! d(v, C_i) = Σ_{u ∈ C_i} X_vu + Σ_{u ∉ C_i} (1 − X_vu),
+//! ```
+//!
+//! until no move improves the solution. The paper computes `d(v, C_i)`
+//! through the per-cluster sums `M(v, C_i) = Σ_{u ∈ C_i} X_vu`:
+//! with `T_v = Σ_u X_vu` the move cost collapses to
+//! `d(v, C_i) = 2·M(v, C_i) − T_v + (n − 1) − |C_i \ {v}|`,
+//! so evaluating all clusters for one node costs `O(n)` oracle lookups and
+//! a pass over the data is `O(n²)` — matching the paper's `O(I·n²)`.
+//!
+//! LOCALSEARCH doubles as a post-processing step for any other algorithm
+//! (see [`local_search_from`]); the experiments show it improves solutions
+//! significantly at the price of many iterations.
+
+use crate::clustering::Clustering;
+use crate::instance::DistanceOracle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The starting point for [`local_search`].
+#[derive(Clone, Debug, Default)]
+pub enum LocalSearchInit {
+    /// Every node in its own cluster.
+    #[default]
+    Singletons,
+    /// All nodes in one cluster.
+    OneCluster,
+    /// A uniformly random assignment into `k` clusters.
+    Random {
+        /// Number of clusters in the random start.
+        k: usize,
+        /// RNG seed (the algorithm is deterministic given the seed).
+        seed: u64,
+    },
+    /// Start from a given clustering (for standalone use; prefer
+    /// [`local_search_from`] when post-processing).
+    Given(Clustering),
+}
+
+/// Parameters for [`local_search`].
+#[derive(Clone, Debug)]
+pub struct LocalSearchParams {
+    /// Initial clustering.
+    pub init: LocalSearchInit,
+    /// Safety cap on full passes over the data (the algorithm usually
+    /// converges long before; the paper notes `I` tends to be large but
+    /// finite).
+    pub max_passes: usize,
+    /// Minimum cost improvement for a move to be taken (guards against
+    /// floating-point oscillation).
+    pub epsilon: f64,
+}
+
+impl Default for LocalSearchParams {
+    fn default() -> Self {
+        LocalSearchParams {
+            init: LocalSearchInit::Singletons,
+            max_passes: 200,
+            epsilon: 1e-9,
+        }
+    }
+}
+
+/// Run LOCALSEARCH from the configured initial clustering.
+pub fn local_search<O: DistanceOracle + ?Sized>(
+    oracle: &O,
+    params: LocalSearchParams,
+) -> Clustering {
+    let n = oracle.len();
+    let start = match &params.init {
+        LocalSearchInit::Singletons => Clustering::singletons(n),
+        LocalSearchInit::OneCluster => Clustering::one_cluster(n),
+        LocalSearchInit::Random { k, seed } => {
+            let k = (*k).max(1) as u32;
+            let mut rng = StdRng::seed_from_u64(*seed);
+            Clustering::from_labels((0..n).map(|_| rng.gen_range(0..k)).collect())
+        }
+        LocalSearchInit::Given(c) => {
+            assert_eq!(c.len(), n, "given clustering does not match the instance");
+            c.clone()
+        }
+    };
+    local_search_from(oracle, &start, params.max_passes, params.epsilon)
+}
+
+/// Run LOCALSEARCH as a post-processing step from an explicit start.
+///
+/// Guaranteed never to increase the correlation cost; each accepted move
+/// strictly decreases it by more than `epsilon`.
+pub fn local_search_from<O: DistanceOracle + ?Sized>(
+    oracle: &O,
+    start: &Clustering,
+    max_passes: usize,
+    epsilon: f64,
+) -> Clustering {
+    let n = oracle.len();
+    assert_eq!(start.len(), n, "clustering does not match the instance");
+    if n <= 1 {
+        return start.clone();
+    }
+
+    let mut labels: Vec<u32> = start.labels().to_vec();
+    // Cluster sizes, indexed by label; empty slots may appear as nodes move
+    // out and are reused only implicitly (fresh singletons get new ids).
+    let mut sizes: Vec<usize> = {
+        let k = (labels.iter().copied().max().unwrap_or(0) + 1) as usize;
+        let mut s = vec![0usize; k];
+        for &l in &labels {
+            s[l as usize] += 1;
+        }
+        s
+    };
+
+    let mut m_sums: Vec<f64> = Vec::new();
+    for _pass in 0..max_passes {
+        let mut moved = false;
+        for v in 0..n {
+            let k = sizes.len();
+            m_sums.clear();
+            m_sums.resize(k, 0.0);
+            let mut t_v = 0.0;
+            for u in 0..n {
+                if u != v {
+                    let x = oracle.dist(v, u);
+                    m_sums[labels[u] as usize] += x;
+                    t_v += x;
+                }
+            }
+            let cur = labels[v] as usize;
+            let others = (n - 1) as f64;
+            // d(v, C_i) = 2·M_i − T_v + (n−1) − |C_i \ {v}|
+            let move_cost = |i: usize, sizes: &[usize]| -> f64 {
+                let size_wo_v = sizes[i] - usize::from(i == cur);
+                2.0 * m_sums[i] - t_v + others - size_wo_v as f64
+            };
+            let singleton_cost = others - t_v;
+
+            let mut best_i = usize::MAX; // MAX = fresh singleton
+            let mut best_cost = singleton_cost;
+            for i in 0..k {
+                if sizes[i] == 0 && i != cur {
+                    continue;
+                }
+                let c = move_cost(i, &sizes);
+                if c < best_cost {
+                    best_cost = c;
+                    best_i = i;
+                }
+            }
+            let cur_cost = move_cost(cur, &sizes);
+            if best_cost < cur_cost - epsilon && best_i != cur {
+                sizes[cur] -= 1;
+                let target = if best_i == usize::MAX {
+                    if sizes[cur] == 0 {
+                        // Moving a singleton to a fresh singleton is a
+                        // no-op; keep the label. (Unreachable because the
+                        // costs are equal, but kept for safety.)
+                        cur
+                    } else {
+                        sizes.push(0);
+                        sizes.len() - 1
+                    }
+                } else {
+                    best_i
+                };
+                sizes[target] += 1;
+                labels[v] = target as u32;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+
+    Clustering::from_labels(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::correlation_cost;
+    use crate::instance::DenseOracle;
+
+    fn c(labels: &[u32]) -> Clustering {
+        Clustering::from_labels(labels.to_vec())
+    }
+
+    fn figure1_oracle() -> DenseOracle {
+        DenseOracle::from_clusterings(&[
+            c(&[0, 0, 1, 1, 2, 2]),
+            c(&[0, 1, 0, 1, 2, 3]),
+            c(&[0, 1, 0, 1, 2, 2]),
+        ])
+    }
+
+    #[test]
+    fn recovers_figure1_optimum_from_singletons() {
+        let result = local_search(&figure1_oracle(), LocalSearchParams::default());
+        assert_eq!(result, c(&[0, 1, 0, 1, 2, 2]));
+    }
+
+    #[test]
+    fn recovers_figure1_optimum_from_one_cluster() {
+        let result = local_search(
+            &figure1_oracle(),
+            LocalSearchParams {
+                init: LocalSearchInit::OneCluster,
+                ..Default::default()
+            },
+        );
+        assert_eq!(result, c(&[0, 1, 0, 1, 2, 2]));
+    }
+
+    #[test]
+    fn random_inits_converge_to_low_cost() {
+        let oracle = figure1_oracle();
+        let opt_cost = 5.0 / 3.0;
+        for seed in 0..5 {
+            let result = local_search(
+                &oracle,
+                LocalSearchParams {
+                    init: LocalSearchInit::Random { k: 3, seed },
+                    ..Default::default()
+                },
+            );
+            let cost = correlation_cost(&oracle, &result);
+            assert!(cost <= opt_cost + 1e-9, "seed {seed}: cost {cost}");
+        }
+    }
+
+    #[test]
+    fn never_increases_cost_as_postprocessor() {
+        let oracle = figure1_oracle();
+        let starts = [
+            Clustering::singletons(6),
+            Clustering::one_cluster(6),
+            c(&[0, 0, 0, 1, 1, 1]),
+            c(&[0, 1, 1, 0, 2, 0]),
+        ];
+        for s in &starts {
+            let refined = local_search_from(&oracle, s, 100, 1e-9);
+            assert!(correlation_cost(&oracle, &refined) <= correlation_cost(&oracle, s) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn local_optimum_is_fixed_point() {
+        let oracle = figure1_oracle();
+        let opt = c(&[0, 1, 0, 1, 2, 2]);
+        let refined = local_search_from(&oracle, &opt, 100, 1e-9);
+        assert_eq!(refined, opt);
+    }
+
+    #[test]
+    fn perfect_consensus_is_reproduced() {
+        let consensus = c(&[0, 0, 1, 1, 2]);
+        let oracle = DenseOracle::from_clusterings(&[consensus.clone(), consensus.clone()]);
+        assert_eq!(
+            local_search(&oracle, LocalSearchParams::default()),
+            consensus
+        );
+    }
+
+    #[test]
+    fn given_init_is_used() {
+        let oracle = figure1_oracle();
+        let given = c(&[0, 1, 0, 1, 2, 2]);
+        let result = local_search(
+            &oracle,
+            LocalSearchParams {
+                init: LocalSearchInit::Given(given.clone()),
+                max_passes: 0,
+                epsilon: 1e-9,
+            },
+        );
+        assert_eq!(result, given);
+    }
+
+    #[test]
+    fn tiny_instances() {
+        let o1 = DenseOracle::from_fn(1, |_, _| 0.0);
+        assert_eq!(
+            local_search(&o1, LocalSearchParams::default()).num_clusters(),
+            1
+        );
+        let o0 = DenseOracle::from_fn(0, |_, _| 0.0);
+        assert_eq!(local_search(&o0, LocalSearchParams::default()).len(), 0);
+    }
+}

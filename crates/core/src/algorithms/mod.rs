@@ -1,0 +1,103 @@
+//! The clustering-aggregation / correlation-clustering algorithms of the
+//! paper (§4), plus a composable [`Algorithm`] descriptor used by the
+//! SAMPLING meta-algorithm and the experiment harness.
+
+pub mod agglomerative;
+pub mod annealing;
+pub mod balls;
+pub mod best;
+pub mod furthest;
+pub mod local_search;
+pub mod pivot;
+pub mod sampling;
+
+use crate::clustering::Clustering;
+use crate::instance::DistanceOracle;
+
+pub use agglomerative::AgglomerativeParams;
+pub use annealing::AnnealingParams;
+pub use balls::{BallsOrdering, BallsParams};
+pub use furthest::FurthestParams;
+pub use local_search::{LocalSearchInit, LocalSearchParams};
+pub use pivot::{PivotParams, PivotRounding};
+pub use sampling::SamplingParams;
+
+/// A first-class description of a correlation-clustering algorithm and its
+/// parameters, runnable on any [`DistanceOracle`].
+///
+/// BESTCLUSTERING is absent: it needs the input clusterings, not just the
+/// distance oracle, so it lives outside this enum
+/// (see [`best::best_clustering`]).
+#[derive(Clone, Debug)]
+pub enum Algorithm {
+    /// The BALLS 3-approximation (paper Theorem 1).
+    Balls(BallsParams),
+    /// Bottom-up average-linkage agglomeration stopping at ½.
+    Agglomerative(AgglomerativeParams),
+    /// Top-down furthest-first traversal.
+    Furthest(FurthestParams),
+    /// Node-move local search.
+    LocalSearch(LocalSearchParams),
+    /// CC-PIVOT (extension; Ailon–Charikar–Newman).
+    Pivot(PivotParams),
+    /// Simulated annealing (extension; Filkov–Skiena, the paper's ref 13).
+    Annealing(AnnealingParams),
+}
+
+impl Algorithm {
+    /// Run the algorithm on a correlation-clustering instance.
+    pub fn run<O: DistanceOracle>(&self, oracle: &O) -> Clustering {
+        match self {
+            Algorithm::Balls(p) => balls::balls(oracle, *p),
+            Algorithm::Agglomerative(p) => agglomerative::agglomerative(oracle, *p),
+            Algorithm::Furthest(p) => furthest::furthest(oracle, *p),
+            Algorithm::LocalSearch(p) => local_search::local_search(oracle, p.clone()),
+            Algorithm::Pivot(p) => pivot::pivot(oracle, *p),
+            Algorithm::Annealing(p) => annealing::simulated_annealing(oracle, p),
+        }
+    }
+
+    /// Short display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Balls(_) => "Balls",
+            Algorithm::Agglomerative(_) => "Agglomerative",
+            Algorithm::Furthest(_) => "Furthest",
+            Algorithm::LocalSearch(_) => "LocalSearch",
+            Algorithm::Pivot(_) => "Pivot",
+            Algorithm::Annealing(_) => "Annealing",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::DenseOracle;
+
+    fn figure1_oracle() -> DenseOracle {
+        let cs = vec![
+            Clustering::from_labels(vec![0, 0, 1, 1, 2, 2]),
+            Clustering::from_labels(vec![0, 1, 0, 1, 2, 3]),
+            Clustering::from_labels(vec![0, 1, 0, 1, 2, 2]),
+        ];
+        DenseOracle::from_clusterings(&cs)
+    }
+
+    #[test]
+    fn every_algorithm_recovers_the_paper_optimum() {
+        // The optimum for Figure 1 is {{v1,v3},{v2,v4},{v5,v6}}, cost 5/3.
+        let oracle = figure1_oracle();
+        let optimum = Clustering::from_labels(vec![0, 1, 0, 1, 2, 2]);
+        let algos = [
+            Algorithm::Balls(BallsParams::default()),
+            Algorithm::Agglomerative(AgglomerativeParams::default()),
+            Algorithm::Furthest(FurthestParams::default()),
+            Algorithm::LocalSearch(LocalSearchParams::default()),
+        ];
+        for a in &algos {
+            let result = a.run(&oracle);
+            assert_eq!(result, optimum, "{} failed", a.name());
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! CC-PIVOT: the randomized pivot algorithm for correlation clustering
+//! (Ailon, Charikar & Newman, contemporaneous with the paper and cited by
+//! the consensus-clustering line of work it started).
+//!
+//! Not part of the paper's §4 roster — included as the natural extension
+//! baseline: it achieves expected 3-approximation on ±1 instances and
+//! expected 4/3 with triangle-inequality distances when pairs are joined
+//! with probability `1 − X_uv`, at essentially zero implementation
+//! complexity.
+//!
+//! The algorithm: pick a random unclustered *pivot* `u`, put every
+//! unclustered `v` with `X_uv < ½` (deterministic variant) — or with
+//! probability `1 − X_uv` (randomized-rounding variant) — into `u`'s
+//! cluster, remove them, repeat. `O(n²)` oracle lookups worst case.
+
+use crate::clustering::Clustering;
+use crate::instance::DistanceOracle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How a non-pivot node decides to join the pivot's cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PivotRounding {
+    /// Join iff `X_uv < ½` (deterministic; only the pivot order is random).
+    #[default]
+    Majority,
+    /// Join with probability `1 − X_uv` (the randomized-rounding variant
+    /// with the stronger expected guarantee on triangle-inequality
+    /// instances).
+    Randomized,
+}
+
+/// Parameters for [`pivot`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PivotParams {
+    /// Join rule.
+    pub rounding: PivotRounding,
+    /// Seed for the pivot order (and the coin flips, if randomized).
+    pub seed: u64,
+    /// Run this many independent repetitions and keep the cheapest
+    /// clustering (0 behaves as 1). The guarantee is in expectation, so
+    /// repetitions sharpen it cheaply.
+    pub repetitions: usize,
+}
+
+impl PivotParams {
+    /// Majority rounding with the given seed, single repetition.
+    pub fn majority(seed: u64) -> Self {
+        PivotParams {
+            rounding: PivotRounding::Majority,
+            seed,
+            repetitions: 1,
+        }
+    }
+
+    /// Randomized rounding with the given seed and repetition count.
+    pub fn randomized(seed: u64, repetitions: usize) -> Self {
+        PivotParams {
+            rounding: PivotRounding::Randomized,
+            seed,
+            repetitions,
+        }
+    }
+}
+
+/// Run CC-PIVOT; with `repetitions > 1` the cheapest of the independent
+/// runs (by correlation cost) is returned.
+pub fn pivot<O: DistanceOracle + ?Sized>(oracle: &O, params: PivotParams) -> Clustering {
+    let n = oracle.len();
+    if n == 0 {
+        return Clustering::from_labels(Vec::new());
+    }
+    let reps = params.repetitions.max(1);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut best: Option<(f64, Clustering)> = None;
+    for _ in 0..reps {
+        let candidate = pivot_once(oracle, params.rounding, &mut rng);
+        let cost = crate::cost::correlation_cost(oracle, &candidate);
+        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+            best = Some((cost, candidate));
+        }
+    }
+    best.expect("at least one repetition").1
+}
+
+fn pivot_once<O: DistanceOracle + ?Sized>(
+    oracle: &O,
+    rounding: PivotRounding,
+    rng: &mut StdRng,
+) -> Clustering {
+    let n = oracle.len();
+    // Random pivot order = random permutation, first unclustered wins.
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut labels = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for &u in &order {
+        if labels[u] != u32::MAX {
+            continue;
+        }
+        let label = next;
+        next += 1;
+        labels[u] = label;
+        for (v, slot) in labels.iter_mut().enumerate() {
+            if *slot == u32::MAX && v != u {
+                let x = oracle.dist(u, v);
+                let join = match rounding {
+                    PivotRounding::Majority => x < 0.5,
+                    PivotRounding::Randomized => rng.gen::<f64>() < 1.0 - x,
+                };
+                if join {
+                    *slot = label;
+                }
+            }
+        }
+    }
+    Clustering::from_labels(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::correlation_cost;
+    use crate::exact::optimal_clustering;
+    use crate::instance::DenseOracle;
+
+    fn c(labels: &[u32]) -> Clustering {
+        Clustering::from_labels(labels.to_vec())
+    }
+
+    fn figure1_oracle() -> DenseOracle {
+        DenseOracle::from_clusterings(&[
+            c(&[0, 0, 1, 1, 2, 2]),
+            c(&[0, 1, 0, 1, 2, 3]),
+            c(&[0, 1, 0, 1, 2, 2]),
+        ])
+    }
+
+    #[test]
+    fn perfect_consensus_is_reproduced() {
+        let consensus = c(&[0, 0, 1, 1, 2, 2, 2]);
+        let oracle = DenseOracle::from_clusterings(&[consensus.clone(), consensus.clone()]);
+        for seed in 0..5 {
+            assert_eq!(pivot(&oracle, PivotParams::majority(seed)), consensus);
+        }
+    }
+
+    #[test]
+    fn repetitions_find_the_figure1_optimum() {
+        let oracle = figure1_oracle();
+        let result = pivot(&oracle, PivotParams::randomized(1, 20));
+        let opt = optimal_clustering(&oracle);
+        assert!(
+            correlation_cost(&oracle, &result) <= opt.cost + 1e-9,
+            "20 repetitions should reach the optimum on 6 nodes"
+        );
+    }
+
+    #[test]
+    fn expected_three_approximation_holds_on_average() {
+        // Average the randomized variant's cost over many seeds; it must be
+        // within 3× the optimum with slack (Markov would allow single runs
+        // to exceed it).
+        let oracle = figure1_oracle();
+        let opt = optimal_clustering(&oracle).cost;
+        let mut total = 0.0;
+        let runs = 50;
+        for seed in 0..runs {
+            let result = pivot(
+                &oracle,
+                PivotParams {
+                    rounding: PivotRounding::Randomized,
+                    seed,
+                    repetitions: 1,
+                },
+            );
+            total += correlation_cost(&oracle, &result);
+        }
+        let mean = total / runs as f64;
+        assert!(
+            mean <= 3.0 * opt + 1e-9,
+            "mean {mean} vs 3·OPT {}",
+            3.0 * opt
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let oracle = figure1_oracle();
+        let p = PivotParams::randomized(9, 3);
+        assert_eq!(pivot(&oracle, p), pivot(&oracle, p));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let oracle = DenseOracle::from_fn(0, |_, _| 0.0);
+        assert_eq!(pivot(&oracle, PivotParams::default()).len(), 0);
+    }
+}

@@ -1,0 +1,351 @@
+//! The SAMPLING meta-algorithm (paper §4.1): scale any aggregation
+//! algorithm to large datasets.
+//!
+//! The quadratic cost of correlation clustering is inherent — the input is a
+//! complete graph — so the paper wraps the base algorithms in a three-phase
+//! procedure that is linear in `n` outside the sample:
+//!
+//! 1. **Pre-processing**: draw a uniform sample `S` (size `O(log n)`
+//!    suffices, by a Chernoff argument, for every *large* cluster to be
+//!    hit with high probability).
+//! 2. **Clustering**: run the base algorithm on the restricted instance.
+//! 3. **Post-processing**: every non-sampled node joins the sample cluster
+//!    of least cost — or becomes a singleton — using the same `M(v, C_i)`
+//!    bookkeeping as LOCALSEARCH. Because small clusters may be missed by
+//!    the sample, all singletons are then collected and aggregated once
+//!    more among themselves.
+
+use super::Algorithm;
+use crate::clustering::Clustering;
+use crate::instance::DistanceOracle;
+use rand::rngs::StdRng;
+use rand::seq::index::sample as index_sample;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// How large a sample to draw.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SampleSize {
+    /// A fixed number of nodes (clamped to `n`).
+    Absolute(usize),
+    /// `⌈c · ln n⌉` nodes — the Chernoff-bound-driven choice; `c` trades
+    /// confidence for speed.
+    LogFactor(f64),
+}
+
+impl SampleSize {
+    /// Resolve to a concrete sample size for an instance with `n` nodes.
+    pub fn resolve(self, n: usize) -> usize {
+        match self {
+            SampleSize::Absolute(s) => s.min(n),
+            SampleSize::LogFactor(c) => {
+                let s = (c * (n.max(2) as f64).ln()).ceil() as usize;
+                s.clamp(1, n)
+            }
+        }
+    }
+}
+
+/// Parameters for [`sampling`].
+#[derive(Clone, Debug)]
+pub struct SamplingParams {
+    /// Sample size policy.
+    pub size: SampleSize,
+    /// Base aggregation algorithm run on the sample (and on the collected
+    /// singletons).
+    pub base: Algorithm,
+    /// RNG seed for the uniform sample.
+    pub seed: u64,
+    /// Whether to run the paper's singleton re-aggregation pass
+    /// (on by default; off shows its effect in ablations).
+    pub recluster_singletons: bool,
+}
+
+impl SamplingParams {
+    /// Sensible defaults: absolute sample size with the given base.
+    pub fn new(sample_size: usize, base: Algorithm, seed: u64) -> Self {
+        SamplingParams {
+            size: SampleSize::Absolute(sample_size),
+            base,
+            seed,
+            recluster_singletons: true,
+        }
+    }
+}
+
+/// Phase timing and bookkeeping returned by [`sampling_with_details`].
+#[derive(Clone, Debug)]
+pub struct SamplingDetails {
+    /// The final clustering.
+    pub clustering: Clustering,
+    /// Indices of the sampled nodes.
+    pub sample: Vec<usize>,
+    /// Number of clusters produced on the sample before assignment.
+    pub sample_clusters: usize,
+    /// Number of nodes that ended up singletons after assignment (before
+    /// the re-aggregation pass).
+    pub singletons_before_recluster: usize,
+    /// Wall-clock time spent clustering the sample.
+    pub cluster_time: Duration,
+    /// Wall-clock time spent assigning non-sampled nodes.
+    pub assign_time: Duration,
+    /// Wall-clock time of the singleton re-aggregation pass.
+    pub recluster_time: Duration,
+}
+
+/// Run the SAMPLING algorithm, returning just the clustering.
+pub fn sampling<O: DistanceOracle>(oracle: &O, params: &SamplingParams) -> Clustering {
+    sampling_with_details(oracle, params).clustering
+}
+
+/// Run the SAMPLING algorithm with phase-level instrumentation (used by the
+/// Figure-5 experiments).
+pub fn sampling_with_details<O: DistanceOracle>(
+    oracle: &O,
+    params: &SamplingParams,
+) -> SamplingDetails {
+    let n = oracle.len();
+    let s = params.size.resolve(n);
+    if n == 0 {
+        return SamplingDetails {
+            clustering: Clustering::from_labels(Vec::new()),
+            sample: Vec::new(),
+            sample_clusters: 0,
+            singletons_before_recluster: 0,
+            cluster_time: Duration::ZERO,
+            assign_time: Duration::ZERO,
+            recluster_time: Duration::ZERO,
+        };
+    }
+
+    // Phase 1: uniform sample without replacement.
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut sample: Vec<usize> = index_sample(&mut rng, n, s).into_vec();
+    sample.sort_unstable();
+
+    // Phase 2: aggregate the sample with the base algorithm.
+    let t0 = Instant::now();
+    let sub = oracle.restrict(&sample);
+    let sample_clustering = params.base.run(&sub);
+    let cluster_time = t0.elapsed();
+    let ell = sample_clustering.num_clusters();
+
+    // Cluster membership of the sample, as oracle-level node ids.
+    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); ell];
+    for (si, &v) in sample.iter().enumerate() {
+        clusters[sample_clustering.label(si) as usize].push(v);
+    }
+
+    // Phase 3: assign every non-sampled node to the cheapest sample cluster
+    // or to a fresh singleton.
+    let t1 = Instant::now();
+    let mut labels = vec![u32::MAX; n];
+    for (si, &v) in sample.iter().enumerate() {
+        labels[v] = sample_clustering.label(si);
+    }
+    let mut next_label = ell as u32;
+    let mut in_sample = vec![false; n];
+    for &v in &sample {
+        in_sample[v] = true;
+    }
+    let mut m_sums = vec![0.0f64; ell];
+    for v in 0..n {
+        if in_sample[v] {
+            continue;
+        }
+        m_sums.iter_mut().for_each(|x| *x = 0.0);
+        let mut t_sum = 0.0;
+        for (si, &u) in sample.iter().enumerate() {
+            let x = oracle.dist(v, u);
+            m_sums[sample_clustering.label(si) as usize] += x;
+            t_sum += x;
+        }
+        // cost(join C_i) = M_i + Σ_{j≠i}(|C_j| − M_j)
+        //               = 2·M_i − T + s − |C_i|;   cost(singleton) = s − T.
+        let mut best = f64::INFINITY;
+        let mut best_i = usize::MAX;
+        for i in 0..ell {
+            let c = 2.0 * m_sums[i] - t_sum + s as f64 - clusters[i].len() as f64;
+            if c < best {
+                best = c;
+                best_i = i;
+            }
+        }
+        let singleton_cost = s as f64 - t_sum;
+        if best_i == usize::MAX || singleton_cost < best {
+            labels[v] = next_label;
+            next_label += 1;
+        } else {
+            labels[v] = best_i as u32;
+        }
+    }
+    let assign_time = t1.elapsed();
+
+    // Count cluster sizes to find singletons (both freshly-assigned ones and
+    // sample clusters of size one that attracted nobody).
+    let mut sizes = vec![0usize; next_label as usize];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    let singleton_nodes: Vec<usize> = (0..n).filter(|&v| sizes[labels[v] as usize] == 1).collect();
+    let singletons_before = singleton_nodes.len();
+
+    // Phase 3b: re-aggregate the singletons among themselves (paper: "we
+    // collect all singleton clusters and run the clustering aggregation
+    // again on this subset of nodes").
+    let t2 = Instant::now();
+    if params.recluster_singletons && singleton_nodes.len() >= 2 {
+        let sub = oracle.restrict(&singleton_nodes);
+        let re = params.base.run(&sub);
+        for (i, &v) in singleton_nodes.iter().enumerate() {
+            labels[v] = next_label + re.label(i);
+        }
+    }
+    let recluster_time = t2.elapsed();
+
+    SamplingDetails {
+        clustering: Clustering::from_labels(labels),
+        sample,
+        sample_clusters: ell,
+        singletons_before_recluster: singletons_before,
+        cluster_time,
+        assign_time,
+        recluster_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{AgglomerativeParams, BallsParams};
+    use crate::cost::correlation_cost;
+    use crate::instance::{ClusteringsOracle, DenseOracle};
+
+    fn c(labels: &[u32]) -> Clustering {
+        Clustering::from_labels(labels.to_vec())
+    }
+
+    /// A consensus instance with three clear blocks of 20 nodes each and
+    /// slight disagreement between inputs.
+    fn blocks_instance() -> (Vec<Clustering>, DenseOracle) {
+        let n = 60;
+        let truth: Vec<u32> = (0..n).map(|v| (v / 20) as u32).collect();
+        let mut inputs = Vec::new();
+        for shift in 0..4u32 {
+            // Perturb: each input misplaces two nodes deterministically.
+            let mut labels = truth.clone();
+            let a = (shift as usize * 7) % n;
+            let b = (shift as usize * 13 + 20) % n;
+            labels[a] = (labels[a] + 1) % 3;
+            labels[b] = (labels[b] + 2) % 3;
+            inputs.push(c(&labels));
+        }
+        let oracle = DenseOracle::from_clusterings(&inputs);
+        (inputs, oracle)
+    }
+
+    #[test]
+    fn sample_size_resolution() {
+        assert_eq!(SampleSize::Absolute(10).resolve(5), 5);
+        assert_eq!(SampleSize::Absolute(10).resolve(100), 10);
+        let s = SampleSize::LogFactor(3.0).resolve(1000);
+        assert!(
+            s >= (3.0 * 1000f64.ln()) as usize && s <= 1 + (3.0 * 1000f64.ln()).ceil() as usize
+        );
+        assert_eq!(SampleSize::LogFactor(100.0).resolve(10), 10);
+    }
+
+    #[test]
+    fn recovers_block_structure_with_modest_sample() {
+        let (_, oracle) = blocks_instance();
+        let params = SamplingParams::new(
+            20,
+            Algorithm::Agglomerative(AgglomerativeParams::default()),
+            42,
+        );
+        let result = sampling(&oracle, &params);
+        // The three big blocks must be recovered as the dominant clusters.
+        let truth = c(&(0..60).map(|v| (v / 20) as u32).collect::<Vec<_>>());
+        let d = crate::distance::disagreement_distance(&result, &truth);
+        // 60 nodes → 1770 pairs; allow a small number of stragglers.
+        assert!(d < 120, "disagreement {d} too high");
+    }
+
+    #[test]
+    fn full_sample_matches_base_algorithm() {
+        let (_, oracle) = blocks_instance();
+        let base = Algorithm::Balls(BallsParams::default());
+        let params = SamplingParams {
+            size: SampleSize::Absolute(60),
+            base: base.clone(),
+            seed: 7,
+            recluster_singletons: true,
+        };
+        let via_sampling = sampling(&oracle, &params);
+        let direct = base.run(&oracle);
+        assert_eq!(via_sampling, direct);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (_, oracle) = blocks_instance();
+        let params = SamplingParams::new(
+            15,
+            Algorithm::Agglomerative(AgglomerativeParams::default()),
+            123,
+        );
+        assert_eq!(sampling(&oracle, &params), sampling(&oracle, &params));
+    }
+
+    #[test]
+    fn works_on_lazy_oracle() {
+        let (inputs, dense) = blocks_instance();
+        let lazy = ClusteringsOracle::from_total(&inputs);
+        let params = SamplingParams::new(
+            20,
+            Algorithm::Agglomerative(AgglomerativeParams::default()),
+            42,
+        );
+        assert_eq!(sampling(&lazy, &params), sampling(&dense, &params));
+    }
+
+    #[test]
+    fn recluster_pass_reduces_or_keeps_cost() {
+        let (_, oracle) = blocks_instance();
+        let mut params = SamplingParams::new(
+            8,
+            Algorithm::Agglomerative(AgglomerativeParams::default()),
+            5,
+        );
+        params.recluster_singletons = false;
+        let without = sampling(&oracle, &params);
+        params.recluster_singletons = true;
+        let with = sampling(&oracle, &params);
+        assert!(correlation_cost(&oracle, &with) <= correlation_cost(&oracle, &without) + 1e-9);
+    }
+
+    #[test]
+    fn details_are_consistent() {
+        let (_, oracle) = blocks_instance();
+        let params = SamplingParams::new(
+            20,
+            Algorithm::Agglomerative(AgglomerativeParams::default()),
+            42,
+        );
+        let details = sampling_with_details(&oracle, &params);
+        assert_eq!(details.sample.len(), 20);
+        assert!(details.sample_clusters >= 1);
+        assert_eq!(details.clustering.len(), 60);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let oracle = DenseOracle::from_fn(0, |_, _| 0.0);
+        let params = SamplingParams::new(
+            5,
+            Algorithm::Agglomerative(AgglomerativeParams::default()),
+            1,
+        );
+        assert_eq!(sampling(&oracle, &params).len(), 0);
+    }
+}

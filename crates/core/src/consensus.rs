@@ -1,0 +1,262 @@
+//! High-level consensus API: aggregate a set of clusterings in one call.
+//!
+//! The lower-level modules expose each algorithm separately; this module
+//! packages the paper's recommended pipeline behind a builder:
+//!
+//! ```
+//! use aggclust_core::clustering::Clustering;
+//! use aggclust_core::consensus::ConsensusBuilder;
+//!
+//! let inputs = vec![
+//!     Clustering::from_labels(vec![0, 0, 1, 1, 2, 2]),
+//!     Clustering::from_labels(vec![0, 1, 0, 1, 2, 3]),
+//!     Clustering::from_labels(vec![0, 1, 0, 1, 2, 2]),
+//! ];
+//! let result = ConsensusBuilder::new().aggregate(&inputs);
+//! assert_eq!(result.clustering.num_clusters(), 3);
+//! assert_eq!(result.disagreements, 5);
+//! ```
+//!
+//! Defaults follow the paper's practice: AGGLOMERATIVE (parameter-free,
+//! strong on every dataset in §5) refined by a LOCALSEARCH pass (the
+//! post-processing use the paper suggests), switching to SAMPLING
+//! automatically above a size threshold where the dense `O(n²)` matrix
+//! stops being reasonable.
+
+use crate::algorithms::local_search::local_search_from;
+use crate::algorithms::sampling::{sampling, SamplingParams};
+use crate::algorithms::{AgglomerativeParams, Algorithm};
+use crate::clustering::{Clustering, PartialClustering};
+use crate::cost::{correlation_cost, lower_bound};
+use crate::distance::total_disagreement;
+use crate::instance::{ClusteringsOracle, CorrelationInstance, MissingPolicy};
+
+/// Outcome of a consensus run.
+#[derive(Clone, Debug)]
+pub struct ConsensusResult {
+    /// The aggregated clustering.
+    pub clustering: Clustering,
+    /// Its correlation cost `d(C)` (expected pair disagreements per input).
+    /// `NaN` when the run sampled — evaluating it would be `O(n²)`; use
+    /// [`crate::cost::correlation_cost`] explicitly if you need it.
+    pub cost: f64,
+    /// Total disagreements `D(C)` with the inputs (exact when the inputs
+    /// are total clusterings; rounded expectation otherwise; 0 when the
+    /// run sampled, see `cost`).
+    pub disagreements: u64,
+    /// The instance-wide per-pair lower bound on `d(C)` — how close to
+    /// unimprovable the result provably is. `None` when the run sampled
+    /// (computing it would be `O(n²)`).
+    pub lower_bound: Option<f64>,
+    /// Whether the SAMPLING path was taken.
+    pub sampled: bool,
+}
+
+/// Builder for consensus clustering runs. All settings optional.
+#[derive(Clone, Debug)]
+pub struct ConsensusBuilder {
+    algorithm: Algorithm,
+    refine: bool,
+    missing_policy: MissingPolicy,
+    sampling_threshold: usize,
+    sample_size: usize,
+    seed: u64,
+}
+
+impl Default for ConsensusBuilder {
+    fn default() -> Self {
+        ConsensusBuilder {
+            algorithm: Algorithm::Agglomerative(AgglomerativeParams::default()),
+            refine: true,
+            missing_policy: MissingPolicy::default(),
+            sampling_threshold: 6_000,
+            sample_size: 1_600,
+            seed: 0,
+        }
+    }
+}
+
+impl ConsensusBuilder {
+    /// Start from the defaults described in the module docs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Use a specific aggregation algorithm instead of AGGLOMERATIVE.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Enable/disable the LOCALSEARCH refinement pass (default: on).
+    pub fn refine(mut self, refine: bool) -> Self {
+        self.refine = refine;
+        self
+    }
+
+    /// Missing-value policy for partial inputs (default: fair coin).
+    pub fn missing_policy(mut self, policy: MissingPolicy) -> Self {
+        self.missing_policy = policy;
+        self
+    }
+
+    /// Switch to SAMPLING above this many objects (default 6000; the dense
+    /// matrix at the threshold is ~140 MB).
+    pub fn sampling_threshold(mut self, n: usize) -> Self {
+        self.sampling_threshold = n;
+        self
+    }
+
+    /// Sample size used when sampling (default 1600, the paper's sweet
+    /// spot on Mushrooms).
+    pub fn sample_size(mut self, s: usize) -> Self {
+        self.sample_size = s;
+        self
+    }
+
+    /// Seed for the sampling RNG.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Aggregate total clusterings.
+    ///
+    /// # Panics
+    /// Panics if `inputs` is empty or the clusterings disagree on `n`.
+    pub fn aggregate(&self, inputs: &[Clustering]) -> ConsensusResult {
+        let partial: Vec<PartialClustering> =
+            inputs.iter().map(PartialClustering::from_total).collect();
+        let mut result = self.aggregate_partial(partial);
+        // Exact integer disagreement count for total inputs.
+        result.disagreements = total_disagreement(inputs, &result.clustering);
+        result
+    }
+
+    /// Aggregate partial clusterings (missing labels allowed).
+    ///
+    /// # Panics
+    /// Panics if `inputs` is empty or the clusterings disagree on `n`.
+    pub fn aggregate_partial(&self, inputs: Vec<PartialClustering>) -> ConsensusResult {
+        assert!(!inputs.is_empty(), "need at least one input clustering");
+        let m = inputs.len();
+        let n = inputs[0].len();
+        let oracle = ClusteringsOracle::new(inputs.clone(), self.missing_policy);
+
+        if n > self.sampling_threshold {
+            let params = SamplingParams::new(self.sample_size, self.algorithm.clone(), self.seed);
+            let clustering = sampling(&oracle, &params);
+            // d(C) over all pairs would be O(n²); report the objective the
+            // caller can evaluate later if needed.
+            return ConsensusResult {
+                cost: f64::NAN,
+                disagreements: 0,
+                lower_bound: None,
+                sampled: true,
+                clustering,
+            };
+        }
+
+        let instance = CorrelationInstance::from_partial(inputs, self.missing_policy);
+        let dense = instance.dense_oracle();
+        let mut clustering = self.algorithm.run(&dense);
+        if self.refine {
+            clustering = local_search_from(&dense, &clustering, 200, 1e-9);
+        }
+        let cost = correlation_cost(&dense, &clustering);
+        ConsensusResult {
+            disagreements: (cost * m as f64).round() as u64,
+            lower_bound: Some(lower_bound(&dense)),
+            sampled: false,
+            cost,
+            clustering,
+        }
+    }
+}
+
+/// One-call consensus with the default pipeline.
+///
+/// ```
+/// use aggclust_core::clustering::Clustering;
+/// let a = Clustering::from_labels(vec![0, 0, 1, 1]);
+/// let b = Clustering::from_labels(vec![0, 0, 1, 1]);
+/// let c = Clustering::from_labels(vec![0, 1, 1, 1]);
+/// let result = aggclust_core::consensus::aggregate(&[a.clone(), b, c]);
+/// assert_eq!(result.clustering, a); // the 2-of-3 majority wins
+/// ```
+pub fn aggregate(inputs: &[Clustering]) -> ConsensusResult {
+    ConsensusBuilder::new().aggregate(inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::BallsParams;
+
+    fn c(labels: &[u32]) -> Clustering {
+        Clustering::from_labels(labels.to_vec())
+    }
+
+    fn figure1() -> Vec<Clustering> {
+        vec![
+            c(&[0, 0, 1, 1, 2, 2]),
+            c(&[0, 1, 0, 1, 2, 3]),
+            c(&[0, 1, 0, 1, 2, 2]),
+        ]
+    }
+
+    #[test]
+    fn default_pipeline_solves_figure1() {
+        let result = aggregate(&figure1());
+        assert_eq!(result.clustering, c(&[0, 1, 0, 1, 2, 2]));
+        assert_eq!(result.disagreements, 5);
+        assert!((result.cost - 5.0 / 3.0).abs() < 1e-9);
+        assert!(result.lower_bound.unwrap() <= result.cost + 1e-12);
+        assert!(!result.sampled);
+    }
+
+    #[test]
+    fn refinement_can_be_disabled() {
+        let inputs = figure1();
+        let with = ConsensusBuilder::new().aggregate(&inputs);
+        let without = ConsensusBuilder::new().refine(false).aggregate(&inputs);
+        assert!(with.cost <= without.cost + 1e-12);
+    }
+
+    #[test]
+    fn custom_algorithm() {
+        let result = ConsensusBuilder::new()
+            .algorithm(Algorithm::Balls(BallsParams::practical()))
+            .aggregate(&figure1());
+        assert_eq!(result.clustering, c(&[0, 1, 0, 1, 2, 2]));
+    }
+
+    #[test]
+    fn sampling_path_kicks_in() {
+        // 60 objects with a forced threshold of 30.
+        let truth: Vec<u32> = (0..60).map(|v| v / 20).collect();
+        let inputs = vec![c(&truth); 4];
+        let result = ConsensusBuilder::new()
+            .sampling_threshold(30)
+            .sample_size(25)
+            .aggregate(&inputs);
+        assert!(result.sampled);
+        assert!(result.lower_bound.is_none());
+        assert_eq!(result.clustering, c(&truth));
+    }
+
+    #[test]
+    fn partial_inputs_are_accepted() {
+        let p1 = PartialClustering::from_labels(vec![Some(0), Some(0), Some(1), None]);
+        let p2 = PartialClustering::from_labels(vec![Some(0), Some(0), None, Some(1)]);
+        let result = ConsensusBuilder::new().aggregate_partial(vec![p1, p2]);
+        assert!(result.clustering.same_cluster(0, 1));
+        assert!(!result.sampled);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn empty_inputs_rejected() {
+        let _ = aggregate(&[]);
+    }
+}

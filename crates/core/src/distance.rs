@@ -1,0 +1,178 @@
+//! The disagreement distance `d_V` between clusterings (paper §3).
+//!
+//! For clusterings `C₁`, `C₂` of the same objects, `d_V(C₁, C₂)` is the
+//! number of unordered object pairs `{u, v}` such that one clustering puts
+//! `u` and `v` in the same cluster and the other separates them. This is the
+//! (unnormalized) *Mirkin metric*; it satisfies the triangle inequality on
+//! the space of clusterings (Observation 1 in the paper), which is what
+//! makes the `2(1 − 1/m)` guarantee of
+//! [`crate::algorithms::best::best_clustering`] work.
+//!
+//! Two implementations are provided: a quadratic reference
+//! ([`disagreement_distance_naive`]) and an `O(n + k₁·k₂)` contingency-table
+//! version ([`disagreement_distance`]) used everywhere else.
+
+use crate::clustering::Clustering;
+use std::collections::HashMap;
+
+/// Number of unordered pairs co-clustered by *both* clusterings,
+/// `Σ_{ij} n_ij (n_ij − 1) / 2` over the contingency table `n_ij`.
+pub fn pairs_together_both(c1: &Clustering, c2: &Clustering) -> u64 {
+    assert_eq!(
+        c1.len(),
+        c2.len(),
+        "clusterings must cover the same objects"
+    );
+    let mut table: HashMap<(u32, u32), u64> = HashMap::new();
+    for v in 0..c1.len() {
+        *table.entry((c1.label(v), c2.label(v))).or_insert(0) += 1;
+    }
+    table.values().map(|&c| c * (c - 1) / 2).sum()
+}
+
+/// Disagreement distance `d_V(C₁, C₂)`: the number of unordered pairs on
+/// which the clusterings disagree.
+///
+/// Computed as `P₁ + P₂ − 2·P₁₂` where `Pᵢ` counts pairs co-clustered by
+/// `Cᵢ` and `P₁₂` counts pairs co-clustered by both. Runs in
+/// `O(n + k₁·k₂)`.
+///
+/// ```
+/// use aggclust_core::clustering::Clustering;
+/// use aggclust_core::distance::disagreement_distance;
+/// let c1 = Clustering::from_labels(vec![0, 0, 1, 1]);
+/// let c2 = Clustering::from_labels(vec![0, 1, 1, 1]);
+/// // Disagreeing pairs: {0,1}, {0,2}, {0,3} ... let's count: c1 groups
+/// // {0,1},{2,3}; c2 groups {1,2},{1,3},{2,3}. Disagreements: {0,1},{1,2},{1,3}.
+/// assert_eq!(disagreement_distance(&c1, &c2), 3);
+/// ```
+pub fn disagreement_distance(c1: &Clustering, c2: &Clustering) -> u64 {
+    let p1 = c1.pairs_together();
+    let p2 = c2.pairs_together();
+    let p12 = pairs_together_both(c1, c2);
+    p1 + p2 - 2 * p12
+}
+
+/// Quadratic reference implementation of [`disagreement_distance`], used to
+/// validate the contingency-table version in tests.
+pub fn disagreement_distance_naive(c1: &Clustering, c2: &Clustering) -> u64 {
+    assert_eq!(c1.len(), c2.len());
+    let n = c1.len();
+    let mut d = 0u64;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if c1.same_cluster(u, v) != c2.same_cluster(u, v) {
+                d += 1;
+            }
+        }
+    }
+    d
+}
+
+/// Total disagreement `D(C) = Σ_i d_V(C_i, C)` of a candidate against a set
+/// of input clusterings — the objective of Problem 1 in the paper.
+pub fn total_disagreement(inputs: &[Clustering], candidate: &Clustering) -> u64 {
+    inputs
+        .iter()
+        .map(|c| disagreement_distance(c, candidate))
+        .sum()
+}
+
+/// The *Rand distance* normalization of the disagreement distance:
+/// `d_V / (n choose 2) ∈ [0, 1]`.
+pub fn normalized_disagreement(c1: &Clustering, c2: &Clustering) -> f64 {
+    let n = c1.len() as u64;
+    if n < 2 {
+        return 0.0;
+    }
+    disagreement_distance(c1, c2) as f64 / ((n * (n - 1) / 2) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(labels: &[u32]) -> Clustering {
+        Clustering::from_labels(labels.to_vec())
+    }
+
+    #[test]
+    fn identical_clusterings_have_zero_distance() {
+        let a = c(&[0, 0, 1, 2, 2]);
+        assert_eq!(disagreement_distance(&a, &a), 0);
+    }
+
+    #[test]
+    fn singletons_vs_one_cluster() {
+        // Every pair disagrees: n choose 2.
+        let s = Clustering::singletons(5);
+        let o = Clustering::one_cluster(5);
+        assert_eq!(disagreement_distance(&s, &o), 10);
+    }
+
+    #[test]
+    fn matches_naive_on_fixed_cases() {
+        let cases = [
+            (c(&[0, 0, 1, 1, 2, 2]), c(&[0, 1, 0, 1, 2, 3])),
+            (c(&[0, 1, 2, 3]), c(&[0, 0, 0, 0])),
+            (c(&[0, 0, 0, 1, 1]), c(&[0, 1, 0, 1, 0])),
+        ];
+        for (a, b) in &cases {
+            assert_eq!(
+                disagreement_distance(a, b),
+                disagreement_distance_naive(a, b)
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = c(&[0, 0, 1, 1, 2]);
+        let b = c(&[0, 1, 1, 2, 2]);
+        assert_eq!(disagreement_distance(&a, &b), disagreement_distance(&b, &a));
+    }
+
+    #[test]
+    fn paper_figure_1_example() {
+        // Figure 1: C = {{v1,v3},{v2,v4},{v5,v6}} has 5 total disagreements
+        // with C1, C2, C3: four with C1 and one with C2.
+        let c1 = c(&[0, 0, 1, 1, 2, 2]);
+        let c2 = c(&[0, 1, 0, 1, 2, 3]);
+        let c3 = c(&[0, 1, 0, 1, 2, 2]);
+        let agg = c(&[0, 1, 0, 1, 2, 2]);
+        assert_eq!(disagreement_distance(&c1, &agg), 4);
+        assert_eq!(disagreement_distance(&c2, &agg), 1);
+        assert_eq!(disagreement_distance(&c3, &agg), 0);
+        assert_eq!(total_disagreement(&[c1, c2, c3], &agg), 5);
+    }
+
+    #[test]
+    fn triangle_inequality_on_fixed_cases() {
+        let xs = [
+            c(&[0, 0, 1, 1, 2, 2]),
+            c(&[0, 1, 0, 1, 2, 3]),
+            c(&[0, 1, 0, 1, 2, 2]),
+            c(&[0, 0, 0, 0, 0, 0]),
+            c(&[0, 1, 2, 3, 4, 5]),
+        ];
+        for a in &xs {
+            for b in &xs {
+                for m in &xs {
+                    assert!(
+                        disagreement_distance(a, b)
+                            <= disagreement_distance(a, m) + disagreement_distance(m, b)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_bounds() {
+        let a = c(&[0, 1, 2, 3]);
+        let b = c(&[0, 0, 0, 0]);
+        assert_eq!(normalized_disagreement(&a, &b), 1.0);
+        assert_eq!(normalized_disagreement(&a, &a), 0.0);
+        assert_eq!(normalized_disagreement(&c(&[0]), &c(&[0])), 0.0);
+    }
+}

@@ -1,0 +1,587 @@
+//! Correlation-clustering instances and distance oracles.
+//!
+//! A correlation-clustering instance is a complete weighted graph on `n`
+//! objects with edge distances `X_uv ∈ [0, 1]` (Problem 2 in the paper).
+//! When the instance is built from `m` input clusterings, `X_uv` is the
+//! fraction of clusterings that place `u` and `v` in *different* clusters,
+//! and the distances satisfy the triangle inequality.
+//!
+//! All aggregation algorithms are generic over [`DistanceOracle`], so they
+//! run unchanged on:
+//!
+//! * [`DenseOracle`] — a precomputed condensed `n(n−1)/2` matrix
+//!   (`O(1)` lookups, `O(n²)` memory), or
+//! * [`ClusteringsOracle`] — on-the-fly computation from the `m` label
+//!   vectors (`O(m)` lookups, `O(nm)` memory), which is what makes
+//!   [`crate::algorithms::sampling`] scale to millions of objects.
+
+use crate::clustering::{Clustering, PartialClustering};
+
+/// How a clustering with missing labels contributes to pairwise distances
+/// (paper §2, "Missing values").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MissingPolicy {
+    /// Average the missing attribute out: only clusterings with labels on
+    /// *both* objects vote, and `X_uv` is the fraction of *those* that
+    /// separate the pair. A pair with no informative clustering at all gets
+    /// distance ½ (maximum uncertainty).
+    Ignore,
+    /// The coin model adopted by the paper: a clustering missing a label on
+    /// `u` or `v` reports the pair as co-clustered with probability `p` and
+    /// separated with probability `1 − p`, independently per pair; we
+    /// minimize the *expected* number of disagreements, so the clustering
+    /// contributes `1 − p` to the pair's distance.
+    Coin(f64),
+}
+
+impl Default for MissingPolicy {
+    /// The paper's choice: a fair coin (`p = ½`).
+    fn default() -> Self {
+        MissingPolicy::Coin(0.5)
+    }
+}
+
+/// Read-only access to the pairwise distances `X_uv` of a
+/// correlation-clustering instance.
+///
+/// Implementations must be symmetric (`dist(u, v) == dist(v, u)`), zero on
+/// the diagonal, and return values in `[0, 1]`.
+pub trait DistanceOracle {
+    /// Number of objects `n`.
+    fn len(&self) -> usize;
+
+    /// Distance `X_uv` between two objects.
+    fn dist(&self, u: usize, v: usize) -> f64;
+
+    /// `true` if the instance has no objects.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of underlying input clusterings, when the instance was built
+    /// by aggregation (used only for reporting).
+    fn num_clusterings(&self) -> Option<usize> {
+        None
+    }
+
+    /// Materialize into a [`DenseOracle`] (no-op cost model for algorithms
+    /// that touch all pairs anyway).
+    fn to_dense(&self) -> DenseOracle
+    where
+        Self: Sized,
+    {
+        DenseOracle::from_fn(self.len(), |u, v| self.dist(u, v))
+            .with_num_clusterings(self.num_clusterings())
+    }
+
+    /// Dense oracle restricted to a subset of the objects, renumbered
+    /// `0..subset.len()`.
+    fn restrict(&self, subset: &[usize]) -> DenseOracle
+    where
+        Self: Sized,
+    {
+        DenseOracle::from_fn(subset.len(), |u, v| self.dist(subset[u], subset[v]))
+            .with_num_clusterings(self.num_clusterings())
+    }
+}
+
+/// Index into the condensed upper-triangle representation for `u < v`.
+#[inline]
+fn condensed_index(n: usize, u: usize, v: usize) -> usize {
+    debug_assert!(u < v && v < n);
+    u * (2 * n - u - 1) / 2 + (v - u - 1)
+}
+
+/// A precomputed symmetric distance matrix stored as a condensed
+/// upper-triangle `Vec<f64>` of length `n(n−1)/2`.
+#[derive(Clone, Debug)]
+pub struct DenseOracle {
+    n: usize,
+    data: Vec<f64>,
+    m: Option<usize>,
+}
+
+impl DenseOracle {
+    /// Build from a distance function evaluated on every pair `u < v`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let d = f(u, v);
+                debug_assert!((0.0..=1.0).contains(&d), "distance {d} out of [0,1]");
+                data.push(d);
+            }
+        }
+        DenseOracle { n, data, m: None }
+    }
+
+    /// Build directly from total clusterings: `X_uv` is the fraction of
+    /// clusterings separating `u` and `v`.
+    pub fn from_clusterings(clusterings: &[Clustering]) -> Self {
+        assert!(!clusterings.is_empty(), "need at least one clustering");
+        let n = clusterings[0].len();
+        assert!(
+            clusterings.iter().all(|c| c.len() == n),
+            "all clusterings must cover the same objects"
+        );
+        let m = clusterings.len() as f64;
+        DenseOracle::from_fn(n, |u, v| {
+            let sep = clusterings.iter().filter(|c| !c.same_cluster(u, v)).count();
+            sep as f64 / m
+        })
+        .with_num_clusterings(Some(clusterings.len()))
+    }
+
+    /// Build from *weighted* clusterings: `X_uv` is the weight fraction of
+    /// clusterings separating `u` and `v` — the natural generalization
+    /// where some inputs are more trusted than others (e.g. a clustering
+    /// algorithm run with better-validated parameters). Weights must be
+    /// non-negative with a positive sum; the resulting distances still
+    /// satisfy the triangle inequality.
+    ///
+    /// # Panics
+    /// Panics on length mismatch, negative weights, or all-zero weights.
+    pub fn from_weighted_clusterings(clusterings: &[Clustering], weights: &[f64]) -> Self {
+        assert_eq!(
+            clusterings.len(),
+            weights.len(),
+            "one weight per clustering required"
+        );
+        assert!(!clusterings.is_empty(), "need at least one clustering");
+        assert!(weights.iter().all(|&w| w >= 0.0), "negative weight");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let n = clusterings[0].len();
+        assert!(
+            clusterings.iter().all(|c| c.len() == n),
+            "all clusterings must cover the same objects"
+        );
+        DenseOracle::from_fn(n, |u, v| {
+            let sep: f64 = clusterings
+                .iter()
+                .zip(weights)
+                .filter(|(c, _)| !c.same_cluster(u, v))
+                .map(|(_, &w)| w)
+                .sum();
+            sep / total
+        })
+        .with_num_clusterings(Some(clusterings.len()))
+    }
+
+    /// Tag the oracle with the number of source clusterings.
+    pub fn with_num_clusterings(mut self, m: Option<usize>) -> Self {
+        self.m = m;
+        self
+    }
+
+    /// Mutable access to one entry (test/bench construction helper).
+    ///
+    /// # Panics
+    /// Panics if `u == v`.
+    pub fn set(&mut self, u: usize, v: usize, d: f64) {
+        assert_ne!(u, v, "diagonal is fixed at zero");
+        assert!((0.0..=1.0).contains(&d), "distance {d} out of [0,1]");
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let idx = condensed_index(self.n, a, b);
+        self.data[idx] = d;
+    }
+
+    /// Sum of distances from `u` to every other object (the vertex weight
+    /// used by the BALLS ordering).
+    pub fn total_weight(&self, u: usize) -> f64 {
+        (0..self.n)
+            .filter(|&v| v != u)
+            .map(|v| self.dist(u, v))
+            .sum()
+    }
+}
+
+impl DistanceOracle for DenseOracle {
+    #[inline]
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn dist(&self, u: usize, v: usize) -> f64 {
+        if u == v {
+            return 0.0;
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.data[condensed_index(self.n, a, b)]
+    }
+
+    fn num_clusterings(&self) -> Option<usize> {
+        self.m
+    }
+}
+
+/// Lazy oracle computing `X_uv` from the input clusterings on each call,
+/// honoring a [`MissingPolicy`] for partial clusterings.
+///
+/// Lookup is `O(m)`; memory is `O(nm)` — suitable for the SAMPLING
+/// algorithm on large datasets where only a sparse set of pairs is ever
+/// queried.
+#[derive(Clone, Debug)]
+pub struct ClusteringsOracle {
+    clusterings: Vec<PartialClustering>,
+    n: usize,
+    policy: MissingPolicy,
+}
+
+impl ClusteringsOracle {
+    /// Build from partial clusterings with the given missing-value policy.
+    pub fn new(clusterings: Vec<PartialClustering>, policy: MissingPolicy) -> Self {
+        assert!(!clusterings.is_empty(), "need at least one clustering");
+        let n = clusterings[0].len();
+        assert!(
+            clusterings.iter().all(|c| c.len() == n),
+            "all clusterings must cover the same objects"
+        );
+        if let MissingPolicy::Coin(p) = policy {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "coin probability {p} out of [0,1]"
+            );
+        }
+        ClusteringsOracle {
+            clusterings,
+            n,
+            policy,
+        }
+    }
+
+    /// Build from total clusterings (no missing labels).
+    pub fn from_total(clusterings: &[Clustering]) -> Self {
+        ClusteringsOracle::new(
+            clusterings
+                .iter()
+                .map(PartialClustering::from_total)
+                .collect(),
+            MissingPolicy::default(),
+        )
+    }
+
+    /// The input clusterings.
+    pub fn clusterings(&self) -> &[PartialClustering] {
+        &self.clusterings
+    }
+
+    /// The missing-value policy in effect.
+    pub fn policy(&self) -> MissingPolicy {
+        self.policy
+    }
+}
+
+impl DistanceOracle for ClusteringsOracle {
+    #[inline]
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn dist(&self, u: usize, v: usize) -> f64 {
+        if u == v {
+            return 0.0;
+        }
+        match self.policy {
+            MissingPolicy::Ignore => {
+                let mut defined = 0usize;
+                let mut sep = 0usize;
+                for c in &self.clusterings {
+                    if let (Some(lu), Some(lv)) = (c.label(u), c.label(v)) {
+                        defined += 1;
+                        if lu != lv {
+                            sep += 1;
+                        }
+                    }
+                }
+                if defined == 0 {
+                    0.5
+                } else {
+                    sep as f64 / defined as f64
+                }
+            }
+            MissingPolicy::Coin(p) => {
+                let mut total = 0.0f64;
+                for c in &self.clusterings {
+                    match (c.label(u), c.label(v)) {
+                        (Some(lu), Some(lv)) => {
+                            if lu != lv {
+                                total += 1.0;
+                            }
+                        }
+                        // Missing on either side: clustering separates the
+                        // pair with probability 1 − p (expected contribution).
+                        _ => total += 1.0 - p,
+                    }
+                }
+                total / self.clusterings.len() as f64
+            }
+        }
+    }
+
+    fn num_clusterings(&self) -> Option<usize> {
+        Some(self.clusterings.len())
+    }
+}
+
+/// A correlation-clustering instance built from input clusterings — the
+/// bridge between Problem 1 (clustering aggregation) and Problem 2
+/// (correlation clustering).
+///
+/// Holds the inputs and hands out either oracle flavor.
+#[derive(Clone, Debug)]
+pub struct CorrelationInstance {
+    inputs: Vec<PartialClustering>,
+    policy: MissingPolicy,
+    n: usize,
+}
+
+impl CorrelationInstance {
+    /// Build from total clusterings.
+    pub fn from_clusterings(inputs: &[Clustering]) -> Self {
+        Self::from_partial(
+            inputs.iter().map(PartialClustering::from_total).collect(),
+            MissingPolicy::default(),
+        )
+    }
+
+    /// Build from partial clusterings with an explicit missing-value policy.
+    pub fn from_partial(inputs: Vec<PartialClustering>, policy: MissingPolicy) -> Self {
+        assert!(!inputs.is_empty(), "need at least one clustering");
+        let n = inputs[0].len();
+        assert!(
+            inputs.iter().all(|c| c.len() == n),
+            "all clusterings must cover the same objects"
+        );
+        CorrelationInstance { inputs, policy, n }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if there are no objects.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of input clusterings `m`.
+    pub fn num_clusterings(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// The input clusterings.
+    pub fn inputs(&self) -> &[PartialClustering] {
+        &self.inputs
+    }
+
+    /// Precompute the full distance matrix (`O(n² m)` time, `O(n²)` space).
+    pub fn dense_oracle(&self) -> DenseOracle {
+        self.lazy_oracle().to_dense()
+    }
+
+    /// A lazy per-pair oracle (`O(m)` per lookup).
+    pub fn lazy_oracle(&self) -> ClusteringsOracle {
+        ClusteringsOracle::new(self.inputs.clone(), self.policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(labels: &[u32]) -> Clustering {
+        Clustering::from_labels(labels.to_vec())
+    }
+
+    /// The three clusterings of Figure 1.
+    fn figure1() -> Vec<Clustering> {
+        vec![
+            c(&[0, 0, 1, 1, 2, 2]),
+            c(&[0, 1, 0, 1, 2, 3]),
+            c(&[0, 1, 0, 1, 2, 2]),
+        ]
+    }
+
+    #[test]
+    fn figure2_distances() {
+        // Figure 2: solid edges = 1/3, dashed = 2/3, dotted = 1.
+        let oracle = DenseOracle::from_clusterings(&figure1());
+        let third = 1.0 / 3.0;
+        // v1–v3, v2–v4, v5–v6 are solid (1/3).
+        assert!((oracle.dist(0, 2) - third).abs() < 1e-12);
+        assert!((oracle.dist(1, 3) - third).abs() < 1e-12);
+        assert!((oracle.dist(4, 5) - third).abs() < 1e-12);
+        // v1–v2, v3–v4 are dashed (2/3).
+        assert!((oracle.dist(0, 1) - 2.0 * third).abs() < 1e-12);
+        assert!((oracle.dist(2, 3) - 2.0 * third).abs() < 1e-12);
+        // v1–v4 crosses all clusterings (1).
+        assert!((oracle.dist(0, 3) - 1.0).abs() < 1e-12);
+        assert_eq!(oracle.num_clusterings(), Some(3));
+    }
+
+    #[test]
+    fn dense_and_lazy_agree() {
+        let cs = figure1();
+        let dense = DenseOracle::from_clusterings(&cs);
+        let lazy = ClusteringsOracle::from_total(&cs);
+        for u in 0..6 {
+            for v in 0..6 {
+                assert!((dense.dist(u, v) - lazy.dist(u, v)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_symmetry_and_diagonal() {
+        let oracle = DenseOracle::from_clusterings(&figure1());
+        for u in 0..6 {
+            assert_eq!(oracle.dist(u, u), 0.0);
+            for v in 0..6 {
+                assert_eq!(oracle.dist(u, v), oracle.dist(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_of_xuv() {
+        let oracle = DenseOracle::from_clusterings(&figure1());
+        for u in 0..6 {
+            for v in 0..6 {
+                for w in 0..6 {
+                    assert!(oracle.dist(u, w) <= oracle.dist(u, v) + oracle.dist(v, w) + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restrict_renumbers() {
+        let oracle = DenseOracle::from_clusterings(&figure1());
+        let sub = oracle.restrict(&[0, 3, 5]);
+        assert_eq!(sub.len(), 3);
+        assert!((sub.dist(0, 1) - oracle.dist(0, 3)).abs() < 1e-12);
+        assert!((sub.dist(1, 2) - oracle.dist(3, 5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_policy_ignore() {
+        // Two clusterings; the second is missing on object 1.
+        let p1 = PartialClustering::from_labels(vec![Some(0), Some(0), Some(1)]);
+        let p2 = PartialClustering::from_labels(vec![Some(0), None, Some(0)]);
+        let o = ClusteringsOracle::new(vec![p1, p2], MissingPolicy::Ignore);
+        // Pair (0,1): only clustering 1 is informative, it co-clusters.
+        assert_eq!(o.dist(0, 1), 0.0);
+        // Pair (0,2): both informative; c1 separates, c2 joins.
+        assert_eq!(o.dist(0, 2), 0.5);
+    }
+
+    #[test]
+    fn missing_policy_ignore_no_information() {
+        let p1 = PartialClustering::from_labels(vec![None, Some(0)]);
+        let p2 = PartialClustering::from_labels(vec![Some(0), None]);
+        let o = ClusteringsOracle::new(vec![p1, p2], MissingPolicy::Ignore);
+        assert_eq!(o.dist(0, 1), 0.5);
+    }
+
+    #[test]
+    fn missing_policy_coin() {
+        let p1 = PartialClustering::from_labels(vec![Some(0), Some(0), Some(1)]);
+        let p2 = PartialClustering::from_labels(vec![Some(0), None, Some(0)]);
+        let o = ClusteringsOracle::new(vec![p1.clone(), p2.clone()], MissingPolicy::Coin(0.5));
+        // Pair (0,1): c1 joins (0), c2 missing (expected 0.5) → X = 0.25.
+        assert!((o.dist(0, 1) - 0.25).abs() < 1e-12);
+        // With p = 1 the coin always reports "together": X = 0.
+        let o1 = ClusteringsOracle::new(vec![p1, p2], MissingPolicy::Coin(1.0));
+        assert_eq!(o1.dist(0, 1), 0.0);
+    }
+
+    #[test]
+    fn instance_round_trip() {
+        let inst = CorrelationInstance::from_clusterings(&figure1());
+        assert_eq!(inst.len(), 6);
+        assert_eq!(inst.num_clusterings(), 3);
+        let dense = inst.dense_oracle();
+        let lazy = inst.lazy_oracle();
+        for u in 0..6 {
+            for v in 0..6 {
+                assert!((dense.dist(u, v) - lazy.dist(u, v)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn total_weight() {
+        let oracle = DenseOracle::from_clusterings(&figure1());
+        let w0: f64 = (1..6).map(|v| oracle.dist(0, v)).sum();
+        assert!((oracle.total_weight(0) - w0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same objects")]
+    fn mismatched_lengths_rejected() {
+        let _ = DenseOracle::from_clusterings(&[c(&[0, 1]), c(&[0, 1, 2])]);
+    }
+
+    #[test]
+    fn uniform_weights_match_unweighted() {
+        let cs = figure1();
+        let unweighted = DenseOracle::from_clusterings(&cs);
+        let weighted = DenseOracle::from_weighted_clusterings(&cs, &[2.0, 2.0, 2.0]);
+        for u in 0..6 {
+            for v in 0..6 {
+                assert!((unweighted.dist(u, v) - weighted.dist(u, v)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn integer_weights_equal_repetition() {
+        let cs = figure1();
+        let weighted = DenseOracle::from_weighted_clusterings(&cs, &[2.0, 1.0, 1.0]);
+        let repeated = DenseOracle::from_clusterings(&[
+            cs[0].clone(),
+            cs[0].clone(),
+            cs[1].clone(),
+            cs[2].clone(),
+        ]);
+        for u in 0..6 {
+            for v in 0..6 {
+                assert!((weighted.dist(u, v) - repeated.dist(u, v)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_weight_excludes_a_clustering() {
+        let cs = figure1();
+        let weighted = DenseOracle::from_weighted_clusterings(&cs, &[0.0, 1.0, 1.0]);
+        let reduced = DenseOracle::from_clusterings(&cs[1..]);
+        for u in 0..6 {
+            for v in 0..6 {
+                assert!((weighted.dist(u, v) - reduced.dist(u, v)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_triangle_inequality() {
+        let cs = figure1();
+        let oracle = DenseOracle::from_weighted_clusterings(&cs, &[0.5, 2.5, 1.0]);
+        for u in 0..6 {
+            for v in 0..6 {
+                for w in 0..6 {
+                    assert!(oracle.dist(u, w) <= oracle.dist(u, v) + oracle.dist(v, w) + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive value")]
+    fn all_zero_weights_rejected() {
+        let _ = DenseOracle::from_weighted_clusterings(&figure1(), &[0.0, 0.0, 0.0]);
+    }
+}

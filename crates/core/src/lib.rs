@@ -1,0 +1,73 @@
+//! # aggclust-core
+//!
+//! A from-scratch implementation of **clustering aggregation** and
+//! **correlation clustering** as defined by Gionis, Mannila and Tsaparas,
+//! *"Clustering Aggregation"*, ICDE 2005.
+//!
+//! ## The problem
+//!
+//! Given `m` clusterings `C_1, ..., C_m` of the same `n` objects, find a
+//! single clustering `C` minimizing the total number of *disagreements*
+//! `D(C) = Σ_i d_V(C_i, C)`, where [`distance::disagreement_distance`]
+//! `d_V(C, C')` counts the object pairs that one clustering puts together
+//! and the other separates.
+//!
+//! The problem reduces to **correlation clustering**: summarize the inputs
+//! into pairwise distances `X_uv ∈ [0, 1]` (the fraction of input clusterings
+//! separating `u` and `v`) and minimize
+//!
+//! ```text
+//! d(C) = Σ_{C(u)=C(v)} X_uv  +  Σ_{C(u)≠C(v)} (1 − X_uv).
+//! ```
+//!
+//! Both problems are NP-complete; this crate implements the paper's five
+//! algorithms, all but one parameter-free:
+//!
+//! | Algorithm | Module | Guarantee |
+//! |---|---|---|
+//! | `BestClustering` | [`algorithms::best`] | `2(1 − 1/m)`-approximation |
+//! | `Balls(α)` | [`algorithms::balls`] | 3-approximation at `α = 1/4` |
+//! | `Agglomerative` | [`algorithms::agglomerative`] | 2-approximation for `m = 3` |
+//! | `Furthest` | [`algorithms::furthest`] | heuristic (furthest-first traversal) |
+//! | `LocalSearch` | [`algorithms::local_search`] | local optimum; also a post-processor |
+//! | `Sampling` | [`algorithms::sampling`] | scales any of the above to large `n` |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use aggclust_core::clustering::Clustering;
+//! use aggclust_core::instance::{CorrelationInstance, MissingPolicy};
+//! use aggclust_core::algorithms::agglomerative::agglomerative;
+//!
+//! // The worked example from Figure 1 of the paper: three clusterings of
+//! // six objects.
+//! let c1 = Clustering::from_labels(vec![0, 0, 1, 1, 2, 2]);
+//! let c2 = Clustering::from_labels(vec![0, 1, 0, 1, 2, 3]);
+//! let c3 = Clustering::from_labels(vec![0, 1, 0, 1, 2, 2]);
+//!
+//! let instance = CorrelationInstance::from_clusterings(&[c1, c2, c3]);
+//! let aggregated = agglomerative(&instance.dense_oracle(), Default::default());
+//!
+//! // The optimal aggregate groups {v1,v3}, {v2,v4}, {v5,v6}.
+//! assert_eq!(aggregated.num_clusters(), 3);
+//! assert_eq!(aggregated.label(0), aggregated.label(2));
+//! assert_eq!(aggregated.label(1), aggregated.label(3));
+//! assert_eq!(aggregated.label(4), aggregated.label(5));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod algorithms;
+pub mod assign;
+pub mod clustering;
+pub mod consensus;
+pub mod cost;
+pub mod distance;
+pub mod exact;
+pub mod instance;
+pub mod linkage;
+
+pub use clustering::{Clustering, PartialClustering};
+pub use consensus::{aggregate, ConsensusBuilder, ConsensusResult};
+pub use instance::{CorrelationInstance, DenseOracle, DistanceOracle, MissingPolicy};

@@ -1,0 +1,524 @@
+//! Categorical datasets with class labels, missing values, and optional
+//! numeric side columns, plus a seeded latent-class generator.
+//!
+//! The paper's categorical-clustering application (§2) views each attribute
+//! as a clustering of the rows; [`CategoricalDataset`] is the container that
+//! conversion starts from ([`crate::to_clusterings`]).
+
+use rand::rngs::StdRng;
+use rand::seq::index::sample as index_sample;
+use rand::{Rng, SeedableRng};
+
+/// A categorical attribute: a name and the number of distinct values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attribute {
+    /// Human-readable attribute name.
+    pub name: String,
+    /// Number of distinct values (`0..arity`).
+    pub arity: u16,
+}
+
+/// A numeric side column (used by the Census dataset, whose 6 numeric
+/// attributes are quantile-binned before aggregation).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NumericColumn {
+    /// Column name.
+    pub name: String,
+    /// One value per row; `None` = missing.
+    pub values: Vec<Option<f64>>,
+}
+
+/// A table of `n` rows over categorical attributes, with per-row class
+/// labels (used only for evaluation, never by the algorithms) and optional
+/// numeric side columns.
+#[derive(Clone, Debug)]
+pub struct CategoricalDataset {
+    /// Dataset name (for reports).
+    pub name: String,
+    attrs: Vec<Attribute>,
+    /// Row-major `n × attrs.len()`; `None` = missing value.
+    values: Vec<Option<u16>>,
+    n: usize,
+    class_labels: Vec<u32>,
+    class_names: Vec<String>,
+    numeric: Vec<NumericColumn>,
+}
+
+impl CategoricalDataset {
+    /// Assemble a dataset from parts.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or out-of-range values.
+    pub fn new(
+        name: impl Into<String>,
+        attrs: Vec<Attribute>,
+        values: Vec<Option<u16>>,
+        class_labels: Vec<u32>,
+        class_names: Vec<String>,
+    ) -> Self {
+        let a = attrs.len();
+        assert!(a > 0, "need at least one attribute");
+        assert_eq!(values.len() % a, 0, "values length not a multiple of attrs");
+        let n = values.len() / a;
+        assert_eq!(class_labels.len(), n, "one class label per row required");
+        let num_classes = class_names.len() as u32;
+        assert!(
+            class_labels.iter().all(|&c| c < num_classes),
+            "class label out of range"
+        );
+        for (i, v) in values.iter().enumerate() {
+            if let Some(v) = v {
+                assert!(
+                    *v < attrs[i % a].arity,
+                    "value {v} out of range for attribute {}",
+                    attrs[i % a].name
+                );
+            }
+        }
+        CategoricalDataset {
+            name: name.into(),
+            attrs,
+            values,
+            n,
+            class_labels,
+            class_names,
+            numeric: Vec::new(),
+        }
+    }
+
+    /// Replace the class labels (e.g. to model class noise on top of the
+    /// latent structure, as the Census preset does for income).
+    ///
+    /// # Panics
+    /// Panics on length mismatch or out-of-range labels.
+    pub fn with_class_labels(mut self, labels: Vec<u32>, names: Vec<String>) -> Self {
+        assert_eq!(labels.len(), self.n, "one class label per row required");
+        let num = names.len() as u32;
+        assert!(labels.iter().all(|&c| c < num), "class label out of range");
+        self.class_labels = labels;
+        self.class_names = names;
+        self
+    }
+
+    /// Attach numeric side columns.
+    pub fn with_numeric(mut self, numeric: Vec<NumericColumn>) -> Self {
+        for col in &numeric {
+            assert_eq!(col.values.len(), self.n, "numeric column length mismatch");
+        }
+        self.numeric = numeric;
+        self
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The categorical attributes.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// The numeric side columns.
+    pub fn numeric_columns(&self) -> &[NumericColumn] {
+        &self.numeric
+    }
+
+    /// Value of attribute `attr` on `row` (`None` = missing).
+    #[inline]
+    pub fn value(&self, row: usize, attr: usize) -> Option<u16> {
+        self.values[row * self.attrs.len() + attr]
+    }
+
+    /// All categorical values of one row.
+    pub fn row(&self, row: usize) -> &[Option<u16>] {
+        let a = self.attrs.len();
+        &self.values[row * a..(row + 1) * a]
+    }
+
+    /// Ground-truth class label of each row.
+    pub fn class_labels(&self) -> &[u32] {
+        &self.class_labels
+    }
+
+    /// Names of the classes.
+    pub fn class_names(&self) -> Vec<&str> {
+        self.class_names.iter().map(|s| s.as_str()).collect()
+    }
+
+    /// Total number of missing categorical entries.
+    pub fn num_missing(&self) -> usize {
+        self.values.iter().filter(|v| v.is_none()).count()
+    }
+
+    /// Restrict to a subset of rows (for subsampled experiment runs).
+    pub fn subsample(&self, rows: &[usize]) -> CategoricalDataset {
+        let a = self.attrs.len();
+        let mut values = Vec::with_capacity(rows.len() * a);
+        for &r in rows {
+            values.extend_from_slice(self.row(r));
+        }
+        let numeric = self
+            .numeric
+            .iter()
+            .map(|col| NumericColumn {
+                name: col.name.clone(),
+                values: rows.iter().map(|&r| col.values[r]).collect(),
+            })
+            .collect();
+        CategoricalDataset {
+            name: format!("{} (n={})", self.name, rows.len()),
+            attrs: self.attrs.clone(),
+            values,
+            n: rows.len(),
+            class_labels: rows.iter().map(|&r| self.class_labels[r]).collect(),
+            class_names: self.class_names.clone(),
+            numeric,
+        }
+    }
+
+    /// Uniformly subsample `k` rows with a seeded RNG.
+    pub fn subsample_random(&self, k: usize, seed: u64) -> CategoricalDataset {
+        let k = k.min(self.n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = index_sample(&mut rng, self.n, k).into_vec();
+        rows.sort_unstable();
+        self.subsample(&rows)
+    }
+}
+
+/// Specification of one generated attribute.
+#[derive(Clone, Debug)]
+pub struct AttrSpec {
+    /// Attribute name.
+    pub name: String,
+    /// Number of distinct values.
+    pub arity: u16,
+    /// Probability that a cell ignores its latent cluster's preferred value
+    /// and draws uniformly instead.
+    pub noise: f64,
+}
+
+impl AttrSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, arity: u16, noise: f64) -> Self {
+        assert!(arity >= 1, "arity must be positive");
+        assert!((0.0..=1.0).contains(&noise), "noise out of [0,1]");
+        AttrSpec {
+            name: name.into(),
+            arity,
+            noise,
+        }
+    }
+}
+
+/// Configuration of the latent-class generator.
+///
+/// Rows are drawn from `latent_clusters` hidden clusters; each cluster has a
+/// preferred value for every attribute (sampled once from the attribute's
+/// domain), and each cell either copies the preferred value or is uniform
+/// noise. The hidden cluster determines the visible class label through
+/// `cluster_to_class`, so class structure is recoverable from the attributes
+/// but — like the real UCI data — imperfectly.
+#[derive(Clone, Debug)]
+pub struct LatentClassConfig {
+    /// Dataset name.
+    pub name: String,
+    /// Number of rows.
+    pub n: usize,
+    /// Relative sizes of the latent clusters (normalized internally).
+    pub cluster_weights: Vec<f64>,
+    /// Class label of each latent cluster.
+    pub cluster_to_class: Vec<u32>,
+    /// Names of the classes.
+    pub class_names: Vec<String>,
+    /// The attributes to generate.
+    pub attrs: Vec<AttrSpec>,
+    /// Exact number of cells to blank out as missing values.
+    pub missing_count: usize,
+    /// Per-row noise multiplier mixture `(probability, multiplier)`:
+    /// each row draws a multiplier applied to every attribute's noise
+    /// (capped at 1). This models "maverick" rows whose behavior is only
+    /// weakly tied to their latent cluster — real categorical data has
+    /// correlated, per-entity deviation, not i.i.d. cell noise.
+    /// An empty vector means multiplier 1 for all rows; probabilities are
+    /// normalized internally.
+    pub row_noise_levels: Vec<(f64, f64)>,
+    /// Overlapping cluster profiles `(cluster, base, differ_attrs)`: the
+    /// cluster copies `base`'s preferred values, then re-rolls
+    /// `differ_attrs` randomly chosen attributes. This creates clusters
+    /// that agree on most attributes — the mechanism behind impure merged
+    /// clusters like `c1` of the paper's Table 1 (808 poisonous + 2864
+    /// edible mushrooms sharing most physical characteristics).
+    pub profile_overlaps: Vec<(usize, usize, usize)>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LatentClassConfig {
+    /// Generate the dataset (deterministic given the seed). Also returns
+    /// the latent cluster of every row — the generative ground truth, which
+    /// is finer than the class labels.
+    pub fn generate(&self) -> (CategoricalDataset, Vec<u32>) {
+        let k = self.cluster_weights.len();
+        assert!(k >= 1, "need at least one latent cluster");
+        assert_eq!(self.cluster_to_class.len(), k, "cluster_to_class length");
+        let num_classes = self.class_names.len() as u32;
+        assert!(
+            self.cluster_to_class.iter().all(|&c| c < num_classes),
+            "cluster_to_class out of range"
+        );
+        let a = self.attrs.len();
+        assert!(a >= 1, "need at least one attribute");
+        assert!(
+            self.missing_count <= self.n * a,
+            "missing_count exceeds cell count"
+        );
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Preferred value of each (cluster, attribute).
+        let mut prefs: Vec<Vec<u16>> = (0..k)
+            .map(|_| {
+                self.attrs
+                    .iter()
+                    .map(|spec| rng.gen_range(0..spec.arity))
+                    .collect()
+            })
+            .collect();
+        // Apply profile overlaps: the cluster copies its base's preferences
+        // and then differs on a fixed number of randomly chosen attributes.
+        for &(cluster, base, differ) in &self.profile_overlaps {
+            assert!(
+                cluster < k && base < k,
+                "profile_overlaps index out of range"
+            );
+            assert!(cluster != base, "a cluster cannot overlap itself");
+            prefs[cluster] = prefs[base].clone();
+            let differ = differ.min(a);
+            for attr in index_sample(&mut rng, a, differ) {
+                let arity = self.attrs[attr].arity;
+                if arity > 1 {
+                    // Re-roll to a value different from the base's.
+                    let mut v = rng.gen_range(0..arity);
+                    while v == prefs[base][attr] {
+                        v = rng.gen_range(0..arity);
+                    }
+                    prefs[cluster][attr] = v;
+                }
+            }
+        }
+
+        // Per-row noise multiplier mixture.
+        let noise_levels: Vec<(f64, f64)> = if self.row_noise_levels.is_empty() {
+            vec![(1.0, 1.0)]
+        } else {
+            self.row_noise_levels.clone()
+        };
+        let level_total: f64 = noise_levels.iter().map(|(p, _)| p).sum();
+        assert!(level_total > 0.0, "row noise probabilities must sum > 0");
+
+        // Cumulative cluster weights for sampling.
+        let total_w: f64 = self.cluster_weights.iter().sum();
+        assert!(
+            total_w > 0.0,
+            "cluster weights must sum to a positive value"
+        );
+        let mut cum = Vec::with_capacity(k);
+        let mut acc = 0.0;
+        for w in &self.cluster_weights {
+            assert!(*w >= 0.0, "negative cluster weight");
+            acc += w / total_w;
+            cum.push(acc);
+        }
+
+        let mut values: Vec<Option<u16>> = Vec::with_capacity(self.n * a);
+        let mut class_labels = Vec::with_capacity(self.n);
+        let mut latent = Vec::with_capacity(self.n);
+        for _ in 0..self.n {
+            let r: f64 = rng.gen();
+            let z = cum.iter().position(|&c| r <= c).unwrap_or(k - 1);
+            latent.push(z as u32);
+            class_labels.push(self.cluster_to_class[z]);
+            // Draw this row's noise multiplier.
+            let mut draw = rng.gen::<f64>() * level_total;
+            let mut multiplier = noise_levels.last().unwrap().1;
+            for &(p, m) in &noise_levels {
+                draw -= p;
+                if draw <= 0.0 {
+                    multiplier = m;
+                    break;
+                }
+            }
+            for (j, spec) in self.attrs.iter().enumerate() {
+                let noise = (spec.noise * multiplier).min(1.0);
+                let v = if rng.gen::<f64>() < noise {
+                    rng.gen_range(0..spec.arity)
+                } else {
+                    prefs[z][j]
+                };
+                values.push(Some(v));
+            }
+        }
+
+        // Blank out exactly `missing_count` distinct cells.
+        let cells = index_sample(&mut rng, self.n * a, self.missing_count);
+        for cell in cells {
+            values[cell] = None;
+        }
+
+        let attrs = self
+            .attrs
+            .iter()
+            .map(|s| Attribute {
+                name: s.name.clone(),
+                arity: s.arity,
+            })
+            .collect();
+        let ds = CategoricalDataset::new(
+            self.name.clone(),
+            attrs,
+            values,
+            class_labels,
+            self.class_names.clone(),
+        );
+        (ds, latent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> LatentClassConfig {
+        LatentClassConfig {
+            name: "tiny".into(),
+            n: 200,
+            cluster_weights: vec![1.0, 1.0, 2.0],
+            cluster_to_class: vec![0, 1, 1],
+            class_names: vec!["a".into(), "b".into()],
+            attrs: vec![
+                AttrSpec::new("x", 4, 0.1),
+                AttrSpec::new("y", 3, 0.1),
+                AttrSpec::new("z", 5, 0.2),
+            ],
+            missing_count: 30,
+            row_noise_levels: vec![],
+            profile_overlaps: vec![],
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn generator_respects_shape() {
+        let (ds, latent) = tiny_config().generate();
+        assert_eq!(ds.len(), 200);
+        assert_eq!(ds.attributes().len(), 3);
+        assert_eq!(ds.num_missing(), 30);
+        assert_eq!(latent.len(), 200);
+        assert!(latent.iter().all(|&z| z < 3));
+        assert!(ds.class_labels().iter().all(|&c| c < 2));
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let (a, la) = tiny_config().generate();
+        let (b, lb) = tiny_config().generate();
+        assert_eq!(la, lb);
+        for r in 0..a.len() {
+            assert_eq!(a.row(r), b.row(r));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, _) = tiny_config().generate();
+        let mut cfg = tiny_config();
+        cfg.seed = 99;
+        let (b, _) = cfg.generate();
+        let same = (0..a.len()).all(|r| a.row(r) == b.row(r));
+        assert!(!same);
+    }
+
+    #[test]
+    fn latent_determines_class() {
+        let cfg = tiny_config();
+        let (ds, latent) = cfg.generate();
+        for (r, &z) in latent.iter().enumerate() {
+            assert_eq!(ds.class_labels()[r], cfg.cluster_to_class[z as usize]);
+        }
+    }
+
+    #[test]
+    fn cluster_weights_are_roughly_respected() {
+        let (_, latent) = tiny_config().generate();
+        let count2 = latent.iter().filter(|&&z| z == 2).count();
+        // Cluster 2 has half the total weight of 200 rows → ≈ 100.
+        assert!((70..=130).contains(&count2), "count2 = {count2}");
+    }
+
+    #[test]
+    fn values_in_range() {
+        let (ds, _) = tiny_config().generate();
+        for r in 0..ds.len() {
+            for (j, attr) in ds.attributes().iter().enumerate() {
+                if let Some(v) = ds.value(r, j) {
+                    assert!(v < attr.arity);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subsample_preserves_rows() {
+        let (ds, _) = tiny_config().generate();
+        let sub = ds.subsample(&[3, 10, 42]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.row(0), ds.row(3));
+        assert_eq!(sub.row(2), ds.row(42));
+        assert_eq!(sub.class_labels()[1], ds.class_labels()[10]);
+    }
+
+    #[test]
+    fn subsample_random_is_deterministic() {
+        let (ds, _) = tiny_config().generate();
+        let a = ds.subsample_random(50, 7);
+        let b = ds.subsample_random(50, 7);
+        assert_eq!(a.len(), 50);
+        for r in 0..50 {
+            assert_eq!(a.row(r), b.row(r));
+        }
+    }
+
+    #[test]
+    fn dataset_with_numeric_columns() {
+        let (ds, _) = tiny_config().generate();
+        let n = ds.len();
+        let ds = ds.with_numeric(vec![NumericColumn {
+            name: "age".into(),
+            values: (0..n).map(|i| Some(i as f64)).collect(),
+        }]);
+        assert_eq!(ds.numeric_columns().len(), 1);
+        assert_eq!(ds.numeric_columns()[0].values[5], Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for attribute")]
+    fn out_of_range_value_rejected() {
+        let _ = CategoricalDataset::new(
+            "bad",
+            vec![Attribute {
+                name: "x".into(),
+                arity: 2,
+            }],
+            vec![Some(5)],
+            vec![0],
+            vec!["c".into()],
+        );
+    }
+}

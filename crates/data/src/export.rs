@@ -1,0 +1,196 @@
+//! Writers that serialize a [`CategoricalDataset`] back into the UCI file
+//! formats the loaders in [`crate::uci`] read — so synthetic presets can be
+//! handed to external tools, and so loader/writer pairs can be
+//! round-trip-tested against each other.
+//!
+//! Values are rendered as `v<code>` tokens (the loaders intern arbitrary
+//! strings, so codes survive a round trip; only the *partition* structure
+//! matters to every consumer in this repository).
+
+use crate::categorical::CategoricalDataset;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Render in `house-votes-84.data` layout: `class,f1,...,f16` per row,
+/// missing as `?`.
+///
+/// # Panics
+/// Panics if the dataset does not have exactly 16 attributes.
+pub fn votes_format(ds: &CategoricalDataset) -> String {
+    assert_eq!(
+        ds.attributes().len(),
+        16,
+        "votes format requires 16 attributes"
+    );
+    generic_class_first(ds)
+}
+
+/// Render in `agaricus-lepiota.data` layout: `class,f1,...,f22` per row.
+///
+/// # Panics
+/// Panics if the dataset does not have exactly 22 attributes.
+pub fn mushrooms_format(ds: &CategoricalDataset) -> String {
+    assert_eq!(
+        ds.attributes().len(),
+        22,
+        "mushrooms format requires 22 attributes"
+    );
+    generic_class_first(ds)
+}
+
+/// Render in `adult.data` layout: the 6 numeric columns and 8 categorical
+/// attributes interleaved at their canonical positions, class last.
+///
+/// # Panics
+/// Panics unless the dataset has exactly 8 categorical attributes and 6
+/// numeric columns.
+pub fn census_format(ds: &CategoricalDataset) -> String {
+    assert_eq!(ds.attributes().len(), 8, "census format needs 8 attributes");
+    assert_eq!(
+        ds.numeric_columns().len(),
+        6,
+        "census format needs 6 numeric columns"
+    );
+    // adult.data field order: age, workclass, fnlwgt, education,
+    // education-num, marital, occupation, relationship, race, sex,
+    // capital-gain, capital-loss, hours-per-week, native-country, class.
+    // Numeric indices into numeric_columns: 0,1,2,3,4,5 as produced by the
+    // preset/loader (age, fnlwgt, education-num, gain, loss, hours).
+    let mut out = String::new();
+    let classes = ds.class_names();
+    for row in 0..ds.len() {
+        let num = |j: usize| match ds.numeric_columns()[j].values[row] {
+            Some(v) => format!("{v}"),
+            None => "?".to_string(),
+        };
+        let cat = |j: usize| match ds.value(row, j) {
+            Some(v) => format!("v{v}"),
+            None => "?".to_string(),
+        };
+        let fields = [
+            num(0),
+            cat(0),
+            num(1),
+            cat(1),
+            num(2),
+            cat(2),
+            cat(3),
+            cat(4),
+            cat(5),
+            cat(6),
+            num(3),
+            num(4),
+            num(5),
+            cat(7),
+            classes[ds.class_labels()[row] as usize].to_string(),
+        ];
+        let _ = writeln!(out, "{}", fields.join(", "));
+    }
+    out
+}
+
+fn generic_class_first(ds: &CategoricalDataset) -> String {
+    let mut out = String::new();
+    let classes = ds.class_names();
+    for row in 0..ds.len() {
+        let mut fields = Vec::with_capacity(ds.attributes().len() + 1);
+        fields.push(classes[ds.class_labels()[row] as usize].to_string());
+        for j in 0..ds.attributes().len() {
+            fields.push(match ds.value(row, j) {
+                Some(v) => format!("v{v}"),
+                None => "?".to_string(),
+            });
+        }
+        let _ = writeln!(out, "{}", fields.join(","));
+    }
+    out
+}
+
+/// Write any of the formats to a file.
+pub fn write_file(path: impl AsRef<Path>, content: &str) -> io::Result<()> {
+    fs::write(path, content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{census_like_scaled, mushrooms_like, votes_like};
+    use crate::uci::{load_census, load_mushrooms, load_votes};
+    use aggclust_core::clustering::PartialClustering;
+
+    fn tmp(name: &str, content: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("aggclust-export-{name}"));
+        fs::write(&path, content).unwrap();
+        path
+    }
+
+    /// The partitions induced by every attribute must survive the round
+    /// trip (value codes may be renumbered; partitions may not change).
+    fn assert_same_partitions(a: &CategoricalDataset, b: &CategoricalDataset) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.attributes().len(), b.attributes().len());
+        for j in 0..a.attributes().len() {
+            let pa = PartialClustering::from_labels(
+                (0..a.len()).map(|r| a.value(r, j).map(u32::from)).collect(),
+            );
+            let pb = PartialClustering::from_labels(
+                (0..b.len()).map(|r| b.value(r, j).map(u32::from)).collect(),
+            );
+            assert_eq!(pa, pb, "attribute {j} changed across round trip");
+        }
+        assert_eq!(a.num_missing(), b.num_missing());
+    }
+
+    #[test]
+    fn votes_round_trip() {
+        let (ds, _) = votes_like(5);
+        let path = tmp("votes.data", &votes_format(&ds));
+        let loaded = load_votes(&path).unwrap();
+        assert_same_partitions(&ds, &loaded);
+        // Class partition preserved too (names map 1:1).
+        for r in 0..ds.len() {
+            let same = ds.class_labels()[r] == ds.class_labels()[0];
+            let same_loaded = loaded.class_labels()[r] == loaded.class_labels()[0];
+            assert_eq!(same, same_loaded);
+        }
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn mushrooms_round_trip() {
+        let (ds, _) = mushrooms_like(5);
+        let ds = ds.subsample_random(300, 1);
+        let path = tmp("mush.data", &mushrooms_format(&ds));
+        let loaded = load_mushrooms(&path).unwrap();
+        assert_same_partitions(&ds, &loaded);
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn census_round_trip() {
+        let (ds, _) = census_like_scaled(120, 5);
+        let path = tmp("adult.data", &census_format(&ds));
+        let loaded = load_census(&path).unwrap();
+        assert_same_partitions(&ds, &loaded);
+        // Numeric columns preserved exactly.
+        for (ca, cb) in ds.numeric_columns().iter().zip(loaded.numeric_columns()) {
+            for (va, vb) in ca.values.iter().zip(&cb.values) {
+                match (va, vb) {
+                    (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9),
+                    (None, None) => {}
+                    other => panic!("numeric mismatch: {other:?}"),
+                }
+            }
+        }
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "requires 16 attributes")]
+    fn votes_format_checks_shape() {
+        let (ds, _) = census_like_scaled(10, 1);
+        let _ = votes_format(&ds);
+    }
+}

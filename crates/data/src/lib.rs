@@ -1,0 +1,43 @@
+//! # aggclust-data
+//!
+//! Datasets and generators for the paper's experiments:
+//!
+//! * [`categorical`] — categorical datasets with class labels and missing
+//!   values, plus a seeded latent-class generator,
+//! * [`presets`] — UCI-shaped synthetic stand-ins for **Votes**,
+//!   **Mushrooms** and **Census** with the exact dimensions and
+//!   missing-value counts reported in the paper,
+//! * [`synth2d`] — the 2-D point sets of Figures 3–5 (seven perceptual
+//!   groups; Gaussian mixtures with uniform background noise),
+//! * [`to_clusterings`] — the categorical-data application of §2: one
+//!   clustering per attribute (plus quantile binning for numeric columns),
+//! * [`uci`] — parsers for the real UCI files (`house-votes-84.data`,
+//!   `agaricus-lepiota.data`, `adult.data`); the presets are used when the
+//!   files are absent.
+//!
+//! Everything randomized takes an explicit `u64` seed and is reproducible
+//! bit-for-bit.
+//!
+//! ```
+//! use aggclust_data::presets::votes_like;
+//! use aggclust_data::to_clusterings::attribute_clusterings;
+//!
+//! let (dataset, _latent) = votes_like(1);
+//! assert_eq!(dataset.len(), 435);          // paper's row count
+//! assert_eq!(dataset.num_missing(), 288);  // paper's missing-value count
+//! let clusterings = attribute_clusterings(&dataset);
+//! assert_eq!(clusterings.len(), 16);       // one clustering per issue
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod categorical;
+pub mod export;
+pub mod presets;
+pub mod synth2d;
+pub mod to_clusterings;
+pub mod uci;
+
+pub use categorical::{AttrSpec, Attribute, CategoricalDataset, LatentClassConfig};
+pub use to_clusterings::attribute_clusterings;

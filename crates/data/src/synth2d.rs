@@ -1,0 +1,273 @@
+//! Two-dimensional synthetic point sets for the robustness experiments
+//! (Figures 3–5 of the paper).
+//!
+//! * [`seven_groups`] — the "seven perceptually distinct groups" dataset of
+//!   Figure 3, deliberately containing features that trip up the classic
+//!   algorithms: uneven cluster sizes, elongated clusters, and a narrow
+//!   bridge of points connecting two blobs (single linkage merges them,
+//!   k-means splits the elongated ones, and so on).
+//! * [`gaussian_with_noise`] — `k*` Gaussian clusters in the unit square
+//!   plus a fraction of uniform background noise (Figures 4 and 5-right).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 2-D point.
+pub type Point2 = [f64; 2];
+
+/// Points with generative ground truth; `None` marks background noise.
+#[derive(Clone, Debug)]
+pub struct LabeledPoints {
+    /// The points.
+    pub points: Vec<Point2>,
+    /// Ground-truth group of each point (`None` = noise/outlier).
+    pub truth: Vec<Option<u32>>,
+}
+
+impl LabeledPoints {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of distinct non-noise groups.
+    pub fn num_groups(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for t in self.truth.iter().flatten() {
+            seen.insert(*t);
+        }
+        seen.len()
+    }
+
+    /// Points as owned `Vec<f64>` rows (the format the baseline clusterers
+    /// consume).
+    pub fn rows(&self) -> Vec<Vec<f64>> {
+        self.points.iter().map(|p| p.to_vec()).collect()
+    }
+
+    /// Ground truth as a total clustering, with every noise point in its
+    /// own singleton cluster.
+    pub fn truth_clustering(&self) -> aggclust_core::clustering::Clustering {
+        let mut next = self
+            .truth
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .map_or(0, |m| m + 1);
+        let labels = self
+            .truth
+            .iter()
+            .map(|t| match t {
+                Some(l) => *l,
+                None => {
+                    let id = next;
+                    next += 1;
+                    id
+                }
+            })
+            .collect();
+        aggclust_core::clustering::Clustering::from_labels(labels)
+    }
+}
+
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// The Figure-3 dataset: seven groups on a 10 × 10 canvas, ~870 points.
+///
+/// Groups (sizes vary deliberately):
+/// 0. large loose blob, 1. small tight blob, 2–3. two blobs joined by a
+/// narrow 40-point bridge (bridge points split between them at the
+/// midpoint), 4. elongated horizontal strip, 5. elongated diagonal strip,
+/// 6. medium blob.
+pub fn seven_groups(seed: u64) -> LabeledPoints {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = Vec::new();
+    let mut truth = Vec::new();
+
+    let blob = |rng: &mut StdRng,
+                points: &mut Vec<Point2>,
+                truth: &mut Vec<Option<u32>>,
+                group: u32,
+                count: usize,
+                cx: f64,
+                cy: f64,
+                sd: f64| {
+        for _ in 0..count {
+            points.push([cx + sd * gauss(rng), cy + sd * gauss(rng)]);
+            truth.push(Some(group));
+        }
+    };
+
+    blob(&mut rng, &mut points, &mut truth, 0, 180, 2.0, 7.5, 0.8);
+    blob(&mut rng, &mut points, &mut truth, 1, 50, 5.2, 8.6, 0.2);
+    blob(&mut rng, &mut points, &mut truth, 2, 120, 1.5, 2.5, 0.45);
+    blob(&mut rng, &mut points, &mut truth, 3, 120, 4.8, 2.5, 0.45);
+    // Narrow bridge between groups 2 and 3.
+    for i in 0..40 {
+        let t = (i as f64 + 0.5) / 40.0;
+        let x = 1.5 + t * (4.8 - 1.5);
+        let y = 2.5 + 0.06 * gauss(&mut rng);
+        points.push([x + 0.04 * gauss(&mut rng), y]);
+        truth.push(Some(if x < (1.5 + 4.8) / 2.0 { 2 } else { 3 }));
+    }
+    // Elongated horizontal strip.
+    for _ in 0..140 {
+        let x = rng.gen_range(6.3..9.7);
+        let y = 1.4 + 0.15 * gauss(&mut rng);
+        points.push([x, y]);
+        truth.push(Some(4));
+    }
+    // Elongated diagonal strip.
+    for _ in 0..100 {
+        let t: f64 = rng.gen();
+        let x = 6.5 + 2.5 * t + 0.15 * gauss(&mut rng);
+        let y = 3.8 + 2.0 * t + 0.15 * gauss(&mut rng);
+        points.push([x, y]);
+        truth.push(Some(5));
+    }
+    blob(&mut rng, &mut points, &mut truth, 6, 90, 8.7, 8.4, 0.5);
+
+    LabeledPoints { points, truth }
+}
+
+/// The Figure-4 / Figure-5 generator: `k` Gaussian clusters of
+/// `per_cluster` points each with standard deviation `sd`, centers uniform
+/// in the unit square, plus `noise_frac` (of the clustered total) uniform
+/// background points labeled as noise (`None`).
+pub fn gaussian_with_noise(
+    k: usize,
+    per_cluster: usize,
+    noise_frac: f64,
+    sd: f64,
+    seed: u64,
+) -> LabeledPoints {
+    assert!(k >= 1, "need at least one cluster");
+    assert!(
+        (0.0..=10.0).contains(&noise_frac),
+        "noise_frac out of range"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Rejection-sample centers to keep them separated by ≥ 12·sd, so the
+    // "correct" k is well-defined (the paper's clusters are visually
+    // distinct). Falls back to the last draw after 200 tries.
+    let mut centers: Vec<Point2> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut candidate = [rng.gen::<f64>(), rng.gen::<f64>()];
+        for _try in 0..200 {
+            let ok = centers.iter().all(|c| {
+                let dx = c[0] - candidate[0];
+                let dy = c[1] - candidate[1];
+                (dx * dx + dy * dy).sqrt() >= 12.0 * sd
+            });
+            if ok {
+                break;
+            }
+            candidate = [rng.gen::<f64>(), rng.gen::<f64>()];
+        }
+        centers.push(candidate);
+    }
+
+    let mut points = Vec::new();
+    let mut truth = Vec::new();
+    for (g, c) in centers.iter().enumerate() {
+        for _ in 0..per_cluster {
+            points.push([c[0] + sd * gauss(&mut rng), c[1] + sd * gauss(&mut rng)]);
+            truth.push(Some(g as u32));
+        }
+    }
+    let noise = ((k * per_cluster) as f64 * noise_frac).round() as usize;
+    for _ in 0..noise {
+        points.push([rng.gen(), rng.gen()]);
+        truth.push(None);
+    }
+    LabeledPoints { points, truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_groups_has_seven_groups() {
+        let d = seven_groups(1);
+        assert_eq!(d.num_groups(), 7);
+        assert!(d.len() > 700);
+        assert_eq!(d.points.len(), d.truth.len());
+    }
+
+    #[test]
+    fn seven_groups_deterministic() {
+        let a = seven_groups(5);
+        let b = seven_groups(5);
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn group_sizes_are_uneven() {
+        let d = seven_groups(1);
+        let mut counts = vec![0usize; 7];
+        for t in d.truth.iter().flatten() {
+            counts[*t as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max > 2 * min, "sizes {counts:?} not uneven enough");
+    }
+
+    #[test]
+    fn gaussian_with_noise_counts() {
+        let d = gaussian_with_noise(5, 100, 0.2, 0.03, 9);
+        assert_eq!(d.len(), 5 * 100 + 100);
+        assert_eq!(d.num_groups(), 5);
+        let noise = d.truth.iter().filter(|t| t.is_none()).count();
+        assert_eq!(noise, 100);
+    }
+
+    #[test]
+    fn gaussian_clusters_are_tight() {
+        let d = gaussian_with_noise(3, 100, 0.0, 0.02, 4);
+        // Points of the same group stay near each other: the mean
+        // intra-group distance must be far below the unit-square scale.
+        let mut intra = 0.0;
+        let mut count = 0usize;
+        for i in 0..d.len() {
+            for j in (i + 1)..d.len() {
+                if d.truth[i] == d.truth[j] {
+                    let dx = d.points[i][0] - d.points[j][0];
+                    let dy = d.points[i][1] - d.points[j][1];
+                    intra += (dx * dx + dy * dy).sqrt();
+                    count += 1;
+                }
+            }
+        }
+        assert!((intra / count as f64) < 0.15);
+    }
+
+    #[test]
+    fn truth_clustering_makes_noise_singletons() {
+        let d = gaussian_with_noise(2, 10, 0.5, 0.02, 3);
+        let c = d.truth_clustering();
+        assert_eq!(c.len(), 30);
+        assert_eq!(c.num_clusters(), 2 + 10);
+        assert_eq!(c.num_singletons(), 10);
+    }
+
+    #[test]
+    fn rows_match_points() {
+        let d = gaussian_with_noise(2, 5, 0.0, 0.02, 3);
+        let rows = d.rows();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[3], d.points[3].to_vec());
+    }
+}

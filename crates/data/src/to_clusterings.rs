@@ -1,0 +1,186 @@
+//! The categorical-data application of the paper (§2): view each attribute
+//! as a clustering of the rows.
+//!
+//! An attribute with `k_j` distinct values partitions the rows into `k_j`
+//! clusters, one per value; rows where the attribute is missing carry no
+//! label (handled downstream by
+//! [`aggclust_core::instance::MissingPolicy`]). Numeric side columns are
+//! quantile-binned into the requested number of clusters first — the
+//! "vertically partitioned heterogeneous data" treatment of §2.
+
+use crate::categorical::{CategoricalDataset, NumericColumn};
+use aggclust_core::clustering::PartialClustering;
+
+/// One clustering per categorical attribute, missing labels preserved.
+pub fn attribute_clusterings(ds: &CategoricalDataset) -> Vec<PartialClustering> {
+    (0..ds.attributes().len())
+        .map(|j| attribute_clustering(ds, j))
+        .collect()
+}
+
+/// The clustering induced by a single categorical attribute.
+pub fn attribute_clustering(ds: &CategoricalDataset, attr: usize) -> PartialClustering {
+    let labels = (0..ds.len())
+        .map(|r| ds.value(r, attr).map(|v| v as u32))
+        .collect();
+    PartialClustering::from_labels(labels)
+}
+
+/// Quantile-bin a numeric column into `bins` clusters: rank the defined
+/// values and split ranks into equal-frequency bins. Missing values stay
+/// missing. Ties are kept in the same bin when they fall in the same rank
+/// range (equal values may straddle a bin edge; rank order among equals is
+/// by row index, which is deterministic).
+///
+/// Note: the returned labels are normalized in first-appearance order like
+/// every [`PartialClustering`], so label values are *not* monotone in the
+/// numeric values — but each bin is always a contiguous range of the
+/// sorted values (property-tested), which is all aggregation consumes.
+pub fn quantile_binning(col: &NumericColumn, bins: usize) -> PartialClustering {
+    assert!(bins >= 1, "need at least one bin");
+    let n = col.values.len();
+    let mut defined: Vec<usize> = (0..n).filter(|&r| col.values[r].is_some()).collect();
+    defined.sort_by(|&a, &b| {
+        col.values[a]
+            .unwrap()
+            .partial_cmp(&col.values[b].unwrap())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut labels: Vec<Option<u32>> = vec![None; n];
+    let d = defined.len();
+    for (rank, &row) in defined.iter().enumerate() {
+        let bin = (rank * bins).checked_div(d).unwrap_or(0);
+        labels[row] = Some(bin.min(bins - 1) as u32);
+    }
+    PartialClustering::from_labels(labels)
+}
+
+/// All clusterings for a heterogeneous dataset: one per categorical
+/// attribute plus one quantile-binned clustering per numeric column.
+pub fn heterogeneous_clusterings(
+    ds: &CategoricalDataset,
+    numeric_bins: usize,
+) -> Vec<PartialClustering> {
+    let mut out = attribute_clusterings(ds);
+    for col in ds.numeric_columns() {
+        out.push(quantile_binning(col, numeric_bins));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categorical::{Attribute, CategoricalDataset};
+
+    fn small_dataset() -> CategoricalDataset {
+        // 4 rows × 2 attributes.
+        CategoricalDataset::new(
+            "small",
+            vec![
+                Attribute {
+                    name: "color".into(),
+                    arity: 3,
+                },
+                Attribute {
+                    name: "shape".into(),
+                    arity: 2,
+                },
+            ],
+            vec![
+                Some(0),
+                Some(1),
+                Some(0),
+                None,
+                Some(2),
+                Some(1),
+                Some(2),
+                Some(0),
+            ],
+            vec![0, 0, 1, 1],
+            vec!["x".into(), "y".into()],
+        )
+    }
+
+    #[test]
+    fn one_clustering_per_attribute() {
+        let ds = small_dataset();
+        let cs = attribute_clusterings(&ds);
+        assert_eq!(cs.len(), 2);
+        // Attribute 0 values are [0, 0, 2, 2]: rows 0–1 together, 2–3
+        // together, and the two groups apart.
+        assert_eq!(cs[0].label(0), cs[0].label(1));
+        assert_eq!(cs[0].label(2), cs[0].label(3));
+        assert_ne!(cs[0].label(0), cs[0].label(2));
+        // Attribute 1: row 1 is missing.
+        assert_eq!(cs[1].label(1), None);
+        assert_eq!(cs[1].num_missing(), 1);
+    }
+
+    #[test]
+    fn same_value_means_same_cluster() {
+        let ds = small_dataset();
+        let c0 = attribute_clustering(&ds, 0);
+        for r1 in 0..4 {
+            for r2 in 0..4 {
+                if let (Some(v1), Some(v2)) = (ds.value(r1, 0), ds.value(r2, 0)) {
+                    assert_eq!(v1 == v2, c0.label(r1) == c0.label(r2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_binning_equal_frequency() {
+        let col = NumericColumn {
+            name: "v".into(),
+            values: (0..12).map(|i| Some(i as f64)).collect(),
+        };
+        let c = quantile_binning(&col, 3);
+        assert_eq!(c.num_clusters(), 3);
+        // 12 values into 3 bins of 4.
+        let mut counts = [0usize; 3];
+        for r in 0..12 {
+            counts[c.label(r).unwrap() as usize] += 1;
+        }
+        assert_eq!(counts, [4, 4, 4]);
+        // Ordering respected: rows with smaller values get bin ≤ larger.
+        assert!(c.label(0).unwrap() <= c.label(11).unwrap());
+    }
+
+    #[test]
+    fn quantile_binning_keeps_missing() {
+        let col = NumericColumn {
+            name: "v".into(),
+            values: vec![Some(1.0), None, Some(3.0), Some(2.0)],
+        };
+        let c = quantile_binning(&col, 2);
+        assert_eq!(c.label(1), None);
+        assert_eq!(c.num_missing(), 1);
+    }
+
+    #[test]
+    fn quantile_binning_more_bins_than_values() {
+        let col = NumericColumn {
+            name: "v".into(),
+            values: vec![Some(1.0), Some(2.0)],
+        };
+        let c = quantile_binning(&col, 10);
+        assert_ne!(c.label(0), c.label(1));
+    }
+
+    #[test]
+    fn heterogeneous_includes_numeric() {
+        let ds = small_dataset().with_numeric(vec![NumericColumn {
+            name: "age".into(),
+            values: vec![Some(10.0), Some(20.0), Some(30.0), Some(40.0)],
+        }]);
+        let cs = heterogeneous_clusterings(&ds, 2);
+        assert_eq!(cs.len(), 3);
+        let age = &cs[2];
+        assert_eq!(age.label(0), age.label(1));
+        assert_eq!(age.label(2), age.label(3));
+        assert_ne!(age.label(0), age.label(2));
+    }
+}

@@ -1,0 +1,361 @@
+//! Parsers for the real UCI files used in the paper, so that the
+//! experiments can run on the genuine data when it is available.
+//!
+//! Place the files (from the UCI Machine Learning Repository) under a
+//! directory of your choice and point the loaders at them:
+//!
+//! * `house-votes-84.data` — [`load_votes`]
+//! * `agaricus-lepiota.data` — [`load_mushrooms`]
+//! * `adult.data` — [`load_census`]
+//!
+//! All three are simple comma-separated formats with `?` marking missing
+//! values. Attribute values are interned in first-appearance order.
+
+use crate::categorical::{Attribute, CategoricalDataset, NumericColumn};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Errors raised while reading a UCI file.
+#[derive(Debug)]
+pub enum UciError {
+    /// Underlying I/O failure (including file-not-found).
+    Io(std::io::Error),
+    /// A malformed record.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+}
+
+impl fmt::Display for UciError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UciError::Io(e) => write!(f, "I/O error: {e}"),
+            UciError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for UciError {}
+
+impl From<std::io::Error> for UciError {
+    fn from(e: std::io::Error) -> Self {
+        UciError::Io(e)
+    }
+}
+
+/// Incrementally interns string values into dense `u16` codes per column.
+struct Interner {
+    maps: Vec<HashMap<String, u16>>,
+}
+
+impl Interner {
+    fn new(columns: usize) -> Self {
+        Interner {
+            maps: (0..columns).map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    fn intern(&mut self, column: usize, value: &str) -> u16 {
+        let map = &mut self.maps[column];
+        if let Some(&v) = map.get(value) {
+            return v;
+        }
+        let v = map.len() as u16;
+        map.insert(value.to_string(), v);
+        v
+    }
+
+    fn arities(&self) -> Vec<u16> {
+        self.maps.iter().map(|m| m.len().max(1) as u16).collect()
+    }
+}
+
+/// Load the Congressional Voting Records dataset
+/// (`house-votes-84.data`: class followed by 16 y/n/? votes).
+pub fn load_votes(path: impl AsRef<Path>) -> Result<CategoricalDataset, UciError> {
+    let text = fs::read_to_string(path)?;
+    let mut interner = Interner::new(16);
+    let mut values = Vec::new();
+    let mut class_labels = Vec::new();
+    let mut class_names: Vec<String> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 17 {
+            return Err(UciError::Parse {
+                line: lineno + 1,
+                message: format!("expected 17 fields, got {}", fields.len()),
+            });
+        }
+        class_labels.push(intern_class(&mut class_names, fields[0]));
+        for (j, &f) in fields[1..].iter().enumerate() {
+            values.push(match f {
+                "?" => None,
+                other => Some(interner.intern(j, other)),
+            });
+        }
+    }
+    let attrs = interner
+        .arities()
+        .into_iter()
+        .enumerate()
+        .map(|(i, arity)| Attribute {
+            name: format!("issue-{:02}", i + 1),
+            arity,
+        })
+        .collect();
+    Ok(CategoricalDataset::new(
+        "votes (UCI)",
+        attrs,
+        values,
+        class_labels,
+        class_names,
+    ))
+}
+
+/// Load the Mushroom dataset (`agaricus-lepiota.data`: class followed by 22
+/// single-character attributes).
+pub fn load_mushrooms(path: impl AsRef<Path>) -> Result<CategoricalDataset, UciError> {
+    const NAMES: [&str; 22] = [
+        "cap-shape",
+        "cap-surface",
+        "cap-color",
+        "bruises",
+        "odor",
+        "gill-attachment",
+        "gill-spacing",
+        "gill-size",
+        "gill-color",
+        "stalk-shape",
+        "stalk-root",
+        "stalk-surface-above-ring",
+        "stalk-surface-below-ring",
+        "stalk-color-above-ring",
+        "stalk-color-below-ring",
+        "veil-type",
+        "veil-color",
+        "ring-number",
+        "ring-type",
+        "spore-print-color",
+        "population",
+        "habitat",
+    ];
+    let text = fs::read_to_string(path)?;
+    let mut interner = Interner::new(22);
+    let mut values = Vec::new();
+    let mut class_labels = Vec::new();
+    let mut class_names: Vec<String> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 23 {
+            return Err(UciError::Parse {
+                line: lineno + 1,
+                message: format!("expected 23 fields, got {}", fields.len()),
+            });
+        }
+        class_labels.push(intern_class(
+            &mut class_names,
+            match fields[0] {
+                "p" => "poisonous",
+                "e" => "edible",
+                other => other,
+            },
+        ));
+        for (j, &f) in fields[1..].iter().enumerate() {
+            values.push(match f {
+                "?" => None,
+                other => Some(interner.intern(j, other)),
+            });
+        }
+    }
+    let attrs = interner
+        .arities()
+        .into_iter()
+        .zip(NAMES)
+        .map(|(arity, name)| Attribute {
+            name: name.to_string(),
+            arity,
+        })
+        .collect();
+    Ok(CategoricalDataset::new(
+        "mushrooms (UCI)",
+        attrs,
+        values,
+        class_labels,
+        class_names,
+    ))
+}
+
+/// Load the Census/Adult dataset (`adult.data`: 14 attributes then the
+/// income class). Returns the 8 categorical attributes as the dataset body
+/// and the 6 numeric attributes as numeric side columns.
+pub fn load_census(path: impl AsRef<Path>) -> Result<CategoricalDataset, UciError> {
+    // Field layout of adult.data.
+    const CATEGORICAL: [(usize, &str); 8] = [
+        (1, "workclass"),
+        (3, "education"),
+        (5, "marital-status"),
+        (6, "occupation"),
+        (7, "relationship"),
+        (8, "race"),
+        (9, "sex"),
+        (13, "native-country"),
+    ];
+    const NUMERIC: [(usize, &str); 6] = [
+        (0, "age"),
+        (2, "fnlwgt"),
+        (4, "education-num"),
+        (10, "capital-gain"),
+        (11, "capital-loss"),
+        (12, "hours-per-week"),
+    ];
+    let text = fs::read_to_string(path)?;
+    let mut interner = Interner::new(CATEGORICAL.len());
+    let mut values = Vec::new();
+    let mut class_labels = Vec::new();
+    let mut class_names: Vec<String> = Vec::new();
+    let mut numeric_values: Vec<Vec<Option<f64>>> = vec![Vec::new(); NUMERIC.len()];
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 15 {
+            return Err(UciError::Parse {
+                line: lineno + 1,
+                message: format!("expected 15 fields, got {}", fields.len()),
+            });
+        }
+        class_labels.push(intern_class(&mut class_names, fields[14]));
+        for (j, (idx, _)) in CATEGORICAL.iter().enumerate() {
+            values.push(match fields[*idx] {
+                "?" => None,
+                other => Some(interner.intern(j, other)),
+            });
+        }
+        for (j, (idx, _)) in NUMERIC.iter().enumerate() {
+            numeric_values[j].push(match fields[*idx] {
+                "?" => None,
+                other => Some(other.parse::<f64>().map_err(|e| UciError::Parse {
+                    line: lineno + 1,
+                    message: format!("bad numeric field {other:?}: {e}"),
+                })?),
+            });
+        }
+    }
+    let attrs = interner
+        .arities()
+        .into_iter()
+        .zip(CATEGORICAL.iter())
+        .map(|(arity, (_, name))| Attribute {
+            name: name.to_string(),
+            arity,
+        })
+        .collect();
+    let numeric = numeric_values
+        .into_iter()
+        .zip(NUMERIC.iter())
+        .map(|(vals, (_, name))| NumericColumn {
+            name: name.to_string(),
+            values: vals,
+        })
+        .collect();
+    Ok(
+        CategoricalDataset::new("census (UCI)", attrs, values, class_labels, class_names)
+            .with_numeric(numeric),
+    )
+}
+
+fn intern_class(names: &mut Vec<String>, value: &str) -> u32 {
+    if let Some(i) = names.iter().position(|n| n == value) {
+        return i as u32;
+    }
+    names.push(value.to_string());
+    (names.len() - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("aggclust-test-{name}"));
+        let mut f = fs::File::create(&path).unwrap();
+        f.write_all(content.as_bytes()).unwrap();
+        path
+    }
+
+    #[test]
+    fn votes_roundtrip() {
+        let content = "republican,n,y,?,y,y,y,n,n,n,y,?,y,y,y,n,y\n\
+                       democrat,y,n,y,n,n,n,y,y,y,n,n,n,n,n,y,y\n";
+        let path = write_temp("votes.data", content);
+        let ds = load_votes(&path).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.attributes().len(), 16);
+        assert_eq!(ds.num_missing(), 2);
+        assert_eq!(ds.class_names(), vec!["republican", "democrat"]);
+        // Same string → same code within a column.
+        assert_eq!(
+            ds.value(0, 1),
+            ds.value(1, 0).map(|_| ds.value(0, 1).unwrap())
+        );
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn votes_bad_field_count() {
+        let path = write_temp("votes-bad.data", "republican,n,y\n");
+        let err = load_votes(&path).unwrap_err();
+        assert!(matches!(err, UciError::Parse { line: 1, .. }));
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn mushrooms_roundtrip() {
+        let row = |class: &str| format!("{class},x,s,n,t,p,f,c,n,k,e,?,s,s,w,w,p,w,o,p,k,s,u");
+        let content = format!("{}\n{}\n", row("p"), row("e"));
+        let path = write_temp("mushrooms.data", &content);
+        let ds = load_mushrooms(&path).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.attributes().len(), 22);
+        assert_eq!(ds.num_missing(), 2); // the two '?' in stalk-root
+        assert_eq!(ds.class_names(), vec!["poisonous", "edible"]);
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn census_roundtrip() {
+        let content = "39, State-gov, 77516, Bachelors, 13, Never-married, Adm-clerical, Not-in-family, White, Male, 2174, 0, 40, United-States, <=50K\n\
+                       50, ?, 83311, Bachelors, 13, Married-civ-spouse, Exec-managerial, Husband, White, Male, 0, 0, 13, United-States, >50K\n";
+        let path = write_temp("adult.data", content);
+        let ds = load_census(&path).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.attributes().len(), 8);
+        assert_eq!(ds.numeric_columns().len(), 6);
+        assert_eq!(ds.num_missing(), 1); // the '?' workclass
+        assert_eq!(ds.numeric_columns()[0].values[0], Some(39.0));
+        assert_eq!(ds.class_names(), vec!["<=50K", ">50K"]);
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_votes("/nonexistent/votes.data").unwrap_err();
+        assert!(matches!(err, UciError::Io(_)));
+    }
+}

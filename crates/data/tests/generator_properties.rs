@@ -1,0 +1,137 @@
+//! Property-based tests for the dataset generators.
+
+use aggclust_data::categorical::NumericColumn;
+use aggclust_data::categorical::{AttrSpec, LatentClassConfig};
+use aggclust_data::synth2d::{gaussian_with_noise, seven_groups};
+use aggclust_data::to_clusterings::{attribute_clusterings, quantile_binning};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = LatentClassConfig> {
+    (
+        10usize..120, // n
+        1usize..5,    // latent clusters
+        1usize..6,    // attributes
+        0.0f64..0.5,  // noise
+        any::<u64>(), // seed
+    )
+        .prop_map(|(n, k, a, noise, seed)| {
+            let attrs = (0..a)
+                .map(|i| AttrSpec::new(format!("a{i}"), 2 + (i as u16 % 4), noise))
+                .collect();
+            LatentClassConfig {
+                name: "prop".into(),
+                n,
+                cluster_weights: (0..k).map(|i| 1.0 + i as f64).collect(),
+                cluster_to_class: (0..k).map(|i| (i % 2) as u32).collect(),
+                class_names: vec!["a".into(), "b".into()],
+                attrs,
+                missing_count: n / 10,
+                row_noise_levels: vec![(0.8, 1.0), (0.2, 2.0)],
+                profile_overlaps: vec![],
+                seed,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_datasets_are_well_formed(cfg in config_strategy()) {
+        let (ds, latent) = cfg.generate();
+        prop_assert_eq!(ds.len(), cfg.n);
+        prop_assert_eq!(ds.num_missing(), cfg.missing_count);
+        prop_assert_eq!(latent.len(), cfg.n);
+        let k = cfg.cluster_weights.len() as u32;
+        prop_assert!(latent.iter().all(|&z| z < k));
+        // Values in range; classes follow the latent map.
+        for (r, &z) in latent.iter().enumerate() {
+            for (j, attr) in ds.attributes().iter().enumerate() {
+                if let Some(v) = ds.value(r, j) {
+                    prop_assert!(v < attr.arity);
+                }
+            }
+            prop_assert_eq!(ds.class_labels()[r], cfg.cluster_to_class[z as usize]);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(cfg in config_strategy()) {
+        let (a, la) = cfg.generate();
+        let (b, lb) = cfg.generate();
+        prop_assert_eq!(la, lb);
+        for r in 0..a.len() {
+            prop_assert_eq!(a.row(r), b.row(r));
+        }
+    }
+
+    #[test]
+    fn attribute_clusterings_reflect_values(cfg in config_strategy()) {
+        let (ds, _) = cfg.generate();
+        let cs = attribute_clusterings(&ds);
+        prop_assert_eq!(cs.len(), ds.attributes().len());
+        for (j, c) in cs.iter().enumerate() {
+            prop_assert_eq!(c.len(), ds.len());
+            for r1 in 0..ds.len().min(12) {
+                for r2 in 0..ds.len().min(12) {
+                    match (ds.value(r1, j), ds.value(r2, j)) {
+                        (Some(a), Some(b)) => {
+                            prop_assert_eq!(a == b, c.label(r1) == c.label(r2))
+                        }
+                        (None, _) => prop_assert_eq!(c.label(r1), None),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_bins_are_contiguous_value_ranges(
+        (values, bins) in (prop::collection::vec(0.0f64..100.0, 3..60), 1usize..8)
+    ) {
+        // Labels are normalized (first-appearance order), so monotone
+        // label values are NOT guaranteed — but each bin must still be a
+        // contiguous range of the sorted values: if two rows share a bin,
+        // every row with a value between theirs shares it too.
+        let col = NumericColumn {
+            name: "v".into(),
+            values: values.iter().map(|&v| Some(v)).collect(),
+        };
+        let c = quantile_binning(&col, bins);
+        prop_assert!(c.num_clusters() <= bins);
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if c.label(i) != c.label(j) {
+                    continue;
+                }
+                let (lo, hi) = (values[i].min(values[j]), values[i].max(values[j]));
+                for (k, &vk) in values.iter().enumerate() {
+                    if vk > lo && vk < hi {
+                        prop_assert_eq!(
+                            c.label(k), c.label(i),
+                            "bin not contiguous: {} between {} and {}",
+                            vk, lo, hi
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_noise_shape((k, per, seed) in (1usize..6, 5usize..40, any::<u64>())) {
+        let d = gaussian_with_noise(k, per, 0.2, 0.02, seed);
+        prop_assert_eq!(d.num_groups(), k);
+        let noise = d.truth.iter().filter(|t| t.is_none()).count();
+        prop_assert_eq!(noise, ((k * per) as f64 * 0.2).round() as usize);
+        prop_assert_eq!(d.len(), k * per + noise);
+    }
+
+    #[test]
+    fn seven_groups_always_has_seven(seed in any::<u64>()) {
+        let d = seven_groups(seed);
+        prop_assert_eq!(d.num_groups(), 7);
+        prop_assert_eq!(d.truth_clustering().num_clusters(), 7);
+    }
+}

@@ -1,0 +1,75 @@
+//! The disagreement error `E_D` — the objective the aggregation algorithms
+//! optimize, reported in Tables 2 and 3 of the paper.
+
+use aggclust_core::clustering::Clustering;
+use aggclust_core::cost::{correlation_cost, lower_bound};
+use aggclust_core::instance::DistanceOracle;
+
+/// Exact disagreement error `E_D = D(C) = Σ_i d_V(C_i, C)` against total
+/// input clusterings.
+pub fn disagreement_error(inputs: &[Clustering], candidate: &Clustering) -> u64 {
+    aggclust_core::distance::total_disagreement(inputs, candidate)
+}
+
+/// Expected disagreement error `E_D = m · d(C)` for instances built with a
+/// missing-value policy (disagreements are fractional in expectation under
+/// the coin model).
+pub fn expected_disagreement_error<O: DistanceOracle + ?Sized>(
+    oracle: &O,
+    candidate: &Clustering,
+) -> f64 {
+    let m = oracle
+        .num_clusterings()
+        .expect("oracle does not carry a clustering count") as f64;
+    m * correlation_cost(oracle, candidate)
+}
+
+/// Lower bound on the expected disagreement error of *any* clustering:
+/// `m · Σ_{u<v} min(X_uv, 1 − X_uv)` — the "Lower bound" rows of Tables 2–3.
+pub fn disagreement_lower_bound<O: DistanceOracle + ?Sized>(oracle: &O) -> f64 {
+    let m = oracle
+        .num_clusterings()
+        .expect("oracle does not carry a clustering count") as f64;
+    m * lower_bound(oracle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggclust_core::instance::DenseOracle;
+
+    fn c(labels: &[u32]) -> Clustering {
+        Clustering::from_labels(labels.to_vec())
+    }
+
+    #[test]
+    fn figure1_disagreement_error() {
+        let inputs = vec![
+            c(&[0, 0, 1, 1, 2, 2]),
+            c(&[0, 1, 0, 1, 2, 3]),
+            c(&[0, 1, 0, 1, 2, 2]),
+        ];
+        let agg = c(&[0, 1, 0, 1, 2, 2]);
+        assert_eq!(disagreement_error(&inputs, &agg), 5);
+        let oracle = DenseOracle::from_clusterings(&inputs);
+        assert!((expected_disagreement_error(&oracle, &agg) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_bound_below_any_candidate() {
+        let inputs = vec![
+            c(&[0, 0, 1, 1, 2, 2]),
+            c(&[0, 1, 0, 1, 2, 3]),
+            c(&[0, 1, 0, 1, 2, 2]),
+        ];
+        let oracle = DenseOracle::from_clusterings(&inputs);
+        let lb = disagreement_lower_bound(&oracle);
+        for cand in [
+            c(&[0, 1, 0, 1, 2, 2]),
+            Clustering::singletons(6),
+            Clustering::one_cluster(6),
+        ] {
+            assert!(lb <= expected_disagreement_error(&oracle, &cand) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! External validation against known class labels: classification error
+//! `E_C`, purity, and confusion matrices (paper §5.2).
+
+use aggclust_core::clustering::Clustering;
+
+/// A clusters × classes contingency table (Table 1 of the paper is the
+/// transpose of one of these for the Mushrooms dataset).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<u64>>,
+    num_classes: usize,
+}
+
+impl ConfusionMatrix {
+    /// `counts()[cluster][class]` — number of objects of `class` in
+    /// `cluster`.
+    pub fn counts(&self) -> &[Vec<u64>] {
+        &self.counts
+    }
+
+    /// Number of clusters (rows).
+    pub fn num_clusters(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of classes (columns).
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Size of each cluster.
+    pub fn cluster_sizes(&self) -> Vec<u64> {
+        self.counts.iter().map(|row| row.iter().sum()).collect()
+    }
+
+    /// Majority class count `m_i` of each cluster.
+    pub fn majority_counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|row| row.iter().copied().max().unwrap_or(0))
+            .collect()
+    }
+
+    /// Render the matrix with row/column headers, clusters sorted by size
+    /// (largest first) — the presentation style of the paper's Table 1.
+    pub fn render(&self, class_names: &[&str]) -> String {
+        assert_eq!(class_names.len(), self.num_classes);
+        let mut order: Vec<usize> = (0..self.num_clusters()).collect();
+        let sizes = self.cluster_sizes();
+        order.sort_by_key(|&i| std::cmp::Reverse(sizes[i]));
+        let mut out = String::new();
+        out.push_str(&format!("{:<12}", ""));
+        for (i, _) in order.iter().enumerate() {
+            out.push_str(&format!("{:>8}", format!("c{}", i + 1)));
+        }
+        out.push('\n');
+        for (class, name) in class_names.iter().enumerate() {
+            out.push_str(&format!("{name:<12}"));
+            for &cluster in &order {
+                out.push_str(&format!("{:>8}", self.counts[cluster][class]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Build the clusters × classes confusion matrix.
+///
+/// # Panics
+/// Panics if `clustering` and `class_labels` disagree on `n`.
+pub fn confusion_matrix(clustering: &Clustering, class_labels: &[u32]) -> ConfusionMatrix {
+    assert_eq!(
+        clustering.len(),
+        class_labels.len(),
+        "clustering and class labels must cover the same objects"
+    );
+    let num_classes = class_labels
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut counts = vec![vec![0u64; num_classes]; clustering.num_clusters()];
+    for (v, &class) in class_labels.iter().enumerate() {
+        counts[clustering.label(v) as usize][class as usize] += 1;
+    }
+    ConfusionMatrix {
+        counts,
+        num_classes,
+    }
+}
+
+/// Classification error `E_C = Σ_i (s_i − m_i) / n` (paper §5.2): the
+/// fraction of objects that are not in their cluster's majority class.
+///
+/// `E_C = 0` means all clusters are pure; more clusters trivially lower the
+/// error (singletons are pure), which is why the paper reports `k` next to
+/// it.
+pub fn classification_error(clustering: &Clustering, class_labels: &[u32]) -> f64 {
+    let cm = confusion_matrix(clustering, class_labels);
+    let n: u64 = cm.cluster_sizes().iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let majority: u64 = cm.majority_counts().iter().sum();
+    (n - majority) as f64 / n as f64
+}
+
+/// Purity `= 1 − E_C`: the fraction of objects in their cluster's majority
+/// class.
+pub fn purity(clustering: &Clustering, class_labels: &[u32]) -> f64 {
+    1.0 - classification_error(clustering, class_labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(labels: &[u32]) -> Clustering {
+        Clustering::from_labels(labels.to_vec())
+    }
+
+    #[test]
+    fn pure_clusters_have_zero_error() {
+        let clustering = c(&[0, 0, 1, 1, 2]);
+        let classes = [0, 0, 1, 1, 0];
+        assert_eq!(classification_error(&clustering, &classes), 0.0);
+        assert_eq!(purity(&clustering, &classes), 1.0);
+    }
+
+    #[test]
+    fn singletons_are_always_pure() {
+        let clustering = Clustering::singletons(6);
+        let classes = [0, 1, 0, 1, 0, 1];
+        assert_eq!(classification_error(&clustering, &classes), 0.0);
+    }
+
+    #[test]
+    fn mixed_cluster_error() {
+        // One cluster of 4 with classes [0,0,0,1] → 1 of 4 misclassified.
+        let clustering = Clustering::one_cluster(4);
+        let classes = [0, 0, 0, 1];
+        assert!((classification_error(&clustering, &classes) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let clustering = c(&[0, 0, 1, 1, 1]);
+        let classes = [0, 1, 1, 1, 0];
+        let cm = confusion_matrix(&clustering, &classes);
+        assert_eq!(cm.num_clusters(), 2);
+        assert_eq!(cm.num_classes(), 2);
+        assert_eq!(cm.counts()[0], vec![1, 1]);
+        assert_eq!(cm.counts()[1], vec![1, 2]);
+        assert_eq!(cm.cluster_sizes(), vec![2, 3]);
+        assert_eq!(cm.majority_counts(), vec![1, 2]);
+    }
+
+    #[test]
+    fn render_is_sorted_by_cluster_size() {
+        let clustering = c(&[0, 1, 1, 1]);
+        let classes = [0, 0, 1, 1];
+        let cm = confusion_matrix(&clustering, &classes);
+        let s = cm.render(&["a", "b"]);
+        // Largest cluster (size 3) must be the first column c1.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("c1") && lines[0].contains("c2"));
+        assert!(lines[1].starts_with('a'));
+    }
+
+    #[test]
+    #[should_panic(expected = "same objects")]
+    fn length_mismatch_panics() {
+        let _ = confusion_matrix(&c(&[0, 1]), &[0, 1, 2]);
+    }
+}

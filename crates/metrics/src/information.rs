@@ -1,0 +1,153 @@
+//! Information-theoretic clustering comparison: entropy, mutual
+//! information, normalized mutual information, and variation of
+//! information.
+//!
+//! All quantities are in nats (natural log) internally; NMI is scale-free.
+
+use aggclust_core::clustering::Clustering;
+use std::collections::HashMap;
+
+/// Shannon entropy (nats) of a clustering's label distribution.
+pub fn entropy(c: &Clustering) -> f64 {
+    let n = c.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    c.cluster_sizes()
+        .iter()
+        .filter(|&&s| s > 0)
+        .map(|&s| {
+            let p = s as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Mutual information (nats) between two clusterings of the same objects.
+pub fn mutual_information(c1: &Clustering, c2: &Clustering) -> f64 {
+    assert_eq!(
+        c1.len(),
+        c2.len(),
+        "clusterings must cover the same objects"
+    );
+    let n = c1.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mut joint: HashMap<(u32, u32), u64> = HashMap::new();
+    for v in 0..c1.len() {
+        *joint.entry((c1.label(v), c2.label(v))).or_insert(0) += 1;
+    }
+    let s1 = c1.cluster_sizes();
+    let s2 = c2.cluster_sizes();
+    let mut mi = 0.0;
+    for (&(a, b), &count) in &joint {
+        let p_ab = count as f64 / n;
+        let p_a = s1[a as usize] as f64 / n;
+        let p_b = s2[b as usize] as f64 / n;
+        mi += p_ab * (p_ab / (p_a * p_b)).ln();
+    }
+    mi.max(0.0)
+}
+
+/// Normalized mutual information `∈ [0, 1]` using the arithmetic-mean
+/// normalization `2·I / (H₁ + H₂)`; `1` for identical partitions, `0` for
+/// independent ones. Two trivial partitions (zero entropy) compare as `1`
+/// when equal and `0` otherwise.
+pub fn normalized_mutual_information(c1: &Clustering, c2: &Clustering) -> f64 {
+    let h1 = entropy(c1);
+    let h2 = entropy(c2);
+    if h1 + h2 == 0.0 {
+        return if c1 == c2 { 1.0 } else { 0.0 };
+    }
+    (2.0 * mutual_information(c1, c2) / (h1 + h2)).clamp(0.0, 1.0)
+}
+
+/// Variation of information `VI = H₁ + H₂ − 2·I` (nats) — a true metric on
+/// the space of partitions.
+pub fn variation_of_information(c1: &Clustering, c2: &Clustering) -> f64 {
+    (entropy(c1) + entropy(c2) - 2.0 * mutual_information(c1, c2)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(labels: &[u32]) -> Clustering {
+        Clustering::from_labels(labels.to_vec())
+    }
+
+    #[test]
+    fn entropy_of_uniform_partition() {
+        // Four equal clusters of one → H = ln 4.
+        let s = Clustering::singletons(4);
+        assert!((entropy(&s) - 4f64.ln()).abs() < 1e-12);
+        // One cluster → H = 0.
+        assert_eq!(entropy(&Clustering::one_cluster(4)), 0.0);
+    }
+
+    #[test]
+    fn mi_of_identical_is_entropy() {
+        let a = c(&[0, 0, 1, 1, 2, 2]);
+        assert!((mutual_information(&a, &a) - entropy(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_identical_is_one_independent_is_low() {
+        let a = c(&[0, 0, 1, 1]);
+        assert!((normalized_mutual_information(&a, &a) - 1.0).abs() < 1e-12);
+        // A perfectly "crossed" partition shares no information.
+        let b = c(&[0, 1, 0, 1]);
+        assert!(normalized_mutual_information(&a, &b) < 1e-9);
+    }
+
+    #[test]
+    fn nmi_trivial_partitions() {
+        let o = Clustering::one_cluster(4);
+        assert_eq!(normalized_mutual_information(&o, &o), 1.0);
+        let s = Clustering::singletons(1);
+        assert_eq!(normalized_mutual_information(&s, &s), 1.0);
+    }
+
+    #[test]
+    fn vi_is_zero_iff_equal_and_symmetric() {
+        let a = c(&[0, 0, 1, 1, 2]);
+        let b = c(&[0, 1, 1, 2, 2]);
+        assert!(variation_of_information(&a, &a) < 1e-12);
+        assert!(variation_of_information(&a, &b) > 0.0);
+        assert!(
+            (variation_of_information(&a, &b) - variation_of_information(&b, &a)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn vi_triangle_inequality_spot_check() {
+        let xs = [
+            c(&[0, 0, 1, 1, 2, 2]),
+            c(&[0, 1, 0, 1, 2, 2]),
+            c(&[0, 0, 0, 1, 1, 1]),
+            Clustering::singletons(6),
+            Clustering::one_cluster(6),
+        ];
+        for a in &xs {
+            for b in &xs {
+                for m in &xs {
+                    assert!(
+                        variation_of_information(a, b)
+                            <= variation_of_information(a, m)
+                                + variation_of_information(m, b)
+                                + 1e-9
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_clusterings() {
+        let e = c(&[]);
+        assert_eq!(entropy(&e), 0.0);
+        assert_eq!(mutual_information(&e, &e), 0.0);
+        assert_eq!(normalized_mutual_information(&e, &e), 1.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Internal (label-free) validation of clusterings over vector data:
+//! silhouette scores and the within/between sum-of-squares decomposition.
+//!
+//! These complement the external indices: the paper's Figures 3–5 start
+//! from vector data, and a downstream user comparing the aggregate against
+//! the inputs without ground truth needs exactly these.
+
+use aggclust_core::clustering::Clustering;
+
+#[inline]
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Per-point silhouette values `s(v) = (b − a) / max(a, b)` where `a` is
+/// the mean distance to the point's own cluster and `b` the smallest mean
+/// distance to another cluster. Points in singleton clusters score 0 (the
+/// standard convention).
+///
+/// `O(n²)` distance evaluations.
+///
+/// # Panics
+/// Panics if `points` and `clustering` disagree on `n`.
+pub fn silhouette_samples(points: &[Vec<f64>], clustering: &Clustering) -> Vec<f64> {
+    assert_eq!(
+        points.len(),
+        clustering.len(),
+        "points and clustering must cover the same objects"
+    );
+    let n = points.len();
+    let k = clustering.num_clusters();
+    let sizes = clustering.cluster_sizes();
+    let mut out = vec![0.0f64; n];
+    if k < 2 {
+        return out;
+    }
+    let mut sums = vec![0.0f64; k];
+    for v in 0..n {
+        sums.iter_mut().for_each(|s| *s = 0.0);
+        for u in 0..n {
+            if u != v {
+                sums[clustering.label(u) as usize] += euclidean(&points[v], &points[u]);
+            }
+        }
+        let own = clustering.label(v) as usize;
+        if sizes[own] <= 1 {
+            out[v] = 0.0;
+            continue;
+        }
+        let a = sums[own] / (sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if !b.is_finite() {
+            out[v] = 0.0;
+            continue;
+        }
+        let denom = a.max(b);
+        out[v] = if denom > 0.0 { (b - a) / denom } else { 0.0 };
+    }
+    out
+}
+
+/// Mean silhouette over all points, in `[−1, 1]`; higher is better, 0 for
+/// trivial clusterings (`k < 2`).
+pub fn silhouette_score(points: &[Vec<f64>], clustering: &Clustering) -> f64 {
+    let samples = silhouette_samples(points, clustering);
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// `(within, between)` sum-of-squares decomposition: `within` is the total
+/// squared distance of points to their cluster centroids, `between` the
+/// size-weighted squared distance of centroids to the global mean. Their
+/// sum is the total sum of squares (checked in tests).
+pub fn sum_of_squares(points: &[Vec<f64>], clustering: &Clustering) -> (f64, f64) {
+    assert_eq!(points.len(), clustering.len());
+    let n = points.len();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let dim = points[0].len();
+    let k = clustering.num_clusters();
+    let sizes = clustering.cluster_sizes();
+    let mut centroids = vec![vec![0.0f64; dim]; k];
+    let mut global = vec![0.0f64; dim];
+    for (v, p) in points.iter().enumerate() {
+        let c = clustering.label(v) as usize;
+        for (d, &x) in p.iter().enumerate() {
+            centroids[c][d] += x;
+            global[d] += x;
+        }
+    }
+    for (c, centroid) in centroids.iter_mut().enumerate() {
+        for x in centroid.iter_mut() {
+            *x /= sizes[c].max(1) as f64;
+        }
+    }
+    for x in global.iter_mut() {
+        *x /= n as f64;
+    }
+    let mut within = 0.0;
+    for (v, p) in points.iter().enumerate() {
+        let c = clustering.label(v) as usize;
+        within += p
+            .iter()
+            .zip(&centroids[c])
+            .map(|(x, m)| (x - m) * (x - m))
+            .sum::<f64>();
+    }
+    let mut between = 0.0;
+    for (c, centroid) in centroids.iter().enumerate() {
+        between += sizes[c] as f64
+            * centroid
+                .iter()
+                .zip(&global)
+                .map(|(m, g)| (m - g) * (m - g))
+                .sum::<f64>();
+    }
+    (within, between)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (Vec<Vec<f64>>, Clustering) {
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            pts.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+        }
+        for i in 0..5 {
+            pts.push(vec![10.0 + 0.01 * i as f64, 0.0]);
+        }
+        let c = Clustering::from_labels(vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1]);
+        (pts, c)
+    }
+
+    #[test]
+    fn well_separated_blobs_score_near_one() {
+        let (pts, c) = two_blobs();
+        let s = silhouette_score(&pts, &c);
+        assert!(s > 0.99, "s = {s}");
+    }
+
+    #[test]
+    fn wrong_assignment_scores_negative() {
+        let (pts, _) = two_blobs();
+        // Swap one point into the far cluster.
+        let bad = Clustering::from_labels(vec![1, 0, 0, 0, 0, 1, 1, 1, 1, 1]);
+        let samples = silhouette_samples(&pts, &bad);
+        assert!(samples[0] < 0.0, "misplaced point must score negative");
+    }
+
+    #[test]
+    fn trivial_clusterings_score_zero() {
+        let (pts, _) = two_blobs();
+        assert_eq!(silhouette_score(&pts, &Clustering::one_cluster(10)), 0.0);
+        // All singletons: every point is in a singleton → 0 by convention.
+        assert_eq!(silhouette_score(&pts, &Clustering::singletons(10)), 0.0);
+    }
+
+    #[test]
+    fn sum_of_squares_decomposition_adds_up() {
+        let (pts, c) = two_blobs();
+        let (within, between) = sum_of_squares(&pts, &c);
+        // Total sum of squares around the global mean.
+        let n = pts.len() as f64;
+        let gx = pts.iter().map(|p| p[0]).sum::<f64>() / n;
+        let gy = pts.iter().map(|p| p[1]).sum::<f64>() / n;
+        let total: f64 = pts
+            .iter()
+            .map(|p| (p[0] - gx).powi(2) + (p[1] - gy).powi(2))
+            .sum();
+        assert!((within + between - total).abs() < 1e-9);
+        assert!(between > within, "separated blobs: between dominates");
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        assert_eq!(
+            sum_of_squares(&[], &Clustering::from_labels(vec![])),
+            (0.0, 0.0)
+        );
+        let one = vec![vec![1.0, 2.0]];
+        assert_eq!(silhouette_score(&one, &Clustering::one_cluster(1)), 0.0);
+    }
+}

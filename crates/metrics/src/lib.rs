@@ -1,0 +1,45 @@
+//! # aggclust-metrics
+//!
+//! Clustering quality measures used by the paper's evaluation (§5) plus the
+//! standard external indices useful for sanity-checking reproductions:
+//!
+//! * [`external`] — classification error `E_C`, purity, and the confusion
+//!   matrix of Tables 1–3,
+//! * [`pair_counting`] — Rand index, adjusted Rand index, pairwise
+//!   precision/recall/F,
+//! * [`information`] — entropy, mutual information, NMI, variation of
+//!   information,
+//! * [`disagreement`] — the disagreement error `E_D` (the objective the
+//!   aggregation algorithms optimize) and its expected variant for
+//!   instances with missing values,
+//! * [`stability`] — consensus diagnostics: agreement histograms and the
+//!   per-node isolation/ambiguity scores behind the paper's outlier
+//!   detection application,
+//! * [`internal`] — label-free validation over vector data (silhouette,
+//!   within/between sum of squares).
+//!
+//! ```
+//! use aggclust_core::clustering::Clustering;
+//! use aggclust_metrics::{classification_error, adjusted_rand_index};
+//!
+//! let found = Clustering::from_labels(vec![0, 0, 1, 1, 1]);
+//! let classes = [0, 0, 1, 1, 0];
+//! assert!((classification_error(&found, &classes) - 0.2).abs() < 1e-12);
+//! let truth = Clustering::from_labels(classes.to_vec());
+//! assert!(adjusted_rand_index(&found, &truth) > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod disagreement;
+pub mod external;
+pub mod information;
+pub mod internal;
+pub mod pair_counting;
+pub mod stability;
+
+pub use disagreement::{disagreement_error, expected_disagreement_error};
+pub use external::{classification_error, confusion_matrix, purity, ConfusionMatrix};
+pub use information::{normalized_mutual_information, variation_of_information};
+pub use pair_counting::{adjusted_rand_index, rand_index};

@@ -1,0 +1,222 @@
+//! Pair-counting indices: Rand, adjusted Rand, and pairwise
+//! precision/recall/F-measure.
+//!
+//! These all derive from the same 2×2 pair table as the disagreement
+//! distance `d_V`: of the `n(n−1)/2` object pairs, count those co-clustered
+//! by both clusterings (`a`), by only the first (`b`), only the second
+//! (`c`), and neither (`d`). Then `d_V = b + c` and the Rand index is
+//! `(a + d) / (a + b + c + d)`.
+
+use aggclust_core::clustering::Clustering;
+use aggclust_core::distance::pairs_together_both;
+
+/// The 2×2 pair-agreement table between two clusterings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairCounts {
+    /// Pairs together in both clusterings.
+    pub both: u64,
+    /// Pairs together only in the first.
+    pub first_only: u64,
+    /// Pairs together only in the second.
+    pub second_only: u64,
+    /// Pairs separated in both.
+    pub neither: u64,
+}
+
+/// Compute the pair-agreement table in `O(n + k₁k₂)`.
+pub fn pair_counts(c1: &Clustering, c2: &Clustering) -> PairCounts {
+    assert_eq!(
+        c1.len(),
+        c2.len(),
+        "clusterings must cover the same objects"
+    );
+    let n = c1.len() as u64;
+    let total = n * n.saturating_sub(1) / 2;
+    let p1 = c1.pairs_together();
+    let p2 = c2.pairs_together();
+    let both = pairs_together_both(c1, c2);
+    PairCounts {
+        both,
+        first_only: p1 - both,
+        second_only: p2 - both,
+        neither: total + both - p1 - p2,
+    }
+}
+
+/// Rand index `∈ [0, 1]`: the fraction of pairs the two clusterings agree
+/// on. Equals `1 − d_V / (n choose 2)`.
+pub fn rand_index(c1: &Clustering, c2: &Clustering) -> f64 {
+    let pc = pair_counts(c1, c2);
+    let total = pc.both + pc.first_only + pc.second_only + pc.neither;
+    if total == 0 {
+        return 1.0;
+    }
+    (pc.both + pc.neither) as f64 / total as f64
+}
+
+/// Adjusted Rand index (Hubert & Arabie): the Rand index corrected for
+/// chance, `1` for identical partitions, `≈ 0` for independent ones (can be
+/// negative).
+pub fn adjusted_rand_index(c1: &Clustering, c2: &Clustering) -> f64 {
+    let pc = pair_counts(c1, c2);
+    let total = (pc.both + pc.first_only + pc.second_only + pc.neither) as f64;
+    if total == 0.0 {
+        return 1.0;
+    }
+    let sum_rows = (pc.both + pc.first_only) as f64; // Σ (a_i choose 2)
+    let sum_cols = (pc.both + pc.second_only) as f64; // Σ (b_j choose 2)
+    let expected = sum_rows * sum_cols / total;
+    let max = 0.5 * (sum_rows + sum_cols);
+    if (max - expected).abs() < 1e-12 {
+        // Both partitions are trivial (all-singletons or all-one): identical
+        // trivial partitions get 1, otherwise define 0.
+        return if c1 == c2 { 1.0 } else { 0.0 };
+    }
+    (pc.both as f64 - expected) / (max - expected)
+}
+
+/// Pairwise precision of `c1` against reference `c2`: of the pairs `c1`
+/// puts together, the fraction the reference also puts together.
+pub fn pair_precision(c1: &Clustering, reference: &Clustering) -> f64 {
+    let pc = pair_counts(c1, reference);
+    let predicted = pc.both + pc.first_only;
+    if predicted == 0 {
+        return 1.0;
+    }
+    pc.both as f64 / predicted as f64
+}
+
+/// Pairwise recall of `c1` against reference `c2`: of the pairs the
+/// reference puts together, the fraction `c1` also puts together.
+pub fn pair_recall(c1: &Clustering, reference: &Clustering) -> f64 {
+    let pc = pair_counts(c1, reference);
+    let actual = pc.both + pc.second_only;
+    if actual == 0 {
+        return 1.0;
+    }
+    pc.both as f64 / actual as f64
+}
+
+/// Pairwise F1 score against a reference clustering.
+pub fn pair_f1(c1: &Clustering, reference: &Clustering) -> f64 {
+    let p = pair_precision(c1, reference);
+    let r = pair_recall(c1, reference);
+    if p + r == 0.0 {
+        return 0.0;
+    }
+    2.0 * p * r / (p + r)
+}
+
+/// Fowlkes–Mallows index: the geometric mean of pairwise precision and
+/// recall, `√(P·R) ∈ [0, 1]`.
+pub fn fowlkes_mallows(c1: &Clustering, c2: &Clustering) -> f64 {
+    (pair_precision(c1, c2) * pair_recall(c1, c2)).sqrt()
+}
+
+/// Pair-level Jaccard index: `a / (a + b + c)` over the pair table —
+/// co-clustered pairs shared, relative to pairs co-clustered by either.
+/// Two all-singleton clusterings (no co-clustered pairs anywhere) compare
+/// as 1.
+pub fn pair_jaccard(c1: &Clustering, c2: &Clustering) -> f64 {
+    let pc = pair_counts(c1, c2);
+    let denom = pc.both + pc.first_only + pc.second_only;
+    if denom == 0 {
+        return 1.0;
+    }
+    pc.both as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggclust_core::distance::disagreement_distance;
+
+    fn c(labels: &[u32]) -> Clustering {
+        Clustering::from_labels(labels.to_vec())
+    }
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = c(&[0, 0, 1, 1, 2]);
+        assert_eq!(rand_index(&a, &a), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+        assert_eq!(pair_f1(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn rand_index_complements_normalized_disagreement() {
+        let a = c(&[0, 0, 1, 1, 2, 2]);
+        let b = c(&[0, 1, 0, 1, 2, 2]);
+        let n = 6u64;
+        let total = (n * (n - 1) / 2) as f64;
+        let expected = 1.0 - disagreement_distance(&a, &b) as f64 / total;
+        assert!((rand_index(&a, &b) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_counts_sum_to_total() {
+        let a = c(&[0, 0, 1, 2, 2]);
+        let b = c(&[0, 1, 1, 2, 0]);
+        let pc = pair_counts(&a, &b);
+        assert_eq!(pc.both + pc.first_only + pc.second_only + pc.neither, 10);
+    }
+
+    #[test]
+    fn ari_zero_for_trivial_vs_nontrivial() {
+        // All-one-cluster vs anything: sum_cols == total → degenerate.
+        let ones = Clustering::one_cluster(4);
+        let other = c(&[0, 0, 1, 1]);
+        let ari = adjusted_rand_index(&ones, &other);
+        assert!(ari.abs() < 1.0); // defined, not NaN
+        assert!(!ari.is_nan());
+    }
+
+    #[test]
+    fn ari_is_symmetric() {
+        let a = c(&[0, 0, 1, 1, 2, 2, 0]);
+        let b = c(&[0, 1, 1, 2, 2, 0, 0]);
+        assert!((adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_asymmetry() {
+        // Fine partition has perfect precision but poor recall vs coarse.
+        let fine = c(&[0, 0, 1, 1]);
+        let coarse = Clustering::one_cluster(4);
+        assert_eq!(pair_precision(&fine, &coarse), 1.0);
+        assert!(pair_recall(&fine, &coarse) < 1.0);
+    }
+
+    #[test]
+    fn fowlkes_mallows_and_jaccard_bounds() {
+        let a = c(&[0, 0, 1, 1, 2]);
+        let b = c(&[0, 1, 1, 2, 2]);
+        assert_eq!(fowlkes_mallows(&a, &a), 1.0);
+        assert_eq!(pair_jaccard(&a, &a), 1.0);
+        let fm = fowlkes_mallows(&a, &b);
+        let pj = pair_jaccard(&a, &b);
+        assert!((0.0..1.0).contains(&fm));
+        assert!((0.0..1.0).contains(&pj));
+        // Jaccard ≤ Fowlkes–Mallows always (J = a/(a+b+c) ≤ √(P·R)).
+        assert!(pj <= fm + 1e-12);
+        // Symmetry.
+        assert!((fm - fowlkes_mallows(&b, &a)).abs() < 1e-12);
+        assert!((pj - pair_jaccard(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_singleton_convention() {
+        let s = Clustering::singletons(4);
+        assert_eq!(pair_jaccard(&s, &s), 1.0);
+        assert_eq!(pair_jaccard(&s, &Clustering::one_cluster(4)), 0.0);
+    }
+
+    #[test]
+    fn singletons_edge_cases() {
+        let s = Clustering::singletons(4);
+        let o = Clustering::one_cluster(4);
+        assert_eq!(pair_precision(&s, &o), 1.0); // no predicted pairs
+        assert_eq!(pair_recall(&o, &s), 1.0); // no actual pairs
+        assert_eq!(rand_index(&s, &o), 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Consensus diagnostics over a correlation-clustering instance: how much
+//! the input clusterings agree, and which objects look like outliers.
+//!
+//! The paper's outlier application (§2, "Detecting outliers") rests on two
+//! per-node signals this module computes:
+//!
+//! * **isolation** — a node far from every other node (its nearest
+//!   neighbor distance is high) pays less as a singleton than in any
+//!   cluster ("a tuple with many uncommon values");
+//! * **ambiguity** — a node whose distances hover around ½ has no
+//!   consensus on where it belongs ("common values but no consensus to a
+//!   common cluster" — the horror movie with Julia Roberts directed by
+//!   Lars von Trier).
+//!
+//! [`agreement_histogram`] summarizes the instance globally: aggregation
+//! works exactly when the `X_uv` mass is bimodal around 0 and 1.
+
+use aggclust_core::instance::DistanceOracle;
+
+/// Histogram of the pairwise distances `X_uv` over `bins` equal-width
+/// buckets spanning `[0, 1]` (the last bucket is closed).
+///
+/// # Panics
+/// Panics if `bins == 0`.
+pub fn agreement_histogram<O: DistanceOracle + ?Sized>(oracle: &O, bins: usize) -> Vec<u64> {
+    assert!(bins > 0, "need at least one bin");
+    let n = oracle.len();
+    let mut hist = vec![0u64; bins];
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let x = oracle.dist(u, v).clamp(0.0, 1.0);
+            let b = ((x * bins as f64) as usize).min(bins - 1);
+            hist[b] += 1;
+        }
+    }
+    hist
+}
+
+/// Fraction of pairs whose distance lies in the ambiguous middle band
+/// `(lo, hi)` — e.g. `(0.25, 0.75)`. Low values mean strong consensus.
+pub fn ambiguous_pair_fraction<O: DistanceOracle + ?Sized>(oracle: &O, lo: f64, hi: f64) -> f64 {
+    let n = oracle.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut ambiguous = 0u64;
+    let mut total = 0u64;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let x = oracle.dist(u, v);
+            if x > lo && x < hi {
+                ambiguous += 1;
+            }
+            total += 1;
+        }
+    }
+    ambiguous as f64 / total as f64
+}
+
+/// Per-node isolation score: the distance to the nearest other node.
+/// Close to 1 ⇒ every clustering separates this node from everyone ⇒ it
+/// will (and should) end up a singleton.
+pub fn isolation_scores<O: DistanceOracle + ?Sized>(oracle: &O) -> Vec<f64> {
+    let n = oracle.len();
+    (0..n)
+        .map(|u| {
+            let nearest = (0..n)
+                .filter(|&v| v != u)
+                .map(|v| oracle.dist(u, v))
+                .fold(f64::INFINITY, f64::min);
+            if nearest.is_finite() {
+                nearest.min(1.0)
+            } else {
+                0.0 // a universe of one node is not isolated from anything
+            }
+        })
+        .collect()
+}
+
+/// Per-node ambiguity score: the mean of `min(X_uv, 1 − X_uv)` over the
+/// other nodes — the per-pair unavoidable cost charged to `u`. Close to ½
+/// ⇒ the inputs have no consensus about `u` at all.
+pub fn ambiguity_scores<O: DistanceOracle + ?Sized>(oracle: &O) -> Vec<f64> {
+    let n = oracle.len();
+    (0..n)
+        .map(|u| {
+            if n < 2 {
+                return 0.0;
+            }
+            let total: f64 = (0..n)
+                .filter(|&v| v != u)
+                .map(|v| {
+                    let x = oracle.dist(u, v);
+                    x.min(1.0 - x)
+                })
+                .sum();
+            total / (n - 1) as f64
+        })
+        .collect()
+}
+
+/// Indices of the `top` most outlier-like nodes by combined score
+/// `isolation + ambiguity`, most suspicious first.
+pub fn top_outliers<O: DistanceOracle + ?Sized>(oracle: &O, top: usize) -> Vec<usize> {
+    let iso = isolation_scores(oracle);
+    let amb = ambiguity_scores(oracle);
+    let mut order: Vec<usize> = (0..oracle.len()).collect();
+    order.sort_by(|&a, &b| {
+        (iso[b] + amb[b])
+            .partial_cmp(&(iso[a] + amb[a]))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order.truncate(top);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggclust_core::clustering::Clustering;
+    use aggclust_core::instance::DenseOracle;
+
+    fn c(labels: &[u32]) -> Clustering {
+        Clustering::from_labels(labels.to_vec())
+    }
+
+    /// Three concordant clusterings plus one node (index 4) placed
+    /// differently by each — the classic no-consensus outlier.
+    fn outlier_instance() -> DenseOracle {
+        DenseOracle::from_clusterings(&[
+            c(&[0, 0, 1, 1, 0]),
+            c(&[0, 0, 1, 1, 1]),
+            c(&[0, 0, 1, 1, 2]),
+        ])
+    }
+
+    #[test]
+    fn histogram_sums_to_pair_count() {
+        let oracle = outlier_instance();
+        let hist = agreement_histogram(&oracle, 4);
+        assert_eq!(hist.iter().sum::<u64>(), 10); // 5 choose 2
+    }
+
+    #[test]
+    fn bimodal_instance_has_low_ambiguity() {
+        let consensus = c(&[0, 0, 1, 1]);
+        let oracle =
+            DenseOracle::from_clusterings(&[consensus.clone(), consensus.clone(), consensus]);
+        assert_eq!(ambiguous_pair_fraction(&oracle, 0.25, 0.75), 0.0);
+        let hist = agreement_histogram(&oracle, 2);
+        assert_eq!(hist.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn no_consensus_node_is_the_top_outlier() {
+        let oracle = outlier_instance();
+        let amb = ambiguity_scores(&oracle);
+        // Node 4's distances to 0,1 are 2/3 and to 2,3 are ... compute:
+        // min(x, 1-x) ≥ 1/3 for all its pairs, while core nodes pair at 0.
+        let core_max = amb[..4].iter().cloned().fold(0.0, f64::max);
+        assert!(amb[4] > core_max, "amb = {amb:?}");
+        assert_eq!(top_outliers(&oracle, 1), vec![4]);
+    }
+
+    #[test]
+    fn isolated_node_scores_one() {
+        // Node 3 at distance 1 from everyone.
+        let inputs = [c(&[0, 0, 0, 1]), c(&[0, 0, 0, 1])];
+        let oracle = DenseOracle::from_clusterings(&inputs);
+        let iso = isolation_scores(&oracle);
+        assert_eq!(iso[3], 1.0);
+        assert_eq!(iso[0], 0.0);
+        assert_eq!(top_outliers(&oracle, 1), vec![3]);
+    }
+
+    #[test]
+    fn tiny_instances() {
+        let oracle = DenseOracle::from_fn(1, |_, _| 0.0);
+        assert_eq!(isolation_scores(&oracle), vec![0.0]);
+        assert_eq!(ambiguity_scores(&oracle), vec![0.0]);
+        assert!(top_outliers(&oracle, 5).len() == 1);
+        let empty = DenseOracle::from_fn(0, |_, _| 0.0);
+        assert!(agreement_histogram(&empty, 3).iter().all(|&h| h == 0));
+    }
+}

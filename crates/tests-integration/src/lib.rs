@@ -1,0 +1,11 @@
+//! Integration-test crate: shared helpers for cross-crate tests.
+//!
+//! The actual tests live in `tests/` at the workspace root is not possible
+//! with a virtual workspace, so they live in this crate's `tests/` directory.
+
+use aggclust_core::clustering::Clustering;
+
+/// Build a clustering from a label slice (convenience for tests).
+pub fn clustering(labels: &[u32]) -> Clustering {
+    Clustering::from_labels(labels.to_vec())
+}

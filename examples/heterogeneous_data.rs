@@ -1,0 +1,64 @@
+//! Clustering heterogeneous data (paper §2): when a table mixes categorical
+//! and numeric attributes with incomparable units, no single distance
+//! measure makes sense — but each homogeneous slice can be clustered on its
+//! own terms and the clusterings aggregated.
+//!
+//! Here the numeric columns are quantile-binned into clusterings (one
+//! natural choice; any numeric clusterer would do) and aggregated together
+//! with the categorical attribute clusterings.
+//!
+//! ```text
+//! cargo run --release -p aggclust-bench --example heterogeneous_data
+//! ```
+
+use aggclust_core::algorithms::agglomerative::{agglomerative, AgglomerativeParams};
+use aggclust_core::clustering::Clustering;
+use aggclust_core::instance::{CorrelationInstance, MissingPolicy};
+use aggclust_data::presets::census_like_scaled;
+use aggclust_data::to_clusterings::{attribute_clusterings, heterogeneous_clusterings};
+use aggclust_metrics::classification_error;
+use aggclust_metrics::pair_counting::adjusted_rand_index;
+
+fn main() {
+    // A census-shaped table: 8 categorical attributes (occupation, race,
+    // sex, ...) plus 6 numeric columns (age, hours-per-week, ...) whose
+    // units cannot be compared to each other or to the categories.
+    let n = 1500;
+    let (dataset, latent) = census_like_scaled(n, 11);
+    let truth = Clustering::from_labels(latent);
+    println!(
+        "Dataset: {} — {} rows, {} categorical + {} numeric attributes",
+        dataset.name,
+        dataset.len(),
+        dataset.attributes().len(),
+        dataset.numeric_columns().len()
+    );
+
+    let aggregate = |clusterings: Vec<aggclust_core::clustering::PartialClustering>| {
+        let instance = CorrelationInstance::from_partial(clusterings, MissingPolicy::Coin(0.5));
+        agglomerative(&instance.dense_oracle(), AgglomerativeParams::paper())
+    };
+
+    // Categorical attributes only.
+    let cat_only = aggregate(attribute_clusterings(&dataset));
+    // Categorical + quantile-binned numeric columns. Bin count matters:
+    // coarse bins (3) keep same-group rows in the same bin and sharpen the
+    // consensus; fine bins scatter them and fragment it — binning is the
+    // "appropriate clustering algorithm" choice §2 leaves to the user.
+    let hetero = aggregate(heterogeneous_clusterings(&dataset, 3));
+
+    for (name, c) in [("categorical only", &cat_only), ("heterogeneous", &hetero)] {
+        println!(
+            "\n{name}: k = {}, ARI vs latent groups = {:.3}, E_C vs income = {:.1}%",
+            c.num_clusters(),
+            adjusted_rand_index(c, &truth),
+            100.0 * classification_error(c, dataset.class_labels()),
+        );
+    }
+    println!(
+        "\nThe numeric columns carry the same latent group structure, so\n\
+         folding them in as binned clusterings refines the consensus without\n\
+         ever comparing dollars to years to categories (paper §2,\n\
+         \"Clustering heterogeneous data\")."
+    );
+}
