@@ -55,7 +55,7 @@ impl AgglomerativeParams {
 }
 
 /// Run the AGGLOMERATIVE algorithm on a correlation-clustering instance.
-pub fn agglomerative<O: DistanceOracle + ?Sized>(
+pub fn agglomerative<O: DistanceOracle + Sync + ?Sized>(
     oracle: &O,
     params: AgglomerativeParams,
 ) -> Clustering {

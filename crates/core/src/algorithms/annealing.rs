@@ -43,7 +43,7 @@ impl Default for AnnealingParams {
 
 /// Run simulated annealing from the all-singletons start, followed by a
 /// zero-temperature LOCALSEARCH descent.
-pub fn simulated_annealing<O: DistanceOracle + ?Sized>(
+pub fn simulated_annealing<O: DistanceOracle + Sync + ?Sized>(
     oracle: &O,
     params: &AnnealingParams,
 ) -> Clustering {

@@ -16,6 +16,13 @@
 
 use crate::clustering::Clustering;
 use crate::instance::DistanceOracle;
+use crate::parallel;
+
+/// Minimum number of candidate vertices in a ball scan before the distance
+/// lookups are farmed out to worker threads; below this the serial loop is
+/// faster. The threshold cannot affect results — both paths compute the
+/// same distances and accumulate them in the same order.
+const SCAN_PAR_MIN: usize = 4096;
 
 /// The order in which BALLS visits vertices. The paper sorts by increasing
 /// total incident weight ("a heuristic that we observed to work well in
@@ -84,23 +91,28 @@ impl Default for BallsParams {
 /// (the heuristic the paper reports working well); each visit either carves
 /// out the ball around the vertex or emits a singleton. `O(n²)` oracle
 /// lookups after the `O(n²)` ordering pass.
-pub fn balls<O: DistanceOracle + ?Sized>(oracle: &O, params: BallsParams) -> Clustering {
+pub fn balls<O: DistanceOracle + Sync + ?Sized>(oracle: &O, params: BallsParams) -> Clustering {
     let n = oracle.len();
     if n == 0 {
         return Clustering::from_labels(Vec::new());
     }
 
     // Establish the visit order (the paper: increasing incident weight).
+    // Each vertex weight is an independent full-row sum, computed in
+    // parallel; accumulation order within a row is fixed (ascending v), so
+    // the keys — and the sort — are identical at any thread count.
     let mut order: Vec<usize> = (0..n).collect();
     if params.ordering != BallsOrdering::Index {
         let mut weight = vec![0.0f64; n];
-        for u in 0..n {
-            for v in (u + 1)..n {
-                let d = oracle.dist(u, v);
-                weight[u] += d;
-                weight[v] += d;
+        parallel::fill_slice(&mut weight, |u| {
+            let mut w = 0.0;
+            for v in 0..n {
+                if v != u {
+                    w += oracle.dist(u, v);
+                }
             }
-        }
+            w
+        });
         order.sort_by(|&a, &b| {
             let cmp = weight[a]
                 .partial_cmp(&weight[b])
@@ -117,16 +129,40 @@ pub fn balls<O: DistanceOracle + ?Sized>(oracle: &O, params: BallsParams) -> Clu
     let mut labels = vec![u32::MAX; n];
     let mut next_label = 0u32;
     let mut ball: Vec<usize> = Vec::new();
+    let mut candidates: Vec<usize> = Vec::new();
+    let mut cand_dist: Vec<f64> = Vec::new();
 
     for &u in &order {
         if labels[u] != u32::MAX {
             continue;
         }
-        // Collect unclustered vertices within distance ½ of u.
+        // Collect unclustered vertices within distance ½ of u. For large
+        // candidate sets the distance lookups run in parallel into a row
+        // buffer; membership and the average are then accumulated serially
+        // in ascending v order, matching the small-instance path exactly.
         ball.clear();
         let mut total = 0.0;
-        for (v, &label) in labels.iter().enumerate() {
-            if v != u && label == u32::MAX {
+        candidates.clear();
+        candidates.extend(
+            labels
+                .iter()
+                .enumerate()
+                .filter(|&(v, &label)| v != u && label == u32::MAX)
+                .map(|(v, _)| v),
+        );
+        if candidates.len() >= SCAN_PAR_MIN {
+            cand_dist.clear();
+            cand_dist.resize(candidates.len(), 0.0);
+            let candidates = &candidates;
+            parallel::fill_slice(&mut cand_dist, |i| oracle.dist(u, candidates[i]));
+            for (&v, &d) in candidates.iter().zip(&cand_dist) {
+                if d <= 0.5 {
+                    ball.push(v);
+                    total += d;
+                }
+            }
+        } else {
+            for &v in &candidates {
                 let d = oracle.dist(u, v);
                 if d <= 0.5 {
                     ball.push(v);

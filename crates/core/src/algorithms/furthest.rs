@@ -16,6 +16,7 @@
 use crate::clustering::Clustering;
 use crate::cost::within_cost;
 use crate::instance::DistanceOracle;
+use crate::parallel;
 
 /// Parameters for [`furthest`].
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
@@ -42,7 +43,16 @@ impl FurthestParams {
 }
 
 /// Run the FURTHEST algorithm.
-pub fn furthest<O: DistanceOracle + ?Sized>(oracle: &O, params: FurthestParams) -> Clustering {
+///
+/// The `O(n²)` furthest-pair search, the per-round nearest-center
+/// assignments, the candidate cost evaluations, and the `min_dist` updates
+/// all run in parallel (see [`crate::parallel`]); tie-breaks match the
+/// serial strict-comparison scans exactly, so the result is identical at
+/// any thread count.
+pub fn furthest<O: DistanceOracle + Sync + ?Sized>(
+    oracle: &O,
+    params: FurthestParams,
+) -> Clustering {
     let n = oracle.len();
     if n == 0 {
         return Clustering::from_labels(Vec::new());
@@ -63,39 +73,35 @@ pub fn furthest<O: DistanceOracle + ?Sized>(oracle: &O, params: FurthestParams) 
     let mut best = Clustering::one_cluster(n);
     let mut best_within = within_cost(oracle, &best);
 
-    // First two centers: the furthest-apart pair.
-    let (mut ca, mut cb, mut maxd) = (0usize, 1usize, oracle.dist(0, 1));
-    for u in 0..n {
-        for v in (u + 1)..n {
-            let d = oracle.dist(u, v);
-            if d > maxd {
-                maxd = d;
-                ca = u;
-                cb = v;
-            }
-        }
-    }
+    // First two centers: the furthest-apart pair (earliest pair on ties,
+    // like the serial strict-`>` scan).
+    let (ca, cb, _) =
+        parallel::max_pair(n, |u, v| oracle.dist(u, v)).expect("instance has at least two objects");
     let mut centers: Vec<usize> = vec![ca, cb];
     // min_dist[v] = distance from v to its nearest center (for picking the
     // next center in O(n) per round).
-    let mut min_dist: Vec<f64> = (0..n)
-        .map(|v| oracle.dist(v, ca).min(oracle.dist(v, cb)))
-        .collect();
+    let mut min_dist: Vec<f64> = vec![0.0; n];
+    parallel::fill_slice(&mut min_dist, |v| {
+        oracle.dist(v, ca).min(oracle.dist(v, cb))
+    });
 
     loop {
         // Assign every node to the nearest center (ties → earliest center).
         let mut labels = vec![0u32; n];
-        for (v, label) in labels.iter_mut().enumerate() {
-            let mut best_c = 0usize;
-            let mut best_d = f64::INFINITY;
-            for (ci, &c) in centers.iter().enumerate() {
-                let d = oracle.dist(v, c);
-                if d < best_d {
-                    best_d = d;
-                    best_c = ci;
+        {
+            let centers = &centers;
+            parallel::fill_slice(&mut labels, |v| {
+                let mut best_c = 0usize;
+                let mut best_d = f64::INFINITY;
+                for (ci, &c) in centers.iter().enumerate() {
+                    let d = oracle.dist(v, c);
+                    if d < best_d {
+                        best_d = d;
+                        best_c = ci;
+                    }
                 }
-            }
-            *label = best_c as u32;
+                best_c as u32
+            });
         }
         let candidate = Clustering::from_labels(labels);
         let cand_within = within_cost(oracle, &candidate);
@@ -130,12 +136,12 @@ pub fn furthest<O: DistanceOracle + ?Sized>(oracle: &O, params: FurthestParams) 
             break;
         }
         centers.push(next);
-        for (v, slot) in min_dist.iter_mut().enumerate() {
+        parallel::update_slice(&mut min_dist, |v, slot| {
             let d = oracle.dist(v, next);
             if d < *slot {
                 *slot = d;
             }
-        }
+        });
     }
 
     best

@@ -17,11 +17,34 @@
 //! LOCALSEARCH doubles as a post-processing step for any other algorithm
 //! (see [`local_search_from`]); the experiments show it improves solutions
 //! significantly at the price of many iterations.
+//!
+//! ## Parallel execution
+//!
+//! Steepest descent is inherently sequential — every move changes the
+//! labels that the next node's evaluation depends on — but the expensive
+//! part of a node visit, the `n − 1` oracle lookups `X_vu`, depends only on
+//! the (immutable) distances. The implementation therefore prefetches the
+//! distance rows for a fixed-size *block* of upcoming nodes in parallel
+//! (one big [`crate::parallel::fill_slice`] call amortizes thread
+//! dispatch), then replays the nodes serially against the cached rows,
+//! accumulating `M(v, C_i)` and `T_v` in the same naive `u` order as the
+//! serial code. The move sequence — and hence the result — is bit-identical
+//! to a fully serial run at any thread count.
 
 use crate::clustering::Clustering;
 use crate::instance::DistanceOracle;
+use crate::parallel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Nodes per prefetched block: large enough that one parallel fill of
+/// `ROW_BLOCK · n` distances dwarfs thread-dispatch overhead, small enough
+/// to keep the row cache (`ROW_BLOCK · n` f64s) modest.
+const ROW_BLOCK: usize = 32;
+
+/// Below this instance size the row cache is skipped entirely: the plain
+/// serial loop is faster and produces the same result.
+const PREFETCH_MIN_N: usize = 2048;
 
 /// The starting point for [`local_search`].
 #[derive(Clone, Debug, Default)]
@@ -68,7 +91,7 @@ impl Default for LocalSearchParams {
 }
 
 /// Run LOCALSEARCH from the configured initial clustering.
-pub fn local_search<O: DistanceOracle + ?Sized>(
+pub fn local_search<O: DistanceOracle + Sync + ?Sized>(
     oracle: &O,
     params: LocalSearchParams,
 ) -> Clustering {
@@ -93,7 +116,7 @@ pub fn local_search<O: DistanceOracle + ?Sized>(
 ///
 /// Guaranteed never to increase the correlation cost; each accepted move
 /// strictly decreases it by more than `epsilon`.
-pub fn local_search_from<O: DistanceOracle + ?Sized>(
+pub fn local_search_from<O: DistanceOracle + Sync + ?Sized>(
     oracle: &O,
     start: &Clustering,
     max_passes: usize,
@@ -117,62 +140,48 @@ pub fn local_search_from<O: DistanceOracle + ?Sized>(
         s
     };
 
+    let prefetch = n >= PREFETCH_MIN_N;
+    let block = if prefetch { ROW_BLOCK.min(n) } else { 1 };
+    let mut rows: Vec<f64> = if prefetch {
+        vec![0.0; block * n]
+    } else {
+        Vec::new()
+    };
+
     let mut m_sums: Vec<f64> = Vec::new();
     for _pass in 0..max_passes {
         let mut moved = false;
-        for v in 0..n {
-            let k = sizes.len();
-            m_sums.clear();
-            m_sums.resize(k, 0.0);
-            let mut t_v = 0.0;
-            for u in 0..n {
-                if u != v {
-                    let x = oracle.dist(v, u);
-                    m_sums[labels[u] as usize] += x;
-                    t_v += x;
-                }
+        let mut block_start = 0usize;
+        while block_start < n {
+            let block_end = (block_start + block).min(n);
+            if prefetch {
+                // Prefetch the distance rows of the whole block in one
+                // parallel fill; distances never change, so the rows stay
+                // valid however the labels move below.
+                let width = block_end - block_start;
+                parallel::fill_slice(&mut rows[..width * n], |i| {
+                    oracle.dist(block_start + i / n, i % n)
+                });
             }
-            let cur = labels[v] as usize;
-            let others = (n - 1) as f64;
-            // d(v, C_i) = 2·M_i − T_v + (n−1) − |C_i \ {v}|
-            let move_cost = |i: usize, sizes: &[usize]| -> f64 {
-                let size_wo_v = sizes[i] - usize::from(i == cur);
-                2.0 * m_sums[i] - t_v + others - size_wo_v as f64
-            };
-            let singleton_cost = others - t_v;
-
-            let mut best_i = usize::MAX; // MAX = fresh singleton
-            let mut best_cost = singleton_cost;
-            for i in 0..k {
-                if sizes[i] == 0 && i != cur {
-                    continue;
-                }
-                let c = move_cost(i, &sizes);
-                if c < best_cost {
-                    best_cost = c;
-                    best_i = i;
-                }
-            }
-            let cur_cost = move_cost(cur, &sizes);
-            if best_cost < cur_cost - epsilon && best_i != cur {
-                sizes[cur] -= 1;
-                let target = if best_i == usize::MAX {
-                    if sizes[cur] == 0 {
-                        // Moving a singleton to a fresh singleton is a
-                        // no-op; keep the label. (Unreachable because the
-                        // costs are equal, but kept for safety.)
-                        cur
-                    } else {
-                        sizes.push(0);
-                        sizes.len() - 1
-                    }
+            for v in block_start..block_end {
+                let row = if prefetch {
+                    Some(&rows[(v - block_start) * n..(v - block_start + 1) * n])
                 } else {
-                    best_i
+                    None
                 };
-                sizes[target] += 1;
-                labels[v] = target as u32;
-                moved = true;
+                if visit_node(
+                    oracle,
+                    row,
+                    v,
+                    epsilon,
+                    &mut labels,
+                    &mut sizes,
+                    &mut m_sums,
+                ) {
+                    moved = true;
+                }
             }
+            block_start = block_end;
         }
         if !moved {
             break;
@@ -180,6 +189,90 @@ pub fn local_search_from<O: DistanceOracle + ?Sized>(
     }
 
     Clustering::from_labels(labels)
+}
+
+/// Evaluate all candidate moves for node `v` against the current labels and
+/// apply the best strictly improving one. `row`, when present, caches
+/// `oracle.dist(v, u)` for all `u`; the accumulation order over `u` is the
+/// same either way, so both paths produce bit-identical decisions. Returns
+/// `true` if the node moved.
+fn visit_node<O: DistanceOracle + ?Sized>(
+    oracle: &O,
+    row: Option<&[f64]>,
+    v: usize,
+    epsilon: f64,
+    labels: &mut [u32],
+    sizes: &mut Vec<usize>,
+    m_sums: &mut Vec<f64>,
+) -> bool {
+    let n = labels.len();
+    let k = sizes.len();
+    m_sums.clear();
+    m_sums.resize(k, 0.0);
+    let mut t_v = 0.0;
+    match row {
+        Some(xs) => {
+            for u in 0..n {
+                if u != v {
+                    let x = xs[u];
+                    m_sums[labels[u] as usize] += x;
+                    t_v += x;
+                }
+            }
+        }
+        None => {
+            for u in 0..n {
+                if u != v {
+                    let x = oracle.dist(v, u);
+                    m_sums[labels[u] as usize] += x;
+                    t_v += x;
+                }
+            }
+        }
+    }
+    let cur = labels[v] as usize;
+    let others = (n - 1) as f64;
+    // d(v, C_i) = 2·M_i − T_v + (n−1) − |C_i \ {v}|
+    let move_cost = |i: usize, sizes: &[usize]| -> f64 {
+        let size_wo_v = sizes[i] - usize::from(i == cur);
+        2.0 * m_sums[i] - t_v + others - size_wo_v as f64
+    };
+    let singleton_cost = others - t_v;
+
+    let mut best_i = usize::MAX; // MAX = fresh singleton
+    let mut best_cost = singleton_cost;
+    for i in 0..k {
+        if sizes[i] == 0 && i != cur {
+            continue;
+        }
+        let c = move_cost(i, sizes);
+        if c < best_cost {
+            best_cost = c;
+            best_i = i;
+        }
+    }
+    let cur_cost = move_cost(cur, sizes);
+    if best_cost < cur_cost - epsilon && best_i != cur {
+        sizes[cur] -= 1;
+        let target = if best_i == usize::MAX {
+            if sizes[cur] == 0 {
+                // Moving a singleton to a fresh singleton is a
+                // no-op; keep the label. (Unreachable because the
+                // costs are equal, but kept for safety.)
+                cur
+            } else {
+                sizes.push(0);
+                sizes.len() - 1
+            }
+        } else {
+            best_i
+        };
+        sizes[target] += 1;
+        labels[v] = target as u32;
+        true
+    } else {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -46,7 +46,7 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// Run the algorithm on a correlation-clustering instance.
-    pub fn run<O: DistanceOracle>(&self, oracle: &O) -> Clustering {
+    pub fn run<O: DistanceOracle + Sync>(&self, oracle: &O) -> Clustering {
         match self {
             Algorithm::Balls(p) => balls::balls(oracle, *p),
             Algorithm::Agglomerative(p) => agglomerative::agglomerative(oracle, *p),

@@ -65,7 +65,7 @@ impl PivotParams {
 
 /// Run CC-PIVOT; with `repetitions > 1` the cheapest of the independent
 /// runs (by correlation cost) is returned.
-pub fn pivot<O: DistanceOracle + ?Sized>(oracle: &O, params: PivotParams) -> Clustering {
+pub fn pivot<O: DistanceOracle + Sync + ?Sized>(oracle: &O, params: PivotParams) -> Clustering {
     let n = oracle.len();
     if n == 0 {
         return Clustering::from_labels(Vec::new());
@@ -83,7 +83,7 @@ pub fn pivot<O: DistanceOracle + ?Sized>(oracle: &O, params: PivotParams) -> Clu
     best.expect("at least one repetition").1
 }
 
-fn pivot_once<O: DistanceOracle + ?Sized>(
+fn pivot_once<O: DistanceOracle + Sync + ?Sized>(
     oracle: &O,
     rounding: PivotRounding,
     rng: &mut StdRng,

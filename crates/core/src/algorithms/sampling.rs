@@ -94,13 +94,13 @@ pub struct SamplingDetails {
 }
 
 /// Run the SAMPLING algorithm, returning just the clustering.
-pub fn sampling<O: DistanceOracle>(oracle: &O, params: &SamplingParams) -> Clustering {
+pub fn sampling<O: DistanceOracle + Sync>(oracle: &O, params: &SamplingParams) -> Clustering {
     sampling_with_details(oracle, params).clustering
 }
 
 /// Run the SAMPLING algorithm with phase-level instrumentation (used by the
 /// Figure-5 experiments).
-pub fn sampling_with_details<O: DistanceOracle>(
+pub fn sampling_with_details<O: DistanceOracle + Sync>(
     oracle: &O,
     params: &SamplingParams,
 ) -> SamplingDetails {

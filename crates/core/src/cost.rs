@@ -12,27 +12,27 @@
 //! this module. Because every pair independently costs at least
 //! `min(X_uv, 1 − X_uv)`, summing that quantity yields the instance-wide
 //! lower bound reported in Tables 2–3 of the paper.
+//!
+//! All `O(n²)` sums here run as deterministic chunked reductions over
+//! [`crate::parallel`]: fixed chunk boundaries, partials combined in chunk
+//! order, so the value is bit-identical at any thread count.
 
 use crate::clustering::Clustering;
 use crate::instance::DistanceOracle;
+use crate::parallel;
 
 /// The correlation-clustering cost `d(C)` (Problem 2). `O(n²)` oracle
-/// lookups.
-pub fn correlation_cost<O: DistanceOracle + ?Sized>(oracle: &O, c: &Clustering) -> f64 {
+/// lookups, parallelized over pair chunks.
+pub fn correlation_cost<O: DistanceOracle + Sync + ?Sized>(oracle: &O, c: &Clustering) -> f64 {
     assert_eq!(oracle.len(), c.len(), "oracle and clustering sizes differ");
-    let n = c.len();
-    let mut cost = 0.0;
-    for u in 0..n {
-        for v in (u + 1)..n {
-            let x = oracle.dist(u, v);
-            if c.same_cluster(u, v) {
-                cost += x;
-            } else {
-                cost += 1.0 - x;
-            }
+    parallel::sum_pairs(c.len(), |u, v| {
+        let x = oracle.dist(u, v);
+        if c.same_cluster(u, v) {
+            x
+        } else {
+            1.0 - x
         }
-    }
-    cost
+    })
 }
 
 /// Decomposition of [`correlation_cost`] used for incremental updates:
@@ -41,21 +41,17 @@ pub fn correlation_cost<O: DistanceOracle + ?Sized>(oracle: &O, c: &Clustering) 
 ///
 /// Returns `(B, within)` so callers comparing candidate solutions can work
 /// with the cheap `within` term (`O(Σ s_i²)` lookups instead of `O(n²)`).
-pub fn cost_decomposition<O: DistanceOracle + ?Sized>(oracle: &O, c: &Clustering) -> (f64, f64) {
+pub fn cost_decomposition<O: DistanceOracle + Sync + ?Sized>(
+    oracle: &O,
+    c: &Clustering,
+) -> (f64, f64) {
     let base = split_everything_cost(oracle);
     (base, within_cost(oracle, c))
 }
 
 /// The cost of the all-singletons clustering: `B = Σ_{u<v} (1 − X_uv)`.
-pub fn split_everything_cost<O: DistanceOracle + ?Sized>(oracle: &O) -> f64 {
-    let n = oracle.len();
-    let mut b = 0.0;
-    for u in 0..n {
-        for v in (u + 1)..n {
-            b += 1.0 - oracle.dist(u, v);
-        }
-    }
-    b
+pub fn split_everything_cost<O: DistanceOracle + Sync + ?Sized>(oracle: &O) -> f64 {
+    parallel::sum_pairs(oracle.len(), |u, v| 1.0 - oracle.dist(u, v))
 }
 
 /// The `C`-dependent part of the cost: `Σ_{u<v in same cluster} (2·X_uv − 1)`.
@@ -63,17 +59,29 @@ pub fn split_everything_cost<O: DistanceOracle + ?Sized>(oracle: &O) -> f64 {
 /// Adding this to [`split_everything_cost`] gives [`correlation_cost`]; on
 /// its own it ranks candidate clusterings identically and costs only
 /// `O(Σ s_i²)` oracle lookups.
-pub fn within_cost<O: DistanceOracle + ?Sized>(oracle: &O, c: &Clustering) -> f64 {
+pub fn within_cost<O: DistanceOracle + Sync + ?Sized>(oracle: &O, c: &Clustering) -> f64 {
     assert_eq!(oracle.len(), c.len(), "oracle and clustering sizes differ");
-    let mut w = 0.0;
-    for members in c.clusters() {
-        for (i, &u) in members.iter().enumerate() {
+    let clusters = c.clusters();
+    // Job list: (cluster, row range of its member list), split so one huge
+    // cluster still spreads across workers. Boundaries depend only on the
+    // clustering, keeping the partial-sum order deterministic.
+    let mut jobs: Vec<(&[usize], std::ops::Range<usize>)> = Vec::new();
+    for members in &clusters {
+        let len = members.len();
+        for rows in parallel::balanced_ranges(len, 8192, |i| len - 1 - i) {
+            jobs.push((members.as_slice(), rows));
+        }
+    }
+    parallel::sum_jobs(jobs, |(members, rows)| {
+        let mut w = 0.0;
+        for i in rows {
+            let u = members[i];
             for &v in &members[i + 1..] {
                 w += 2.0 * oracle.dist(u, v) - 1.0;
             }
         }
-    }
-    w
+        w
+    })
 }
 
 /// Per-pair lower bound on the optimal correlation cost:
@@ -82,16 +90,11 @@ pub fn within_cost<O: DistanceOracle + ?Sized>(oracle: &O, c: &Clustering) -> f6
 /// Every clustering pays at least `min(X, 1 − X)` on each pair, so no
 /// solution — including the optimum — can cost less. The "Lower bound" rows
 /// of Tables 2 and 3 are `m` times this value.
-pub fn lower_bound<O: DistanceOracle + ?Sized>(oracle: &O) -> f64 {
-    let n = oracle.len();
-    let mut lb = 0.0;
-    for u in 0..n {
-        for v in (u + 1)..n {
-            let x = oracle.dist(u, v);
-            lb += x.min(1.0 - x);
-        }
-    }
-    lb
+pub fn lower_bound<O: DistanceOracle + Sync + ?Sized>(oracle: &O) -> f64 {
+    parallel::sum_pairs(oracle.len(), |u, v| {
+        let x = oracle.dist(u, v);
+        x.min(1.0 - x)
+    })
 }
 
 /// The aggregation objective `D(C) = Σ_i d_V(C_i, C)` as an exact integer
@@ -105,7 +108,10 @@ pub fn aggregation_cost(inputs: &[Clustering], candidate: &Clustering) -> u64 {
 /// Expected disagreement error `E_D = m · d(C)` for instances that may
 /// involve missing values (where disagreements are fractional in
 /// expectation).
-pub fn expected_disagreements<O: DistanceOracle + ?Sized>(oracle: &O, c: &Clustering) -> f64 {
+pub fn expected_disagreements<O: DistanceOracle + Sync + ?Sized>(
+    oracle: &O,
+    c: &Clustering,
+) -> f64 {
     let m = oracle
         .num_clusterings()
         .expect("oracle does not know its clustering count") as f64;

@@ -15,19 +15,41 @@
 use crate::clustering::Clustering;
 use std::collections::HashMap;
 
+/// Cell-count ceiling for the dense contingency table in
+/// [`pairs_together_both`]. `k₁·k₂` at or below this (4M cells, 32 MiB)
+/// uses a flat `Vec` — one multiply-add per object instead of a hash —
+/// while pathological `k₁·k₂` blowups fall back to the sparse map.
+const DENSE_TABLE_MAX_CELLS: usize = 1 << 22;
+
 /// Number of unordered pairs co-clustered by *both* clusterings,
 /// `Σ_{ij} n_ij (n_ij − 1) / 2` over the contingency table `n_ij`.
+///
+/// Labels are normalized to `0..k` by [`Clustering::from_labels`], so the
+/// table is stored densely as a `k₁ × k₂` vector indexed by
+/// `label₁ · k₂ + label₂` whenever it fits; a `HashMap` handles the rare
+/// huge-`k₁·k₂` case.
 pub fn pairs_together_both(c1: &Clustering, c2: &Clustering) -> u64 {
     assert_eq!(
         c1.len(),
         c2.len(),
         "clusterings must cover the same objects"
     );
-    let mut table: HashMap<(u32, u32), u64> = HashMap::new();
-    for v in 0..c1.len() {
-        *table.entry((c1.label(v), c2.label(v))).or_insert(0) += 1;
+    let (k1, k2) = (c1.num_clusters(), c2.num_clusters());
+    if let Some(cells) = k1.checked_mul(k2).filter(|&c| c <= DENSE_TABLE_MAX_CELLS) {
+        let mut table = vec![0u64; cells];
+        for v in 0..c1.len() {
+            table[c1.label(v) as usize * k2 + c2.label(v) as usize] += 1;
+        }
+        // Unlike the sparse map, the dense table has empty cells: guard the
+        // c·(c−1)/2 term against u64 underflow at c = 0.
+        table.iter().map(|&c| c * c.saturating_sub(1) / 2).sum()
+    } else {
+        let mut table: HashMap<(u32, u32), u64> = HashMap::new();
+        for v in 0..c1.len() {
+            *table.entry((c1.label(v), c2.label(v))).or_insert(0) += 1;
+        }
+        table.values().map(|&c| c * (c - 1) / 2).sum()
     }
-    table.values().map(|&c| c * (c - 1) / 2).sum()
 }
 
 /// Disagreement distance `d_V(C₁, C₂)`: the number of unordered pairs on
@@ -165,6 +187,34 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn dense_and_sparse_tables_agree() {
+        // k₁·k₂ = 2101² ≈ 4.4M exceeds DENSE_TABLE_MAX_CELLS, forcing the
+        // HashMap fallback; the smaller copy of the same structure takes
+        // the dense path. Both must count identically.
+        let n = 2101usize;
+        let big1 = c(&(0..2 * n).map(|v| (v / 2) as u32).collect::<Vec<_>>());
+        let big2 = c(&(0..2 * n)
+            .map(|v| (((v / 2) + (v % 2) * 7) % n) as u32)
+            .collect::<Vec<_>>());
+        assert!(big1.num_clusters() * big2.num_clusters() > DENSE_TABLE_MAX_CELLS);
+        let expected: u64 = (0..2 * n as u64)
+            .flat_map(|u| ((u + 1)..2 * n as u64).map(move |v| (u, v)))
+            .filter(|&(u, v)| {
+                big1.same_cluster(u as usize, v as usize)
+                    && big2.same_cluster(u as usize, v as usize)
+            })
+            .count() as u64;
+        assert_eq!(pairs_together_both(&big1, &big2), expected);
+
+        let small1 = c(&[0, 0, 1, 1, 2, 2, 3]);
+        let small2 = c(&[0, 1, 1, 1, 2, 0, 3]);
+        assert!(small1.num_clusters() * small2.num_clusters() <= DENSE_TABLE_MAX_CELLS);
+        // Only {2,3} is co-clustered by both: c1 pairs {0,1},{2,3},{4,5};
+        // c2 separates 0|1 and 4|5.
+        assert_eq!(pairs_together_both(&small1, &small2), 1);
     }
 
     #[test]

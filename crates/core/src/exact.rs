@@ -33,7 +33,7 @@ pub struct ExactResult {
 ///
 /// # Panics
 /// Panics if `oracle.len() > MAX_EXACT_N`.
-pub fn optimal_clustering<O: DistanceOracle + ?Sized>(oracle: &O) -> ExactResult {
+pub fn optimal_clustering<O: DistanceOracle + Sync + ?Sized>(oracle: &O) -> ExactResult {
     let n = oracle.len();
     assert!(
         n <= MAX_EXACT_N,
@@ -146,7 +146,7 @@ pub const MAX_BNB_N: usize = 24;
 ///
 /// # Panics
 /// Panics if `oracle.len() > MAX_BNB_N`.
-pub fn branch_and_bound<O: DistanceOracle + ?Sized>(oracle: &O) -> ExactResult {
+pub fn branch_and_bound<O: DistanceOracle + Sync + ?Sized>(oracle: &O) -> ExactResult {
     let n = oracle.len();
     assert!(
         n <= MAX_BNB_N,

@@ -65,12 +65,13 @@ pub trait DistanceOracle {
     }
 
     /// Materialize into a [`DenseOracle`] (no-op cost model for algorithms
-    /// that touch all pairs anyway).
+    /// that touch all pairs anyway). Pairs are evaluated in parallel when
+    /// the `parallel` feature is enabled.
     fn to_dense(&self) -> DenseOracle
     where
-        Self: Sized,
+        Self: Sized + Sync,
     {
-        DenseOracle::from_fn(self.len(), |u, v| self.dist(u, v))
+        DenseOracle::from_fn_sync(self.len(), |u, v| self.dist(u, v))
             .with_num_clusterings(self.num_clusterings())
     }
 
@@ -78,9 +79,9 @@ pub trait DistanceOracle {
     /// `0..subset.len()`.
     fn restrict(&self, subset: &[usize]) -> DenseOracle
     where
-        Self: Sized,
+        Self: Sized + Sync,
     {
-        DenseOracle::from_fn(subset.len(), |u, v| self.dist(subset[u], subset[v]))
+        DenseOracle::from_fn_sync(subset.len(), |u, v| self.dist(subset[u], subset[v]))
             .with_num_clusterings(self.num_clusterings())
     }
 }
@@ -102,7 +103,10 @@ pub struct DenseOracle {
 }
 
 impl DenseOracle {
-    /// Build from a distance function evaluated on every pair `u < v`.
+    /// Build from a distance function evaluated on every pair `u < v`,
+    /// serially in `(u asc, v asc)` order. Kept for stateful `FnMut`
+    /// closures; prefer [`DenseOracle::from_fn_sync`] for pure distance
+    /// functions, which fills the triangle in parallel.
     pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
         let mut data = Vec::with_capacity(n * n.saturating_sub(1) / 2);
         for u in 0..n {
@@ -112,6 +116,18 @@ impl DenseOracle {
                 data.push(d);
             }
         }
+        DenseOracle { n, data, m: None }
+    }
+
+    /// Build from a pure distance function, filling the `n(n−1)/2` triangle
+    /// in parallel row chunks (see [`crate::parallel`]). Produces exactly
+    /// the same matrix as [`DenseOracle::from_fn`] at any thread count.
+    pub fn from_fn_sync(n: usize, f: impl Fn(usize, usize) -> f64 + Sync) -> Self {
+        let data = crate::parallel::fill_condensed(n, |u, v| {
+            let d = f(u, v);
+            debug_assert!((0.0..=1.0).contains(&d), "distance {d} out of [0,1]");
+            d
+        });
         DenseOracle { n, data, m: None }
     }
 
@@ -125,7 +141,7 @@ impl DenseOracle {
             "all clusterings must cover the same objects"
         );
         let m = clusterings.len() as f64;
-        DenseOracle::from_fn(n, |u, v| {
+        DenseOracle::from_fn_sync(n, |u, v| {
             let sep = clusterings.iter().filter(|c| !c.same_cluster(u, v)).count();
             sep as f64 / m
         })
@@ -156,7 +172,7 @@ impl DenseOracle {
             clusterings.iter().all(|c| c.len() == n),
             "all clusterings must cover the same objects"
         );
-        DenseOracle::from_fn(n, |u, v| {
+        DenseOracle::from_fn_sync(n, |u, v| {
             let sep: f64 = clusterings
                 .iter()
                 .zip(weights)

@@ -67,6 +67,7 @@ pub mod distance;
 pub mod exact;
 pub mod instance;
 pub mod linkage;
+pub mod parallel;
 
 pub use clustering::{Clustering, PartialClustering};
 pub use consensus::{aggregate, ConsensusBuilder, ConsensusResult};

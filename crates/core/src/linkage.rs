@@ -14,6 +14,14 @@
 
 use crate::clustering::Clustering;
 use crate::instance::DistanceOracle;
+use crate::parallel;
+
+/// Minimum matrix size before the nearest-neighbor lookups inside the
+/// chain loop are chunked across worker threads; the per-step scan is
+/// `O(n)`, so small instances are faster serial. The threshold cannot
+/// change the dendrogram — the parallel arg-min reproduces the serial
+/// strict-`<` scan exactly, earliest index on ties.
+const NN_PAR_MIN: usize = 32_768;
 
 /// Linkage criterion, expressed through Lance–Williams update coefficients.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -57,7 +65,9 @@ pub struct CondensedMatrix {
 }
 
 impl CondensedMatrix {
-    /// Build from a distance function over pairs `u < v`.
+    /// Build from a distance function over pairs `u < v`, serially. Kept
+    /// for stateful `FnMut` closures; prefer
+    /// [`CondensedMatrix::from_fn_sync`] for pure distance functions.
     pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
         let mut data = Vec::with_capacity(n * n.saturating_sub(1) / 2);
         for u in 0..n {
@@ -68,9 +78,19 @@ impl CondensedMatrix {
         CondensedMatrix { n, data }
     }
 
-    /// Copy the distances out of any [`DistanceOracle`].
-    pub fn from_oracle<O: DistanceOracle + ?Sized>(oracle: &O) -> Self {
-        CondensedMatrix::from_fn(oracle.len(), |u, v| oracle.dist(u, v))
+    /// Build from a pure distance function, filling the triangle in
+    /// parallel row chunks. Same matrix as [`CondensedMatrix::from_fn`] at
+    /// any thread count.
+    pub fn from_fn_sync(n: usize, f: impl Fn(usize, usize) -> f64 + Sync) -> Self {
+        CondensedMatrix {
+            n,
+            data: parallel::fill_condensed(n, f),
+        }
+    }
+
+    /// Copy the distances out of any [`DistanceOracle`] (in parallel).
+    pub fn from_oracle<O: DistanceOracle + Sync + ?Sized>(oracle: &O) -> Self {
+        CondensedMatrix::from_fn_sync(oracle.len(), |u, v| oracle.dist(u, v))
     }
 
     /// Number of points.
@@ -298,10 +318,27 @@ pub fn linkage(mut dist: CondensedMatrix, method: LinkageMethod) -> Dendrogram {
                 best = usize::MAX;
                 best_d = f64::INFINITY;
             }
-            for (z, &is_active) in active.iter().enumerate() {
-                if z != x && is_active && dist.get(x, z) < best_d {
-                    best_d = dist.get(x, z);
-                    best = z;
+            if n >= NN_PAR_MIN {
+                // Chunked arg-min: earliest active index with the strictly
+                // smallest distance — exactly what the serial scan below
+                // finds. An equal-distance hit never displaces the chain
+                // predecessor (strict `<` against its distance).
+                let active = &active;
+                let dist = &dist;
+                if let Some((z, d)) =
+                    parallel::arg_min_by(n, |z| (z != x && active[z]).then(|| dist.get(x, z)))
+                {
+                    if d < best_d {
+                        best_d = d;
+                        best = z;
+                    }
+                }
+            } else {
+                for (z, &is_active) in active.iter().enumerate() {
+                    if z != x && is_active && dist.get(x, z) < best_d {
+                        best_d = dist.get(x, z);
+                        best = z;
+                    }
                 }
             }
             debug_assert!(best != usize::MAX);

@@ -1,0 +1,464 @@
+//! Deterministic data-parallel execution layer.
+//!
+//! Every `O(n²)` kernel in this crate — oracle materialization, the cost
+//! functions, and the per-node scans inside BALLS, FURTHEST, AGGLOMERATIVE
+//! and LOCALSEARCH — funnels through the primitives in this module. The
+//! design goal is *bit-identical results at any thread count*, so the
+//! parallel feature can never change what an algorithm returns:
+//!
+//! * Work is split into **fixed chunks whose boundaries depend only on the
+//!   problem size**, never on the number of worker threads.
+//! * Floating-point reductions compute one partial per chunk (each partial
+//!   accumulated in ascending index order) and combine the partials
+//!   **sequentially in chunk order**. Arg-min/arg-max combines keep the
+//!   earliest-index winner on ties, matching a serial strict-comparison
+//!   scan.
+//! * The serial fallback (`--no-default-features`) executes the *same*
+//!   chunked schedule sequentially, so builds with and without the
+//!   `parallel` feature also agree bit-for-bit.
+//!
+//! Threads are plain `std::thread::scope` workers draining a shared queue
+//! of chunk jobs; the environment is expected to be offline, so no external
+//! thread-pool crate is used. The worker count comes from, in order of
+//! precedence: a scoped [`with_num_threads`] override (used by the
+//! determinism tests to compare thread counts inside one process), the
+//! `RAYON_NUM_THREADS` environment variable (read once), and
+//! `std::thread::available_parallelism`. Without the `parallel` feature the
+//! count is always 1 and no threads are ever spawned.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Upper bound on the number of chunks a task is split into. More chunks
+/// than threads keeps the shared queue effective at balancing uneven work;
+/// the constant is fixed so chunk boundaries never depend on thread count.
+const TARGET_CHUNKS: usize = 128;
+
+/// Minimum elements per chunk for index-spaces (slices, rows): below this,
+/// per-chunk scheduling overhead dominates the work.
+const MIN_CHUNK_ITEMS: usize = 1024;
+
+/// Minimum pairs per chunk for pair-spaces (`n(n−1)/2` triangles).
+const MIN_CHUNK_PAIRS: usize = 8192;
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+
+fn env_threads() -> Option<usize> {
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// The number of worker threads parallel primitives may use on this thread.
+///
+/// Always 1 without the `parallel` feature. Results never depend on this
+/// value — only wall-clock time does.
+pub fn current_num_threads() -> usize {
+    if cfg!(not(feature = "parallel")) {
+        return 1;
+    }
+    if let Some(n) = THREAD_OVERRIDE.get() {
+        return n;
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` with the worker-thread count pinned to `threads` (minimum 1) on
+/// the current thread, restoring the previous setting afterwards (also on
+/// panic). Intended for tests and benchmarks that compare thread counts
+/// within one process; production callers should prefer the
+/// `RAYON_NUM_THREADS` environment variable.
+pub fn with_num_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.set(self.0);
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.replace(Some(threads.max(1))));
+    f()
+}
+
+/// Execute every job, in parallel when the feature and thread count allow.
+/// Job order of *execution* is unspecified; callers must make each job
+/// write to disjoint state (typically a `&mut` chunk or partial slot).
+fn run_jobs<T, F>(jobs: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    #[cfg(feature = "parallel")]
+    if jobs.len() > 1 {
+        let threads = current_num_threads().min(jobs.len());
+        if threads > 1 {
+            let queue = std::sync::Mutex::new(jobs.into_iter());
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let job = queue.lock().unwrap().next();
+                        match job {
+                            Some(job) => f(job),
+                            None => break,
+                        }
+                    });
+                }
+            });
+            return;
+        }
+    }
+    for job in jobs {
+        f(job);
+    }
+}
+
+/// Chunk size for a `len`-element index space (function of `len` only).
+fn chunk_size(len: usize) -> usize {
+    len.div_ceil(TARGET_CHUNKS).max(MIN_CHUNK_ITEMS)
+}
+
+/// Split `0..len` into consecutive ranges of roughly equal total `weight`,
+/// with at most `TARGET_CHUNKS` ranges and at least `min_weight` per
+/// range. Boundaries are a pure function of the weights, so reductions
+/// chunked this way are deterministic.
+pub fn balanced_ranges(
+    len: usize,
+    min_weight: usize,
+    weight: impl Fn(usize) -> usize,
+) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let total: usize = (0..len).map(&weight).sum();
+    let target = total.div_ceil(TARGET_CHUNKS).max(min_weight).max(1);
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for i in 0..len {
+        acc += weight(i);
+        if acc >= target {
+            ranges.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < len {
+        ranges.push(start..len);
+    }
+    ranges
+}
+
+/// Row ranges covering `0..n` such that each range holds roughly the same
+/// number of pairs `(u, v)` with `u` in the range and `u < v < n`.
+fn row_ranges(n: usize) -> Vec<Range<usize>> {
+    balanced_ranges(n, MIN_CHUNK_PAIRS, |u| n - 1 - u)
+}
+
+/// In-place parallel update: calls `f(i, &mut out[i])` for every index.
+pub fn update_slice<T, F>(out: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let cs = chunk_size(out.len());
+    let mut jobs: Vec<(usize, &mut [T])> = Vec::new();
+    let mut start = 0usize;
+    for chunk in out.chunks_mut(cs.max(1)) {
+        let len = chunk.len();
+        jobs.push((start, chunk));
+        start += len;
+    }
+    run_jobs(jobs, |(start, chunk)| {
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            f(start + i, slot);
+        }
+    });
+}
+
+/// Parallel map into a slice: `out[i] = f(i)`.
+pub fn fill_slice<T, F>(out: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    update_slice(out, |i, slot| *slot = f(i));
+}
+
+/// Deterministic sum of `f(i)` for `i in 0..len`: fixed chunks, partials
+/// combined in chunk order. Identical at every thread count.
+pub fn sum_indexed<F>(len: usize, f: F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    if len == 0 {
+        return 0.0;
+    }
+    let cs = chunk_size(len);
+    let n_chunks = len.div_ceil(cs);
+    let mut partials = vec![0.0f64; n_chunks];
+    let jobs: Vec<(usize, &mut f64)> = partials.iter_mut().enumerate().collect();
+    run_jobs(jobs, |(ci, slot)| {
+        let mut acc = 0.0;
+        for i in ci * cs..((ci + 1) * cs).min(len) {
+            acc += f(i);
+        }
+        *slot = acc;
+    });
+    partials.into_iter().sum()
+}
+
+/// Deterministic sum of `f(job)` over a fixed job list, one partial per
+/// job, combined in job order. The caller fixes the job boundaries (e.g.
+/// via [`balanced_ranges`]) so the grouping is independent of thread count.
+pub fn sum_jobs<T, F>(jobs: Vec<T>, f: F) -> f64
+where
+    T: Send,
+    F: Fn(T) -> f64 + Sync,
+{
+    let mut partials = vec![0.0f64; jobs.len()];
+    let zipped: Vec<(T, &mut f64)> = jobs.into_iter().zip(partials.iter_mut()).collect();
+    run_jobs(zipped, |(job, slot)| *slot = f(job));
+    partials.into_iter().sum()
+}
+
+/// [`sum_jobs`] specialized to index ranges.
+pub fn sum_ranges<F>(ranges: Vec<Range<usize>>, f: F) -> f64
+where
+    F: Fn(Range<usize>) -> f64 + Sync,
+{
+    sum_jobs(ranges, f)
+}
+
+/// Deterministic sum of `f(u, v)` over all pairs `u < v < n`, chunked by
+/// row ranges; within a chunk pairs are visited in `(u asc, v asc)` order.
+pub fn sum_pairs<F>(n: usize, f: F) -> f64
+where
+    F: Fn(usize, usize) -> f64 + Sync,
+{
+    sum_ranges(row_ranges(n), |rows| {
+        let mut acc = 0.0;
+        for u in rows {
+            for v in u + 1..n {
+                acc += f(u, v);
+            }
+        }
+        acc
+    })
+}
+
+/// Build the condensed upper-triangle vector `[f(u, v) for u < v]` of
+/// length `n(n−1)/2` in parallel row chunks. Every entry is written exactly
+/// once, so the result is trivially independent of thread count.
+pub fn fill_condensed<F>(n: usize, f: F) -> Vec<f64>
+where
+    F: Fn(usize, usize) -> f64 + Sync,
+{
+    let len = n * n.saturating_sub(1) / 2;
+    let mut data = vec![0.0f64; len];
+    let mut jobs: Vec<(Range<usize>, &mut [f64])> = Vec::new();
+    let mut rest: &mut [f64] = &mut data;
+    for rows in row_ranges(n) {
+        let pairs: usize = rows.clone().map(|u| n - 1 - u).sum();
+        let (head, tail) = rest.split_at_mut(pairs);
+        jobs.push((rows, head));
+        rest = tail;
+    }
+    run_jobs(jobs, |(rows, out)| {
+        let mut i = 0usize;
+        for u in rows {
+            for v in u + 1..n {
+                out[i] = f(u, v);
+                i += 1;
+            }
+        }
+    });
+    data
+}
+
+/// The pair `u < v` maximizing `f(u, v)`, earliest pair (in `(u, v)`
+/// lexicographic order) on ties — exactly the result of a serial strict-`>`
+/// scan. `None` for `n < 2`.
+pub fn max_pair<F>(n: usize, f: F) -> Option<(usize, usize, f64)>
+where
+    F: Fn(usize, usize) -> f64 + Sync,
+{
+    if n < 2 {
+        return None;
+    }
+    type Best<'a> = &'a mut Option<(usize, usize, f64)>;
+    let ranges = row_ranges(n);
+    let mut partials: Vec<Option<(usize, usize, f64)>> = vec![None; ranges.len()];
+    let jobs: Vec<(Range<usize>, Best)> = ranges.into_iter().zip(partials.iter_mut()).collect();
+    run_jobs(jobs, |(rows, slot)| {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for u in rows {
+            for v in u + 1..n {
+                let d = f(u, v);
+                if best.is_none_or(|(_, _, bd)| d > bd) {
+                    best = Some((u, v, d));
+                }
+            }
+        }
+        *slot = best;
+    });
+    let mut best: Option<(usize, usize, f64)> = None;
+    for candidate in partials.into_iter().flatten() {
+        if best.is_none_or(|(_, _, bd)| candidate.2 > bd) {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+/// The index minimizing `key(i)` over `i in 0..len`, skipping indices where
+/// `key` returns `None`; earliest index on ties — exactly the result of a
+/// serial strict-`<` scan.
+pub fn arg_min_by<F>(len: usize, key: F) -> Option<(usize, f64)>
+where
+    F: Fn(usize) -> Option<f64> + Sync,
+{
+    if len == 0 {
+        return None;
+    }
+    let cs = chunk_size(len);
+    let n_chunks = len.div_ceil(cs);
+    let mut partials: Vec<Option<(usize, f64)>> = vec![None; n_chunks];
+    let jobs: Vec<(usize, &mut Option<(usize, f64)>)> = partials.iter_mut().enumerate().collect();
+    run_jobs(jobs, |(ci, slot)| {
+        let mut best: Option<(usize, f64)> = None;
+        for i in ci * cs..((ci + 1) * cs).min(len) {
+            if let Some(k) = key(i) {
+                if best.is_none_or(|(_, bk)| k < bk) {
+                    best = Some((i, k));
+                }
+            }
+        }
+        *slot = best;
+    });
+    let mut best: Option<(usize, f64)> = None;
+    for candidate in partials.into_iter().flatten() {
+        if best.is_none_or(|(_, bk)| candidate.1 < bk) {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_slice_matches_serial_map() {
+        let mut out = vec![0.0f64; 5000];
+        fill_slice(&mut out, |i| (i as f64).sqrt());
+        for (i, &x) in out.iter().enumerate() {
+            assert_eq!(x, (i as f64).sqrt());
+        }
+    }
+
+    #[test]
+    fn sums_identical_across_thread_counts() {
+        let f = |i: usize| ((i * 2654435761) % 1000) as f64 / 997.0;
+        let one = with_num_threads(1, || sum_indexed(100_000, f));
+        let four = with_num_threads(4, || sum_indexed(100_000, f));
+        assert_eq!(one.to_bits(), four.to_bits());
+
+        let g = |u: usize, v: usize| ((u * 31 + v * 17) % 101) as f64 / 101.0;
+        let one = with_num_threads(1, || sum_pairs(700, g));
+        let four = with_num_threads(4, || sum_pairs(700, g));
+        assert_eq!(one.to_bits(), four.to_bits());
+    }
+
+    #[test]
+    fn condensed_layout_matches_direct_indexing() {
+        let n = 600;
+        let f = |u: usize, v: usize| (u * n + v) as f64;
+        let data = fill_condensed(n, f);
+        assert_eq!(data.len(), n * (n - 1) / 2);
+        let mut i = 0;
+        for u in 0..n {
+            for v in u + 1..n {
+                assert_eq!(data[i], f(u, v));
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn max_pair_takes_earliest_on_ties() {
+        // Constant function: the very first pair must win.
+        assert_eq!(max_pair(5000, |_, _| 1.0), Some((0, 1, 1.0)));
+        // A unique maximum is found regardless of position.
+        let target = (4321usize, 4700usize);
+        let f = move |u: usize, v: usize| {
+            if (u, v) == target {
+                2.0
+            } else {
+                1.0
+            }
+        };
+        assert_eq!(max_pair(5000, f), Some((target.0, target.1, 2.0)));
+        assert_eq!(max_pair(1, |_, _| 1.0), None);
+    }
+
+    #[test]
+    fn arg_min_skips_filtered_and_takes_earliest() {
+        let key = |i: usize| {
+            if i.is_multiple_of(2) {
+                None
+            } else {
+                Some(((i * 7) % 13) as f64)
+            }
+        };
+        // Serial reference.
+        let mut expected: Option<(usize, f64)> = None;
+        for i in 0..50_000 {
+            if let Some(k) = key(i) {
+                if expected.is_none_or(|(_, bk)| k < bk) {
+                    expected = Some((i, k));
+                }
+            }
+        }
+        assert_eq!(with_num_threads(4, || arg_min_by(50_000, key)), expected);
+        assert_eq!(arg_min_by(10, |_| None), None);
+        assert_eq!(arg_min_by(0, |_| Some(0.0)), None);
+    }
+
+    #[test]
+    fn balanced_ranges_cover_exactly_once() {
+        for n in [0usize, 1, 7, 1000, 5000] {
+            let ranges = balanced_ranges(n, 100, |i| i % 3 + 1);
+            let mut covered = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, covered, "ranges must be consecutive");
+                covered = r.end;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn override_is_scoped_and_restored() {
+        let outer = current_num_threads();
+        let inner = with_num_threads(3, current_num_threads);
+        if cfg!(feature = "parallel") {
+            assert_eq!(inner, 3);
+        } else {
+            assert_eq!(inner, 1);
+        }
+        assert_eq!(current_num_threads(), outer);
+    }
+}

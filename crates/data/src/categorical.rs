@@ -291,6 +291,63 @@ impl LatentClassConfig {
                     .collect()
             })
             .collect();
+        // Calibrate the independently drawn profiles so the latent classes
+        // are actually recoverable: two uniform draws agree on each attribute
+        // with probability 1/arity, so for low-arity (especially binary)
+        // attributes a pair of "distinct" clusters can coincide on most of
+        // the schema by chance. When that happens the aggregate instance
+        // degenerates — merging the colliding clusters becomes optimal — and
+        // the dataset no longer exhibits the cluster structure it advertises.
+        // Enforce that every pair of independently drawn profiles disagrees
+        // on at least two thirds of the multi-valued attributes — enough
+        // margin that per-attribute noise (amplified by the row-noise
+        // mixture) cannot push a cross-cluster pair below the 1/2 agreement
+        // threshold that makes merging profitable. Clusters listed in
+        // `profile_overlaps` are excluded: their similarity to the base is
+        // calibrated explicitly below.
+        let mut overlaps_base: Vec<bool> = vec![false; k];
+        for &(cluster, _, _) in &self.profile_overlaps {
+            overlaps_base[cluster] = true;
+        }
+        let eligible: Vec<usize> = (0..a).filter(|&t| self.attrs[t].arity > 1).collect();
+        let min_sep = (eligible.len() * 2).div_ceil(3);
+        for j in 1..k {
+            if overlaps_base[j] {
+                continue;
+            }
+            // Re-rolling an attribute to separate (i, j) can re-collide j
+            // with an earlier i', so sweep until a full pass finds every
+            // pair separated (bounded — collisions are rare after a fix).
+            'passes: for _ in 0..64 {
+                let mut all_separated = true;
+                for i in 0..j {
+                    if overlaps_base[i] {
+                        continue;
+                    }
+                    loop {
+                        let agree: Vec<usize> = eligible
+                            .iter()
+                            .copied()
+                            .filter(|&t| prefs[i][t] == prefs[j][t])
+                            .collect();
+                        if eligible.len() - agree.len() >= min_sep {
+                            break;
+                        }
+                        all_separated = false;
+                        let t = agree[rng.gen_range(0..agree.len())];
+                        let arity = self.attrs[t].arity;
+                        let mut v = rng.gen_range(0..arity);
+                        while v == prefs[i][t] {
+                            v = rng.gen_range(0..arity);
+                        }
+                        prefs[j][t] = v;
+                    }
+                }
+                if all_separated {
+                    break 'passes;
+                }
+            }
+        }
         // Apply profile overlaps: the cluster copies its base's preferences
         // and then differs on a fixed number of randomly chosen attributes.
         for &(cluster, base, differ) in &self.profile_overlaps {

@@ -14,7 +14,7 @@ pub fn disagreement_error(inputs: &[Clustering], candidate: &Clustering) -> u64 
 /// Expected disagreement error `E_D = m · d(C)` for instances built with a
 /// missing-value policy (disagreements are fractional in expectation under
 /// the coin model).
-pub fn expected_disagreement_error<O: DistanceOracle + ?Sized>(
+pub fn expected_disagreement_error<O: DistanceOracle + Sync + ?Sized>(
     oracle: &O,
     candidate: &Clustering,
 ) -> f64 {
@@ -26,7 +26,7 @@ pub fn expected_disagreement_error<O: DistanceOracle + ?Sized>(
 
 /// Lower bound on the expected disagreement error of *any* clustering:
 /// `m · Σ_{u<v} min(X_uv, 1 − X_uv)` — the "Lower bound" rows of Tables 2–3.
-pub fn disagreement_lower_bound<O: DistanceOracle + ?Sized>(oracle: &O) -> f64 {
+pub fn disagreement_lower_bound<O: DistanceOracle + Sync + ?Sized>(oracle: &O) -> f64 {
     let m = oracle
         .num_clusterings()
         .expect("oracle does not carry a clustering count") as f64;

@@ -14,15 +14,20 @@
 //!
 //! [`agreement_histogram`] summarizes the instance globally: aggregation
 //! works exactly when the `X_uv` mass is bimodal around 0 and 1.
+//!
+//! The per-node score vectors are independent full-row scans, so they run
+//! in parallel via [`aggclust_core::parallel`]; each row accumulates in a
+//! fixed order, keeping the output bit-identical at any thread count.
 
 use aggclust_core::instance::DistanceOracle;
+use aggclust_core::parallel;
 
 /// Histogram of the pairwise distances `X_uv` over `bins` equal-width
 /// buckets spanning `[0, 1]` (the last bucket is closed).
 ///
 /// # Panics
 /// Panics if `bins == 0`.
-pub fn agreement_histogram<O: DistanceOracle + ?Sized>(oracle: &O, bins: usize) -> Vec<u64> {
+pub fn agreement_histogram<O: DistanceOracle + Sync + ?Sized>(oracle: &O, bins: usize) -> Vec<u64> {
     assert!(bins > 0, "need at least one bin");
     let n = oracle.len();
     let mut hist = vec![0u64; bins];
@@ -38,7 +43,11 @@ pub fn agreement_histogram<O: DistanceOracle + ?Sized>(oracle: &O, bins: usize) 
 
 /// Fraction of pairs whose distance lies in the ambiguous middle band
 /// `(lo, hi)` — e.g. `(0.25, 0.75)`. Low values mean strong consensus.
-pub fn ambiguous_pair_fraction<O: DistanceOracle + ?Sized>(oracle: &O, lo: f64, hi: f64) -> f64 {
+pub fn ambiguous_pair_fraction<O: DistanceOracle + Sync + ?Sized>(
+    oracle: &O,
+    lo: f64,
+    hi: f64,
+) -> f64 {
     let n = oracle.len();
     if n < 2 {
         return 0.0;
@@ -60,48 +69,48 @@ pub fn ambiguous_pair_fraction<O: DistanceOracle + ?Sized>(oracle: &O, lo: f64, 
 /// Per-node isolation score: the distance to the nearest other node.
 /// Close to 1 ⇒ every clustering separates this node from everyone ⇒ it
 /// will (and should) end up a singleton.
-pub fn isolation_scores<O: DistanceOracle + ?Sized>(oracle: &O) -> Vec<f64> {
+pub fn isolation_scores<O: DistanceOracle + Sync + ?Sized>(oracle: &O) -> Vec<f64> {
     let n = oracle.len();
-    (0..n)
-        .map(|u| {
-            let nearest = (0..n)
-                .filter(|&v| v != u)
-                .map(|v| oracle.dist(u, v))
-                .fold(f64::INFINITY, f64::min);
-            if nearest.is_finite() {
-                nearest.min(1.0)
-            } else {
-                0.0 // a universe of one node is not isolated from anything
-            }
-        })
-        .collect()
+    let mut scores = vec![0.0f64; n];
+    parallel::fill_slice(&mut scores, |u| {
+        let nearest = (0..n)
+            .filter(|&v| v != u)
+            .map(|v| oracle.dist(u, v))
+            .fold(f64::INFINITY, f64::min);
+        if nearest.is_finite() {
+            nearest.min(1.0)
+        } else {
+            0.0 // a universe of one node is not isolated from anything
+        }
+    });
+    scores
 }
 
 /// Per-node ambiguity score: the mean of `min(X_uv, 1 − X_uv)` over the
 /// other nodes — the per-pair unavoidable cost charged to `u`. Close to ½
 /// ⇒ the inputs have no consensus about `u` at all.
-pub fn ambiguity_scores<O: DistanceOracle + ?Sized>(oracle: &O) -> Vec<f64> {
+pub fn ambiguity_scores<O: DistanceOracle + Sync + ?Sized>(oracle: &O) -> Vec<f64> {
     let n = oracle.len();
-    (0..n)
-        .map(|u| {
-            if n < 2 {
-                return 0.0;
-            }
-            let total: f64 = (0..n)
-                .filter(|&v| v != u)
-                .map(|v| {
-                    let x = oracle.dist(u, v);
-                    x.min(1.0 - x)
-                })
-                .sum();
-            total / (n - 1) as f64
-        })
-        .collect()
+    let mut scores = vec![0.0f64; n];
+    if n < 2 {
+        return scores;
+    }
+    parallel::fill_slice(&mut scores, |u| {
+        let total: f64 = (0..n)
+            .filter(|&v| v != u)
+            .map(|v| {
+                let x = oracle.dist(u, v);
+                x.min(1.0 - x)
+            })
+            .sum();
+        total / (n - 1) as f64
+    });
+    scores
 }
 
 /// Indices of the `top` most outlier-like nodes by combined score
 /// `isolation + ambiguity`, most suspicious first.
-pub fn top_outliers<O: DistanceOracle + ?Sized>(oracle: &O, top: usize) -> Vec<usize> {
+pub fn top_outliers<O: DistanceOracle + Sync + ?Sized>(oracle: &O, top: usize) -> Vec<usize> {
     let iso = isolation_scores(oracle);
     let amb = ambiguity_scores(oracle);
     let mut order: Vec<usize> = (0..oracle.len()).collect();

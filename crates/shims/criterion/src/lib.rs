@@ -1,0 +1,272 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This crate implements the subset the workspace's
+//! benches use — `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros — measuring
+//! wall-clock time with `std::time::Instant`.
+//!
+//! Reported statistics are `[min median max]` over the collected samples,
+//! echoing criterion's `[low estimate high]` line format. If the
+//! `CRITERION_SHIM_JSON` environment variable names a file, one JSON record
+//! per benchmark is appended to it (used to regenerate the committed
+//! `BENCH_*.json` baselines).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group: a function name plus an
+/// optional parameter (e.g. the input size).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (criterion's `from_parameter`).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `routine`: one warm-up call, then `sample_size` timed
+    /// samples. Each sample batches enough iterations to be measurable
+    /// (~10 ms) unless a single iteration already exceeds that.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let once = warmup_start.elapsed();
+
+        let target = Duration::from_millis(10);
+        let iters = if once >= target || once.is_zero() {
+            1
+        } else {
+            (target.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u32
+        };
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos() as f64;
+    if nanos < 1_000.0 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let min = sorted.first().copied().unwrap_or_default();
+    let max = sorted.last().copied().unwrap_or_default();
+    let median = sorted.get(sorted.len() / 2).copied().unwrap_or_default();
+    println!(
+        "{id:<40} time: [{} {} {}]",
+        format_duration(min),
+        format_duration(median),
+        format_duration(max)
+    );
+    if let Ok(path) = std::env::var("CRITERION_SHIM_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"id\":\"{id}\",\"min_ns\":{},\"median_ns\":{},\"max_ns\":{},\"samples\":{}}}",
+                min.as_nanos(),
+                median.as_nanos(),
+                max.as_nanos(),
+                sorted.len()
+            );
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion's default is 100;
+    /// the shim defaults to 10 to keep `cargo bench` fast on large inputs).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes samples automatically.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a routine with no parameter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b.samples);
+        self
+    }
+
+    /// Benchmark a routine against one input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b.samples);
+        self
+    }
+
+    /// Finish the group (prints nothing; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Begin a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nBenchmarking group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 10,
+        };
+        f(&mut b);
+        report(id, &b.samples);
+        self
+    }
+
+    /// Accepted for API compatibility with `criterion_main!`'s expansion.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups, mirroring criterion's macro.
+/// Harness arguments passed by `cargo bench` (e.g. `--bench`) are ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        let mut observed = 0;
+        group.bench_with_input(BenchmarkId::new("noop", 1), &1u32, |b, &x| {
+            b.iter(|| black_box(x + 1));
+            observed = b.samples.len();
+        });
+        group.finish();
+        assert_eq!(observed, 5);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(format_duration(Duration::from_nanos(10)).ends_with("ns"));
+        assert!(format_duration(Duration::from_micros(10)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(10)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(10)).ends_with('s'));
+    }
+}

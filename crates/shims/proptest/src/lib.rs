@@ -1,0 +1,471 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This crate re-implements the subset the workspace's
+//! property tests use — the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`/`prop_flat_map`, range and tuple strategies, [`Just`],
+//! [`any`], `collection::vec`, `option::weighted`, and the
+//! `prop_assert*` macros — with two deliberate simplifications:
+//!
+//! * **No shrinking.** A failing case panics with the generated values in
+//!   the assertion message instead of being minimized.
+//! * **Deterministic seeding.** Each test derives its RNG stream from the
+//!   test's module path and name plus the case index, so failures are
+//!   reproducible run-to-run without a persisted regression file.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic generator driving value generation (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Build the RNG for one test case from a per-test seed and the case
+    /// index.
+    pub fn new(test_seed: u64, case: u64) -> Self {
+        let mut sm = test_seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut s = [next(), next(), next(), next()];
+        if s == [0; 4] {
+            s = [1, 2, 3, 4];
+        }
+        TestRng { s }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Unbiased integer in `[0, range)`.
+    pub fn below(&mut self, range: u64) -> u64 {
+        debug_assert!(range > 0);
+        let mut m = (self.next_u64() as u128) * (range as u128);
+        let mut lo = m as u64;
+        if lo < range {
+            let threshold = range.wrapping_neg() % range;
+            while lo < threshold {
+                m = (self.next_u64() as u128) * (range as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
+/// FNV-1a hash of a test identifier, used as the per-test seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A generator of random values (the shim has no shrinking, so a strategy
+/// is just a value generator).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then a second strategy depending on it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as u64).wrapping_sub(start as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical "any value" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite values spanning several orders of magnitude.
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        let mag = (rng.below(61) as i32 - 30) as f64;
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * rng.next_f64() * 10f64.powf(mag)
+    }
+}
+
+/// Strategy producing any value of `T` (see [`Arbitrary`]).
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` strategy constructor.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length specifications accepted by [`vec`]: a fixed `usize`, a
+    /// `Range<usize>`, or a `RangeInclusive<usize>`.
+    pub trait IntoSizeRange {
+        /// Draw a length.
+        fn pick_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn pick_len(&self, rng: &mut TestRng) -> usize {
+            self.clone().generate(rng)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn pick_len(&self, rng: &mut TestRng) -> usize {
+            self.clone().generate(rng)
+        }
+    }
+
+    /// Strategy for `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.pick_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, len)`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Option strategies (`prop::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option`s that are `Some` with a fixed probability.
+    pub struct Weighted<S> {
+        prob_some: f64,
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for Weighted<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_f64() < self.prob_some {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `prop::option::weighted(prob_some, element)`.
+    pub fn weighted<S: Strategy>(prob_some: f64, inner: S) -> Weighted<S> {
+        assert!(
+            (0.0..=1.0).contains(&prob_some),
+            "probability {prob_some} out of [0, 1]"
+        );
+        Weighted { prob_some, inner }
+    }
+}
+
+/// The commonly imported names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a [`proptest!`] test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a [`proptest!`] test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(pattern in strategy) { body }` item
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::new(seed, case as u64);
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut rng = crate::TestRng::new(1, 0);
+        let s = (2usize..20).prop_flat_map(|n| prop::collection::vec(0u32..5, n));
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..20).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn weighted_option_hits_both_arms() {
+        let mut rng = crate::TestRng::new(2, 0);
+        let s = prop::option::weighted(0.5, 0u16..3);
+        let some = (0..200).filter(|_| s.generate(&mut rng).is_some()).count();
+        assert!((50..150).contains(&some));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_tuples((a, b) in (0u32..10, Just(7u32))) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 7);
+        }
+
+        #[test]
+        fn macro_supports_flat_map(v in (1usize..5).prop_flat_map(|n| prop::collection::vec(any::<u64>(), n))) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+    }
+}
