@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Panic lint: library and binary sources must not contain panicking escape
+# hatches. Fallible paths return typed `AggError`s; documented invariant
+# violations use `assert!` (which this lint permits on purpose).
+#
+# Scope: crates/*/src — test modules (everything at and after the first
+# `#[cfg(test)]` in a file) are exempt, and the offline dependency shims
+# under crates/shims/ are exempt (they mirror external crates' APIs).
+set -euo pipefail
+shopt -s globstar nullglob
+cd "$(dirname "$0")/.."
+
+status=0
+for file in crates/*/src/**/*.rs; do
+  [ -f "$file" ] || continue
+  hits=$(awk '
+    /#\[cfg\(test\)\]/ { exit }
+    /\.unwrap\(|\.expect\(|panic!/ {
+      # Permit doc comments that merely mention the forbidden calls.
+      if ($0 !~ /^[[:space:]]*\/\//) print FILENAME ":" FNR ": " $0
+    }
+  ' "$file")
+  if [ -n "$hits" ]; then
+    echo "$hits"
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo
+  echo "panic-lint: forbidden .unwrap()/.expect()/panic! in non-test sources." >&2
+  echo "Return a typed AggError instead, or use unwrap_or/map_or fallbacks." >&2
+fi
+exit "$status"

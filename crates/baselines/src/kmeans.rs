@@ -126,8 +126,8 @@ pub fn kmeans(points: &[Vec<f64>], params: &KMeansParams) -> KMeansResult {
                         .iter()
                         .enumerate()
                         .map(|(i, p)| (i, sq_dist(p, &centers[labels[i] as usize])))
-                        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                        .unwrap();
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                        .unwrap_or((0, 0.0));
                     centers[c] = points[far].clone();
                 } else {
                     for (x, s) in centers[c].iter_mut().zip(&sums[c]) {
@@ -150,7 +150,14 @@ pub fn kmeans(points: &[Vec<f64>], params: &KMeansParams) -> KMeansResult {
             });
         }
     }
-    best.expect("at least one restart ran")
+    // Unreachable fallback: the loop above runs `n_init.max(1) >= 1` times,
+    // so `best` is always populated.
+    best.unwrap_or_else(|| KMeansResult {
+        clustering: Clustering::singletons(n),
+        centers: Vec::new(),
+        inertia: f64::INFINITY,
+        iterations: 0,
+    })
 }
 
 fn seed_random(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
@@ -181,8 +188,9 @@ fn seed_plus_plus(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f6
             chosen
         };
         centers.push(points[next].clone());
+        let newest = centers.len() - 1;
         for (i, p) in points.iter().enumerate() {
-            let d = sq_dist(p, centers.last().unwrap());
+            let d = sq_dist(p, &centers[newest]);
             if d < d2[i] {
                 d2[i] = d;
             }

@@ -24,7 +24,8 @@ impl Args {
             if let Some(key) = arg.strip_prefix("--") {
                 match iter.peek() {
                     Some(next) if !next.starts_with("--") => {
-                        out.values.insert(key.to_string(), iter.next().unwrap());
+                        let value = iter.next().unwrap_or_default();
+                        out.values.insert(key.to_string(), value);
                     }
                     _ => out.flags.push(key.to_string()),
                 }
@@ -44,13 +45,39 @@ impl Args {
     }
 
     /// Parse `--name value` as a type, falling back to a default.
+    ///
+    /// An unparsable value prints a one-line usage error and exits with the
+    /// CLI's usage code (2) — experiment binaries should never backtrace on
+    /// a typo.
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
         match self.get(name) {
             Some(v) => v.parse().unwrap_or_else(|_| {
-                panic!("could not parse --{name} value {v:?}");
+                eprintln!("error: could not parse --{name} value {v:?}");
+                std::process::exit(2);
             }),
             None => default,
         }
+    }
+
+    /// Build a [`RunBudget`](aggclust_core::RunBudget) from the shared `--deadline-ms` and
+    /// `--max-iters` options (unlimited when neither is given).
+    pub fn run_budget(&self) -> aggclust_core::RunBudget {
+        let mut budget = aggclust_core::RunBudget::unlimited();
+        if let Some(ms) = self.get("deadline-ms") {
+            let ms: u64 = ms.parse().unwrap_or_else(|_| {
+                eprintln!("error: could not parse --deadline-ms value {ms:?}");
+                std::process::exit(2);
+            });
+            budget = budget.with_deadline_ms(ms);
+        }
+        if let Some(iters) = self.get("max-iters") {
+            let iters: u64 = iters.parse().unwrap_or_else(|_| {
+                eprintln!("error: could not parse --max-iters value {iters:?}");
+                std::process::exit(2);
+            });
+            budget = budget.with_max_iters(iters);
+        }
+        budget
     }
 }
 
@@ -80,9 +107,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "could not parse")]
-    fn bad_value_panics() {
-        let a = args(&["--seed", "abc"]);
-        let _ = a.get_or("seed", 0u64);
+    fn run_budget_defaults_to_unlimited() {
+        let a = args(&[]);
+        assert!(a.run_budget().is_unlimited());
+    }
+
+    #[test]
+    fn run_budget_parses_shared_flags() {
+        let a = args(&["--deadline-ms", "250", "--max-iters", "1000"]);
+        let budget = a.run_budget();
+        assert!(!budget.is_unlimited());
+        assert!(budget.poll().is_ok());
     }
 }

@@ -29,7 +29,10 @@ fn main() {
     let sample = args.get_or("sample", 4000usize);
 
     let dataset = match args.get("uci") {
-        Some(path) => aggclust_data::uci::load_census(path).expect("failed to load UCI census"),
+        Some(path) => aggclust_data::uci::load_census(path).unwrap_or_else(|e| {
+            eprintln!("error: failed to load UCI census from {path}: {e}");
+            std::process::exit(3);
+        }),
         None => census_like_scaled(rows, seed).0,
     };
     println!(

@@ -114,8 +114,13 @@ fn main() {
             .filter(|&v| main.contains(&(aggregate.label(v) as usize)) && data.truth[v].is_some())
             .collect();
         let agg_main = aggregate.restrict(&main_rows);
-        let truth_main =
-            Clustering::from_labels(main_rows.iter().map(|&v| data.truth[v].unwrap()).collect());
+        let truth_main = Clustering::from_labels(
+            // main_rows is filtered to labeled points; 0 is unreachable.
+            main_rows
+                .iter()
+                .map(|&v| data.truth[v].unwrap_or(0))
+                .collect(),
+        );
         let ari = adjusted_rand_index(&agg_main, &truth_main);
 
         table.row(vec![

@@ -111,7 +111,10 @@ fn scale_part(args: &Args, seed: u64) {
         sizes = vec![50_000, 100_000, 500_000, 1_000_000];
     }
     if let Some(n) = args.get("scale-rows") {
-        sizes = vec![n.parse().expect("bad --scale-rows")];
+        sizes = vec![n.parse().unwrap_or_else(|_| {
+            eprintln!("error: could not parse --scale-rows value {n:?}");
+            std::process::exit(2);
+        })];
     }
     println!("Figure 5 (right) — SAMPLING running time vs dataset size\n");
 
@@ -162,7 +165,13 @@ fn scale_part(args: &Args, seed: u64) {
             .collect();
         let ari = aggclust_metrics::pair_counting::adjusted_rand_index(
             &details.clustering.restrict(&truth_rows),
-            &Clustering::from_labels(truth_rows.iter().map(|&v| data.truth[v].unwrap()).collect()),
+            // truth_rows is filtered to labeled points; 0 is unreachable.
+            &Clustering::from_labels(
+                truth_rows
+                    .iter()
+                    .map(|&v| data.truth[v].unwrap_or(0))
+                    .collect(),
+            ),
         );
 
         table.row(vec![

@@ -23,7 +23,10 @@ fn main() {
     let seed = args.get_or("seed", 1u64);
 
     let dataset = match args.get("uci") {
-        Some(path) => aggclust_data::uci::load_votes(path).expect("failed to load UCI votes"),
+        Some(path) => aggclust_data::uci::load_votes(path).unwrap_or_else(|e| {
+            eprintln!("error: failed to load UCI votes from {path}: {e}");
+            std::process::exit(3);
+        }),
         None => votes_like(seed).0,
     };
     println!(

@@ -24,9 +24,10 @@ fn main() {
     let seed = args.get_or("seed", 1u64);
 
     let dataset = match args.get("uci") {
-        Some(path) => {
-            aggclust_data::uci::load_mushrooms(path).expect("failed to load UCI mushrooms")
-        }
+        Some(path) => aggclust_data::uci::load_mushrooms(path).unwrap_or_else(|e| {
+            eprintln!("error: failed to load UCI mushrooms from {path}: {e}");
+            std::process::exit(3);
+        }),
         None => mushrooms_like(seed).0,
     };
     let dataset = match args.get("scale") {

@@ -106,7 +106,11 @@ impl CategoricalExperiment {
                     best = Some((cost, candidate));
                 }
             }
-            best.expect("at least one input clustering").1
+            // Unreachable fallback: instances always carry >= 1 input.
+            best.map_or_else(
+                || Clustering::singletons(self.instance.len()),
+                |(_, candidate)| candidate,
+            )
         });
         self.evaluate("BestClustering", result, secs)
     }

@@ -18,6 +18,9 @@ pub enum CsvError {
     Shape {
         /// 1-based line number.
         line: usize,
+        /// 1-based column where the row diverges from the expected shape
+        /// (the first missing or first surplus field).
+        column: usize,
         /// Expected column count.
         expected: usize,
         /// Found column count.
@@ -32,15 +35,41 @@ impl fmt::Display for CsvError {
         match self {
             CsvError::Shape {
                 line,
+                column,
                 expected,
                 found,
-            } => write!(f, "line {line}: expected {expected} columns, found {found}"),
+            } => write!(
+                f,
+                "line {line}, column {column}: expected {expected} columns, found {found}"
+            ),
             CsvError::Empty => write!(f, "no data rows"),
         }
     }
 }
 
 impl std::error::Error for CsvError {}
+
+impl From<CsvError> for aggclust_core::AggError {
+    fn from(e: CsvError) -> Self {
+        match e {
+            CsvError::Shape {
+                line,
+                column,
+                expected,
+                found,
+            } => aggclust_core::AggError::Parse {
+                line,
+                column: Some(column),
+                reason: format!("expected {expected} columns, found {found}"),
+            },
+            CsvError::Empty => aggclust_core::AggError::Parse {
+                line: 0,
+                column: None,
+                reason: "no data rows".to_string(),
+            },
+        }
+    }
+}
 
 /// Parse a label matrix: columns become [`PartialClustering`]s.
 ///
@@ -64,6 +93,7 @@ pub fn parse_label_matrix(
             Some(e) if e != fields.len() => {
                 return Err(CsvError::Shape {
                     line: lineno + 1,
+                    column: e.min(fields.len()) + 1,
                     expected: e,
                     found: fields.len(),
                 })
@@ -156,7 +186,41 @@ mod tests {
     #[test]
     fn ragged_rows_rejected() {
         let err = parse_label_matrix("0,1\n0\n", ',', false).unwrap_err();
-        assert!(matches!(err, CsvError::Shape { line: 2, .. }));
+        assert!(matches!(
+            err,
+            CsvError::Shape {
+                line: 2,
+                column: 2,
+                ..
+            }
+        ));
+        assert_eq!(
+            err.to_string(),
+            "line 2, column 2: expected 2 columns, found 1"
+        );
+        let long = parse_label_matrix("0,1\n0,1,2\n", ',', false).unwrap_err();
+        assert!(matches!(
+            long,
+            CsvError::Shape {
+                line: 2,
+                column: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn csv_errors_convert_to_agg_errors() {
+        let err = parse_label_matrix("0,1\n0\n", ',', false).unwrap_err();
+        let agg: aggclust_core::AggError = err.into();
+        assert!(matches!(
+            agg,
+            aggclust_core::AggError::Parse {
+                line: 2,
+                column: Some(2),
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -1,0 +1,9 @@
+//! Library surface of the `aggclust` CLI.
+//!
+//! Exposes the label-matrix CSV parser so integration tests (and other
+//! tooling) can exercise the exact parsing code the binary runs, without
+//! shelling out.
+
+#![warn(clippy::all)]
+
+pub mod csv;

@@ -10,9 +10,8 @@
 //! The input is a label matrix: one row per object, one column per input
 //! clustering, `?` or empty for a missing label. See `aggclust help`.
 
-mod csv;
-
 use aggclust_bench::args::Args;
+use aggclust_cli::csv;
 use aggclust_core::algorithms::{
     AgglomerativeParams, Algorithm, AnnealingParams, BallsParams, FurthestParams,
     LocalSearchParams, PivotParams,
@@ -20,6 +19,7 @@ use aggclust_core::algorithms::{
 use aggclust_core::clustering::PartialClustering;
 use aggclust_core::consensus::ConsensusBuilder;
 use aggclust_core::instance::MissingPolicy;
+use aggclust_core::{AggError, RunStatus};
 use std::process::ExitCode;
 
 const HELP: &str = "\
@@ -47,13 +47,91 @@ AGGREGATE OPTIONS:
                           local-search | pivot | annealing
     --alpha X             Balls threshold (default 0.4)
     --no-refine           skip the LocalSearch refinement pass
+    --exact               prefer exact branch-and-bound when n <= 24
+                          (degrades to Balls with a warning when larger)
     --sample N            force SAMPLING with this sample size
     --seed N              RNG seed (default 0)
+    --deadline-ms N       wall-clock run budget; on expiry the best
+                          clustering found so far is still written
+    --max-iters N         iteration budget (same anytime semantics)
     --output PATH         write one label per line (default: stdout)
 
 EVAL OPTIONS:
     --candidate PATH      single-column label file to evaluate
+
+EXIT CODES:
+    0   success
+    2   usage error (unknown command, bad flag or parameter value)
+    3   I/O error reading or writing a file
+    4   parse error in an input file (reported with line and column)
+    5   invalid instance (e.g. inputs disagree on the object count)
+    6   degenerate input (nothing to aggregate)
+    7   run budget exceeded (anytime: best-so-far labels were written)
+    8   cancelled
 ";
+
+/// A CLI failure, mapped one-to-one onto the exit codes documented in
+/// `aggclust help`. Every error prints as a single human-readable line —
+/// never a backtrace.
+#[derive(Debug)]
+enum CliError {
+    /// Exit 2: bad command line.
+    Usage(String),
+    /// Exit 3: filesystem I/O failed.
+    Io(String),
+    /// Exit 4: an input file did not parse.
+    Parse(String),
+    /// Exit 5: inputs are structurally invalid.
+    InvalidInstance(String),
+    /// Exit 6: input is degenerate (empty, all-missing, …).
+    Degenerate(String),
+    /// Exit 7: the run budget expired (anytime output was still produced).
+    BudgetExceeded(String),
+    /// Exit 8: the run was cancelled.
+    Cancelled(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Parse(_) => 4,
+            CliError::InvalidInstance(_) => 5,
+            CliError::Degenerate(_) => 6,
+            CliError::BudgetExceeded(_) => 7,
+            CliError::Cancelled(_) => 8,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m)
+            | CliError::Io(m)
+            | CliError::Parse(m)
+            | CliError::InvalidInstance(m)
+            | CliError::Degenerate(m)
+            | CliError::BudgetExceeded(m)
+            | CliError::Cancelled(m) => m,
+        }
+    }
+}
+
+impl From<AggError> for CliError {
+    fn from(e: AggError) -> Self {
+        let message = e.to_string();
+        match e {
+            AggError::InvalidParameter { .. } => CliError::Usage(message),
+            AggError::Parse { .. } => CliError::Parse(message),
+            AggError::InvalidInstance { .. } | AggError::TooLarge { .. } => {
+                CliError::InvalidInstance(message)
+            }
+            AggError::Degenerate { .. } => CliError::Degenerate(message),
+            AggError::BudgetExceeded { .. } => CliError::BudgetExceeded(message),
+            AggError::Cancelled { .. } => CliError::Cancelled(message),
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
@@ -71,45 +149,57 @@ fn main() -> ExitCode {
             print!("{HELP}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}; try `aggclust help`")),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}; try `aggclust help`"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn load_inputs(args: &Args) -> Result<Vec<PartialClustering>, String> {
+fn load_inputs(args: &Args) -> Result<Vec<PartialClustering>, CliError> {
     let path = args
         .get("input")
-        .ok_or_else(|| "--input PATH is required".to_string())?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        .ok_or_else(|| CliError::Usage("--input PATH is required".to_string()))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("reading {path}: {e}")))?;
     let separator = parse_separator(args)?;
     csv::parse_label_matrix(&text, separator, args.flag("header"))
-        .map_err(|e| format!("parsing {path}: {e}"))
+        .map_err(|e| CliError::Parse(format!("parsing {path}: {e}")))
 }
 
-fn parse_separator(args: &Args) -> Result<char, String> {
+fn parse_separator(args: &Args) -> Result<char, CliError> {
     match args.get("separator") {
         None => Ok(','),
         Some("\\t") | Some("tab") => Ok('\t'),
-        Some(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
-        Some(s) => Err(format!("--separator must be one character, got {s:?}")),
+        Some(s) => {
+            let mut chars = s.chars();
+            match (chars.next(), chars.next()) {
+                (Some(c), None) => Ok(c),
+                _ => Err(CliError::Usage(format!(
+                    "--separator must be one character, got {s:?}"
+                ))),
+            }
+        }
     }
 }
 
-fn parse_policy(args: &Args) -> Result<MissingPolicy, String> {
+fn parse_policy(args: &Args) -> Result<MissingPolicy, CliError> {
     match args.get("missing").unwrap_or("coin") {
         "coin" => Ok(MissingPolicy::Coin(0.5)),
         "ignore" => Ok(MissingPolicy::Ignore),
-        other => Err(format!("--missing must be coin or ignore, got {other:?}")),
+        other => Err(CliError::Usage(format!(
+            "--missing must be coin or ignore, got {other:?}"
+        ))),
     }
 }
 
-fn parse_algorithm(args: &Args) -> Result<Algorithm, String> {
+fn parse_algorithm(args: &Args) -> Result<Algorithm, CliError> {
     let seed = args.get_or("seed", 0u64);
     Ok(match args.get("algorithm").unwrap_or("agglomerative") {
         "agglomerative" => Algorithm::Agglomerative(AgglomerativeParams::default()),
@@ -121,31 +211,40 @@ fn parse_algorithm(args: &Args) -> Result<Algorithm, String> {
             seed,
             ..Default::default()
         }),
-        other => return Err(format!("unknown --algorithm {other:?}")),
+        other => return Err(CliError::Usage(format!("unknown --algorithm {other:?}"))),
     })
 }
 
-fn cmd_aggregate(args: &Args) -> Result<(), String> {
+fn cmd_aggregate(args: &Args) -> Result<(), CliError> {
     let inputs = load_inputs(args)?;
     let n = inputs[0].len();
     let mut builder = ConsensusBuilder::new()
         .algorithm(parse_algorithm(args)?)
         .missing_policy(parse_policy(args)?)
         .refine(!args.flag("no-refine"))
+        .prefer_exact(args.flag("exact"))
+        .budget(args.run_budget())
         .seed(args.get_or("seed", 0u64));
     if let Some(sample) = args.get("sample") {
         let sample: usize = sample
             .parse()
-            .map_err(|_| "--sample must be an integer".to_string())?;
+            .map_err(|_| CliError::Usage("--sample must be an integer".to_string()))?;
         builder = builder.sampling_threshold(0).sample_size(sample);
     }
-    let result = builder.aggregate_partial(inputs);
+    let result = builder.try_aggregate_partial(inputs)?;
+    for warning in &result.warnings {
+        eprintln!("warning: {warning}");
+    }
     eprintln!(
         "aggregated {} objects into {} clusters{}",
         n,
         result.clustering.num_clusters(),
-        if result.sampled {
-            " (sampled)".to_string()
+        if result.sampled || !result.cost.is_finite() {
+            if result.sampled {
+                " (sampled)".to_string()
+            } else {
+                String::new()
+            }
         } else {
             format!(
                 " (cost {:.3}, lower bound {:.3})",
@@ -157,33 +256,44 @@ fn cmd_aggregate(args: &Args) -> Result<(), String> {
     let rendered = csv::render_labels(&result.clustering);
     match args.get("output") {
         Some(path) => {
-            std::fs::write(path, rendered).map_err(|e| format!("writing {path}: {e}"))?;
+            std::fs::write(path, rendered)
+                .map_err(|e| CliError::Io(format!("writing {path}: {e}")))?;
             eprintln!("labels written to {path}");
         }
         None => print!("{rendered}"),
     }
-    Ok(())
+    match result.status {
+        RunStatus::Converged => Ok(()),
+        RunStatus::BudgetExceeded => Err(CliError::BudgetExceeded(
+            "run budget exceeded; the labels above are the best found so far".to_string(),
+        )),
+        RunStatus::Cancelled => Err(CliError::Cancelled(
+            "run cancelled; the labels above are the best found so far".to_string(),
+        )),
+    }
 }
 
-fn cmd_eval(args: &Args) -> Result<(), String> {
+fn cmd_eval(args: &Args) -> Result<(), CliError> {
     let inputs = load_inputs(args)?;
     let candidate_path = args
         .get("candidate")
-        .ok_or_else(|| "--candidate PATH is required".to_string())?;
-    let text =
-        std::fs::read_to_string(candidate_path).map_err(|e| format!("{candidate_path}: {e}"))?;
+        .ok_or_else(|| CliError::Usage("--candidate PATH is required".to_string()))?;
+    let text = std::fs::read_to_string(candidate_path)
+        .map_err(|e| CliError::Io(format!("{candidate_path}: {e}")))?;
     let candidate =
         csv::parse_single_clustering(&text, parse_separator(args)?, args.flag("header"))
-            .map_err(|e| format!("parsing {candidate_path}: {e}"))?;
+            .map_err(|e| CliError::Parse(format!("parsing {candidate_path}: {e}")))?;
     if candidate.len() != inputs[0].len() {
-        return Err(format!(
+        return Err(CliError::InvalidInstance(format!(
             "candidate covers {} objects, inputs cover {}",
             candidate.len(),
             inputs[0].len()
-        ));
+        )));
     }
-    let instance =
-        aggclust_core::instance::CorrelationInstance::from_partial(inputs, parse_policy(args)?);
+    let instance = aggclust_core::instance::CorrelationInstance::try_from_partial(
+        inputs,
+        parse_policy(args)?,
+    )?;
     let oracle = instance.dense_oracle();
     let cost = aggclust_core::cost::correlation_cost(&oracle, &candidate);
     let lb = aggclust_core::cost::lower_bound(&oracle);
@@ -206,10 +316,12 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_diagnose(args: &Args) -> Result<(), String> {
+fn cmd_diagnose(args: &Args) -> Result<(), CliError> {
     let inputs = load_inputs(args)?;
-    let instance =
-        aggclust_core::instance::CorrelationInstance::from_partial(inputs, parse_policy(args)?);
+    let instance = aggclust_core::instance::CorrelationInstance::try_from_partial(
+        inputs,
+        parse_policy(args)?,
+    )?;
     let oracle = instance.dense_oracle();
     let hist = aggclust_metrics::stability::agreement_histogram(&oracle, 10);
     let total: u64 = hist.iter().sum();

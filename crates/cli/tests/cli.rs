@@ -173,3 +173,159 @@ fn sampled_aggregation_runs() {
     assert!(stderr.contains("(sampled)"), "{stderr}");
     fs::remove_file(input).ok();
 }
+
+#[test]
+fn help_documents_exit_codes_and_budget_flags() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("EXIT CODES"), "{stdout}");
+    assert!(stdout.contains("--deadline-ms"), "{stdout}");
+    assert!(stdout.contains("--max-iters"), "{stdout}");
+}
+
+#[test]
+fn exit_code_2_on_usage_errors() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["aggregate"]).output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "--input missing should be usage"
+    );
+    let input = tmp("usage.csv", FIGURE1);
+    let out = bin()
+        .args([
+            "aggregate",
+            "--input",
+            input.to_str().unwrap(),
+            "--algorithm",
+            "quantum",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin()
+        .args([
+            "aggregate",
+            "--input",
+            input.to_str().unwrap(),
+            "--separator",
+            "ab",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    fs::remove_file(input).ok();
+}
+
+#[test]
+fn exit_code_3_on_io_errors() {
+    let out = bin()
+        .args(["aggregate", "--input", "/nonexistent/file.csv"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn exit_code_4_on_parse_errors_with_line_and_column() {
+    let input = tmp("ragged.csv", "0,1\n0\n1,1\n");
+    let out = bin()
+        .args(["aggregate", "--input", input.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("line 2, column 2"), "{stderr}");
+    fs::remove_file(input).ok();
+}
+
+#[test]
+fn exit_code_5_on_mismatched_candidate() {
+    let input = tmp("ev5.csv", FIGURE1);
+    let cand = tmp("ev5-cand.txt", "0\n1\n");
+    let out = bin()
+        .args([
+            "eval",
+            "--input",
+            input.to_str().unwrap(),
+            "--candidate",
+            cand.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(5));
+    fs::remove_file(input).ok();
+    fs::remove_file(cand).ok();
+}
+
+#[test]
+fn exit_code_6_on_degenerate_all_missing_input() {
+    let input = tmp("allmiss.csv", "?,?\n?,?\n?,?\n");
+    let out = bin()
+        .args(["aggregate", "--input", input.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(6));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("error: degenerate input"), "{stderr}");
+    fs::remove_file(input).ok();
+}
+
+#[test]
+fn exit_code_7_still_writes_anytime_labels() {
+    let input = tmp("budget7.csv", FIGURE1);
+    let out = bin()
+        .args([
+            "aggregate",
+            "--input",
+            input.to_str().unwrap(),
+            "--max-iters",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(7), "{:?}", out);
+    // Anytime contract: a valid labeling is still written for all 6 objects.
+    let labels: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    assert_eq!(labels.len(), 6);
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("warning:"), "{stderr}");
+    fs::remove_file(input).ok();
+}
+
+#[test]
+fn unlimited_budget_flags_preserve_the_optimum() {
+    let input = tmp("budget-ok.csv", FIGURE1);
+    let out = bin()
+        .args([
+            "aggregate",
+            "--input",
+            input.to_str().unwrap(),
+            "--deadline-ms",
+            "60000",
+            "--max-iters",
+            "1000000",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{:?}", out);
+    let labels: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    assert_eq!(labels, vec!["0", "1", "0", "1", "2", "2"]);
+    fs::remove_file(input).ok();
+}
+
+#[test]
+fn exact_flag_solves_small_instances() {
+    let input = tmp("exact.csv", FIGURE1);
+    let out = bin()
+        .args(["aggregate", "--input", input.to_str().unwrap(), "--exact"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{:?}", out);
+    let labels: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    assert_eq!(labels, vec!["0", "1", "0", "1", "2", "2"]);
+    fs::remove_file(input).ok();
+}

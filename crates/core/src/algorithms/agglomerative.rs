@@ -15,8 +15,10 @@
 //! average linkage is reducible.
 
 use crate::clustering::Clustering;
+use crate::error::AggResult;
 use crate::instance::DistanceOracle;
-use crate::linkage::{linkage, CondensedMatrix, LinkageMethod};
+use crate::linkage::{linkage, linkage_budgeted, CondensedMatrix, LinkageMethod};
+use crate::robust::{RunBudget, RunOutcome};
 
 /// Parameters for [`agglomerative`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -71,11 +73,56 @@ pub fn agglomerative<O: DistanceOracle + Sync + ?Sized>(
     }
 }
 
+/// Budgeted AGGLOMERATIVE with anytime semantics. One budget iteration per
+/// merge; the `O(n²)` matrix build polls the budget between parallel row
+/// chunks. On a trip during the build the result degrades to singletons; on
+/// a trip mid-merging the partial dendrogram is cut as usual, yielding a
+/// valid (finer) clustering whose applied merges each lowered the cost.
+pub fn agglomerative_budgeted<O: DistanceOracle + Sync + ?Sized>(
+    oracle: &O,
+    params: AgglomerativeParams,
+    budget: &RunBudget,
+) -> AggResult<RunOutcome> {
+    if params.threshold.is_nan() {
+        return Err(crate::error::AggError::invalid_parameter(
+            "threshold",
+            "must not be NaN",
+        ));
+    }
+    let n = oracle.len();
+    if n == 0 {
+        return Ok(RunOutcome::converged(Clustering::from_labels(Vec::new())));
+    }
+    let matrix = match CondensedMatrix::try_from_oracle(oracle, budget) {
+        Ok(matrix) => matrix,
+        Err(interrupt) => {
+            // No partial matrix to salvage: the only valid anytime answer
+            // before any merge is the all-singletons start.
+            return Ok(RunOutcome {
+                clustering: Clustering::singletons(n),
+                status: interrupt.status(),
+                iterations: 0,
+            });
+        }
+    };
+    let (dendrogram, status, iterations) = linkage_budgeted(matrix, LinkageMethod::Average, budget);
+    let clustering = match params.num_clusters {
+        Some(k) => dendrogram.cut_num_clusters(k.clamp(1, n)),
+        None => dendrogram.cut_height(params.threshold),
+    };
+    Ok(RunOutcome {
+        clustering,
+        status,
+        iterations,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cost::correlation_cost;
     use crate::instance::DenseOracle;
+    use crate::robust::RunStatus;
 
     fn c(labels: &[u32]) -> Clustering {
         Clustering::from_labels(labels.to_vec())
@@ -187,5 +234,50 @@ mod tests {
             agglomerative(&oracle, AgglomerativeParams::paper()).len(),
             0
         );
+    }
+
+    #[test]
+    fn budgeted_unlimited_matches_unbudgeted() {
+        let oracle = figure1_oracle();
+        let outcome = agglomerative_budgeted(
+            &oracle,
+            AgglomerativeParams::paper(),
+            &RunBudget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(outcome.status, RunStatus::Converged);
+        assert_eq!(
+            outcome.clustering,
+            agglomerative(&oracle, AgglomerativeParams::paper())
+        );
+    }
+
+    #[test]
+    fn budget_trip_degrades_to_finer_clustering() {
+        let oracle = figure1_oracle();
+        // One merge allowed, then the cap trips: the cut of the partial
+        // dendrogram is a complete clustering no coarser than the optimum.
+        let tight = RunBudget::unlimited().with_max_iters(1);
+        let outcome =
+            agglomerative_budgeted(&oracle, AgglomerativeParams::paper(), &tight).unwrap();
+        assert_eq!(outcome.status, RunStatus::BudgetExceeded);
+        assert_eq!(outcome.clustering.len(), 6);
+        assert!(outcome.clustering.num_clusters() >= 3);
+        let cost = correlation_cost(&oracle, &outcome.clustering);
+        assert!(cost <= correlation_cost(&oracle, &Clustering::singletons(6)) + 1e-9);
+    }
+
+    #[test]
+    fn nan_threshold_is_a_typed_error() {
+        let oracle = figure1_oracle();
+        let params = AgglomerativeParams {
+            threshold: f64::NAN,
+            num_clusters: None,
+        };
+        let err = agglomerative_budgeted(&oracle, params, &RunBudget::unlimited()).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::AggError::InvalidParameter { .. }
+        ));
     }
 }

@@ -10,9 +10,12 @@
 //! local optima LOCALSEARCH stops at. A final zero-temperature descent
 //! guarantees the output is itself a single-move local optimum.
 
-use crate::algorithms::local_search::local_search_from;
+use crate::algorithms::local_search::{local_search_from, local_search_from_budgeted};
 use crate::clustering::Clustering;
+use crate::cost::within_cost;
+use crate::error::{AggError, AggResult};
 use crate::instance::DistanceOracle;
+use crate::robust::{BudgetMeter, Interrupt, RunBudget, RunOutcome};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -55,6 +58,89 @@ pub fn simulated_annealing<O: DistanceOracle + Sync + ?Sized>(
         params.cooling > 0.0 && params.cooling < 1.0,
         "cooling factor must be in (0, 1)"
     );
+    let budget = RunBudget::unlimited();
+    let mut meter = budget.meter();
+    let state = anneal_loop(oracle, params, &mut meter);
+
+    // Zero-temperature descent to a guaranteed local optimum.
+    let annealed = Clustering::from_labels(state.labels);
+    local_search_from(oracle, &annealed, 200, 1e-9)
+}
+
+/// Budgeted simulated annealing with anytime semantics. One budget
+/// iteration per proposed move (each is an `O(n)` M-sums pass). The loop
+/// keeps a snapshot of the cheapest state visited; a trip returns that
+/// snapshot, which can never cost more than the all-singletons start. On
+/// natural completion the final descent runs under the same budget and the
+/// cheaper of (descended, snapshot) is returned.
+pub fn simulated_annealing_budgeted<O: DistanceOracle + Sync + ?Sized>(
+    oracle: &O,
+    params: &AnnealingParams,
+    budget: &RunBudget,
+) -> AggResult<RunOutcome> {
+    if !(params.cooling > 0.0 && params.cooling < 1.0) {
+        return Err(AggError::invalid_parameter(
+            "cooling",
+            format!("{} not in (0, 1)", params.cooling),
+        ));
+    }
+    if params.initial_temperature.is_nan() {
+        return Err(AggError::invalid_parameter(
+            "initial_temperature",
+            "must not be NaN",
+        ));
+    }
+    let n = oracle.len();
+    if n <= 1 {
+        return Ok(RunOutcome::converged(Clustering::singletons(n)));
+    }
+    let mut meter = budget.meter();
+    let state = anneal_loop(oracle, params, &mut meter);
+    let anneal_iters = meter.iterations();
+    if let Some(interrupt) = state.tripped {
+        return Ok(RunOutcome {
+            clustering: Clustering::from_labels(state.best_labels),
+            status: interrupt.status(),
+            iterations: anneal_iters,
+        });
+    }
+
+    // Budgeted descent from the annealed state, then keep the cheaper of
+    // the descended result and the best mid-anneal snapshot (the descent
+    // start can be an uphill excursion the snapshot predates).
+    let annealed = Clustering::from_labels(state.labels);
+    let descended = local_search_from_budgeted(oracle, &annealed, 200, 1e-9, budget)?;
+    let snapshot = Clustering::from_labels(state.best_labels);
+    let clustering = if within_cost(oracle, &descended.clustering) <= within_cost(oracle, &snapshot)
+    {
+        descended.clustering
+    } else {
+        snapshot
+    };
+    Ok(RunOutcome {
+        clustering,
+        status: descended.status,
+        iterations: anneal_iters.saturating_add(descended.iterations),
+    })
+}
+
+/// Result of the annealing sweeps: the final state, the cheapest snapshot
+/// seen (by accumulated accepted deltas), and whether the budget tripped.
+struct AnnealState {
+    labels: Vec<u32>,
+    best_labels: Vec<u32>,
+    tripped: Option<Interrupt>,
+}
+
+/// The shared sweeps loop behind both entry points. Identical RNG
+/// consumption to the original implementation, so the unbudgeted path is
+/// bit-for-bit unchanged.
+fn anneal_loop<O: DistanceOracle + Sync + ?Sized>(
+    oracle: &O,
+    params: &AnnealingParams,
+    meter: &mut BudgetMeter<'_>,
+) -> AnnealState {
+    let n = oracle.len();
     let mut rng = StdRng::seed_from_u64(params.seed);
 
     // State: labels + sizes; fresh singleton labels appended at the end.
@@ -62,11 +148,23 @@ pub fn simulated_annealing<O: DistanceOracle + Sync + ?Sized>(
     let mut sizes: Vec<usize> = vec![1; n];
     let mut temperature = params.initial_temperature;
 
+    // Anytime bookkeeping: `acc` is the cost relative to the singletons
+    // start (the sum of accepted move deltas); the cheapest state seen is
+    // snapshotted so a budget trip can return it.
+    let mut acc = 0.0f64;
+    let mut best_acc = 0.0f64;
+    let mut best_labels = labels.clone();
+    let mut tripped = None;
+
     // Move cost delta for node v → cluster `target` (usize::MAX = fresh
     // singleton), computed through the LOCALSEARCH M-sums in O(n).
     let mut m_sums: Vec<f64> = Vec::new();
-    for _sweep in 0..params.sweeps {
+    'sweeps: for _sweep in 0..params.sweeps {
         for _ in 0..n {
+            if let Err(interrupt) = meter.tick() {
+                tripped = Some(interrupt);
+                break 'sweeps;
+            }
             let v = rng.gen_range(0..n);
             let k = sizes.len();
             m_sums.clear();
@@ -128,13 +226,20 @@ pub fn simulated_annealing<O: DistanceOracle + Sync + ?Sized>(
             };
             sizes[dest] += 1;
             labels[v] = dest as u32;
+            acc += delta;
+            if acc < best_acc - 1e-12 {
+                best_acc = acc;
+                best_labels.clone_from(&labels);
+            }
         }
         temperature *= params.cooling;
     }
 
-    // Zero-temperature descent to a guaranteed local optimum.
-    let annealed = Clustering::from_labels(labels);
-    local_search_from(oracle, &annealed, 200, 1e-9)
+    AnnealState {
+        labels,
+        best_labels,
+        tripped,
+    }
 }
 
 #[cfg(test)]
@@ -228,5 +333,46 @@ mod tests {
             simulated_annealing(&o1, &AnnealingParams::default()).num_clusters(),
             1
         );
+    }
+
+    #[test]
+    fn budgeted_unlimited_is_no_worse_than_legacy() {
+        let oracle = figure1_oracle();
+        let params = AnnealingParams::default();
+        let outcome =
+            simulated_annealing_budgeted(&oracle, &params, &RunBudget::unlimited()).unwrap();
+        assert!(outcome.status.is_converged());
+        // The budgeted path takes min(descended, best snapshot), so it can
+        // only improve on the legacy result.
+        assert!(
+            correlation_cost(&oracle, &outcome.clustering)
+                <= correlation_cost(&oracle, &simulated_annealing(&oracle, &params)) + 1e-9
+        );
+    }
+
+    #[test]
+    fn budget_trip_is_no_worse_than_singletons() {
+        let oracle = figure1_oracle();
+        let tight = RunBudget::unlimited().with_max_iters(7);
+        let outcome =
+            simulated_annealing_budgeted(&oracle, &AnnealingParams::default(), &tight).unwrap();
+        assert_eq!(outcome.status, crate::robust::RunStatus::BudgetExceeded);
+        assert_eq!(outcome.clustering.len(), 6);
+        assert!(
+            correlation_cost(&oracle, &outcome.clustering)
+                <= correlation_cost(&oracle, &Clustering::singletons(6)) + 1e-9
+        );
+    }
+
+    #[test]
+    fn bad_cooling_is_a_typed_error() {
+        let oracle = figure1_oracle();
+        let params = AnnealingParams {
+            cooling: 1.5,
+            ..Default::default()
+        };
+        let err =
+            simulated_annealing_budgeted(&oracle, &params, &RunBudget::unlimited()).unwrap_err();
+        assert!(matches!(err, AggError::InvalidParameter { .. }));
     }
 }

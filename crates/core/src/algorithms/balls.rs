@@ -15,8 +15,10 @@
 //! provided as constructors.
 
 use crate::clustering::Clustering;
+use crate::error::{AggError, AggResult};
 use crate::instance::DistanceOracle;
 use crate::parallel;
+use crate::robust::{RunBudget, RunOutcome, RunStatus};
 
 /// Minimum number of candidate vertices in a ball scan before the distance
 /// lookups are farmed out to worker threads; below this the serial loop is
@@ -92,10 +94,46 @@ impl Default for BallsParams {
 /// out the ball around the vertex or emits a singleton. `O(n²)` oracle
 /// lookups after the `O(n²)` ordering pass.
 pub fn balls<O: DistanceOracle + Sync + ?Sized>(oracle: &O, params: BallsParams) -> Clustering {
+    let (labels, _, _) = run(oracle, params, &RunBudget::unlimited());
+    Clustering::from_labels(labels)
+}
+
+/// Budgeted BALLS: validates `alpha` as a typed error instead of panicking
+/// and honors a [`RunBudget`] with anytime semantics. One budget iteration
+/// per vertex visit (each is an `O(n)` ball scan). On a budget trip the
+/// vertices not yet visited become fresh singletons, so the result is always
+/// a complete, valid clustering.
+pub fn balls_budgeted<O: DistanceOracle + Sync + ?Sized>(
+    oracle: &O,
+    params: BallsParams,
+    budget: &RunBudget,
+) -> AggResult<RunOutcome> {
+    if !(0.0..=1.0).contains(&params.alpha) {
+        return Err(AggError::invalid_parameter(
+            "alpha",
+            format!("{} out of [0,1]", params.alpha),
+        ));
+    }
+    let (labels, status, iterations) = run(oracle, params, budget);
+    Ok(RunOutcome {
+        clustering: Clustering::from_labels(labels),
+        status,
+        iterations,
+    })
+}
+
+/// Shared engine behind [`balls`] and [`balls_budgeted`]. Returns raw labels
+/// plus how the run ended; every label is assigned on every path.
+fn run<O: DistanceOracle + Sync + ?Sized>(
+    oracle: &O,
+    params: BallsParams,
+    budget: &RunBudget,
+) -> (Vec<u32>, RunStatus, u64) {
     let n = oracle.len();
     if n == 0 {
-        return Clustering::from_labels(Vec::new());
+        return (Vec::new(), RunStatus::Converged, 0);
     }
+    let mut meter = budget.meter();
 
     // Establish the visit order (the paper: increasing incident weight).
     // Each vertex weight is an independent full-row sum, computed in
@@ -128,6 +166,20 @@ pub fn balls<O: DistanceOracle + Sync + ?Sized>(oracle: &O, params: BallsParams)
 
     let mut labels = vec![u32::MAX; n];
     let mut next_label = 0u32;
+
+    // The ordering pass above is O(n) per vertex; account for it in bulk.
+    // If the budget is already blown, every vertex becomes a singleton —
+    // the only valid anytime answer before any ball has been carved.
+    if params.ordering != BallsOrdering::Index {
+        if let Err(interrupt) = meter.tick_n(n as u64) {
+            return (
+                finish_singletons(labels, next_label),
+                interrupt.status(),
+                meter.iterations(),
+            );
+        }
+    }
+
     let mut ball: Vec<usize> = Vec::new();
     let mut candidates: Vec<usize> = Vec::new();
     let mut cand_dist: Vec<f64> = Vec::new();
@@ -135,6 +187,13 @@ pub fn balls<O: DistanceOracle + Sync + ?Sized>(oracle: &O, params: BallsParams)
     for &u in &order {
         if labels[u] != u32::MAX {
             continue;
+        }
+        if let Err(interrupt) = meter.tick() {
+            return (
+                finish_singletons(labels, next_label),
+                interrupt.status(),
+                meter.iterations(),
+            );
         }
         // Collect unclustered vertices within distance ½ of u. For large
         // candidate sets the distance lookups run in parallel into a row
@@ -182,7 +241,17 @@ pub fn balls<O: DistanceOracle + Sync + ?Sized>(oracle: &O, params: BallsParams)
         // unclustered for later iterations.
     }
 
-    Clustering::from_labels(labels)
+    (labels, RunStatus::Converged, meter.iterations())
+}
+
+/// Complete a partially-labelled vector by making every unvisited vertex a
+/// fresh singleton, continuing the label counter.
+fn finish_singletons(mut labels: Vec<u32>, mut next_label: u32) -> Vec<u32> {
+    for label in labels.iter_mut().filter(|label| **label == u32::MAX) {
+        *label = next_label;
+        next_label += 1;
+    }
+    labels
 }
 
 #[cfg(test)]
@@ -281,5 +350,43 @@ mod tests {
     #[should_panic(expected = "out of [0,1]")]
     fn alpha_validation() {
         let _ = BallsParams::with_alpha(1.5);
+    }
+
+    #[test]
+    fn budgeted_unlimited_matches_unbudgeted() {
+        let oracle = figure1_oracle();
+        let outcome = balls_budgeted(
+            &oracle,
+            BallsParams::practical(),
+            &crate::robust::RunBudget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(outcome.clustering, balls(&oracle, BallsParams::practical()));
+        assert_eq!(outcome.status, crate::robust::RunStatus::Converged);
+    }
+
+    #[test]
+    fn budget_trip_yields_complete_clustering() {
+        let oracle = figure1_oracle();
+        let tight = crate::robust::RunBudget::unlimited().with_max_iters(1);
+        let outcome = balls_budgeted(&oracle, BallsParams::practical(), &tight).unwrap();
+        assert_eq!(outcome.status, crate::robust::RunStatus::BudgetExceeded);
+        // Every vertex carries a label — unvisited ones became singletons.
+        assert_eq!(outcome.clustering.len(), 6);
+    }
+
+    #[test]
+    fn bad_alpha_is_a_typed_error() {
+        let oracle = figure1_oracle();
+        let params = BallsParams {
+            alpha: f64::NAN,
+            ordering: BallsOrdering::Index,
+        };
+        let err =
+            balls_budgeted(&oracle, params, &crate::robust::RunBudget::unlimited()).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::AggError::InvalidParameter { .. }
+        ));
     }
 }

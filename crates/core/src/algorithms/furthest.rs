@@ -15,8 +15,10 @@
 
 use crate::clustering::Clustering;
 use crate::cost::within_cost;
+use crate::error::AggResult;
 use crate::instance::DistanceOracle;
 use crate::parallel;
+use crate::robust::{RunBudget, RunOutcome, RunStatus};
 
 /// Parameters for [`furthest`].
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
@@ -53,30 +55,65 @@ pub fn furthest<O: DistanceOracle + Sync + ?Sized>(
     oracle: &O,
     params: FurthestParams,
 ) -> Clustering {
+    let (clustering, _, _) = run(oracle, params, &RunBudget::unlimited());
+    clustering
+}
+
+/// Budgeted FURTHEST with anytime semantics. One budget iteration per
+/// center round (each is at least `O(n)` work); the `O(n²)` furthest-pair
+/// search is metered in bulk. The algorithm already tracks the
+/// best-cost-so-far solution, which doubles as the anytime result — never
+/// worse than the one-cluster start it is seeded with.
+pub fn furthest_budgeted<O: DistanceOracle + Sync + ?Sized>(
+    oracle: &O,
+    params: FurthestParams,
+    budget: &RunBudget,
+) -> AggResult<RunOutcome> {
+    let (clustering, status, iterations) = run(oracle, params, budget);
+    Ok(RunOutcome {
+        clustering,
+        status,
+        iterations,
+    })
+}
+
+/// Shared engine behind [`furthest`] and [`furthest_budgeted`].
+fn run<O: DistanceOracle + Sync + ?Sized>(
+    oracle: &O,
+    params: FurthestParams,
+    budget: &RunBudget,
+) -> (Clustering, RunStatus, u64) {
     let n = oracle.len();
     if n == 0 {
-        return Clustering::from_labels(Vec::new());
+        return (Clustering::from_labels(Vec::new()), RunStatus::Converged, 0);
     }
     if n == 1 {
-        return Clustering::one_cluster(1);
+        return (Clustering::one_cluster(1), RunStatus::Converged, 0);
     }
     let fixed_k = params.num_clusters;
     if fixed_k == Some(1) {
-        return Clustering::one_cluster(n);
+        return (Clustering::one_cluster(n), RunStatus::Converged, 0);
     }
     let cap = fixed_k
         .unwrap_or_else(|| params.max_centers.unwrap_or(n))
         .clamp(2, n);
+    let mut meter = budget.meter();
 
     // The cost comparison only needs the C-dependent "within" term
     // Σ_{same-cluster pairs} (2X − 1); the Σ(1−X) base is constant.
     let mut best = Clustering::one_cluster(n);
     let mut best_within = within_cost(oracle, &best);
 
+    // The furthest-pair search is an O(n²) block; account for it as n
+    // units. Tripping here means the one-cluster seed is the result.
+    if let Err(interrupt) = meter.tick_n(n as u64) {
+        return (best, interrupt.status(), meter.iterations());
+    }
+
     // First two centers: the furthest-apart pair (earliest pair on ties,
-    // like the serial strict-`>` scan).
-    let (ca, cb, _) =
-        parallel::max_pair(n, |u, v| oracle.dist(u, v)).expect("instance has at least two objects");
+    // like the serial strict-`>` scan). n >= 2 here, so a pair always
+    // exists; the fallback only avoids a panic path.
+    let (ca, cb, _) = parallel::max_pair(n, |u, v| oracle.dist(u, v)).unwrap_or((0, 1, 0.0));
     let mut centers: Vec<usize> = vec![ca, cb];
     // min_dist[v] = distance from v to its nearest center (for picking the
     // next center in O(n) per round).
@@ -86,6 +123,9 @@ pub fn furthest<O: DistanceOracle + Sync + ?Sized>(
     });
 
     loop {
+        if let Err(interrupt) = meter.tick() {
+            return (best, interrupt.status(), meter.iterations());
+        }
         // Assign every node to the nearest center (ties → earliest center).
         let mut labels = vec![0u32; n];
         {
@@ -144,7 +184,7 @@ pub fn furthest<O: DistanceOracle + Sync + ?Sized>(
         });
     }
 
-    best
+    (best, RunStatus::Converged, meter.iterations())
 }
 
 #[cfg(test)]
@@ -229,5 +269,32 @@ mod tests {
         let o2 = DenseOracle::from_fn(2, |_, _| 1.0);
         let r2 = furthest(&o2, FurthestParams::default());
         assert_eq!(r2.num_clusters(), 2);
+    }
+
+    #[test]
+    fn budgeted_unlimited_matches_unbudgeted() {
+        let oracle = figure1_oracle();
+        let outcome =
+            furthest_budgeted(&oracle, FurthestParams::default(), &RunBudget::unlimited()).unwrap();
+        assert_eq!(outcome.status, RunStatus::Converged);
+        assert_eq!(
+            outcome.clustering,
+            furthest(&oracle, FurthestParams::default())
+        );
+    }
+
+    #[test]
+    fn budget_trip_returns_best_so_far() {
+        let oracle = figure1_oracle();
+        // Budget burns out during the furthest-pair search (6 units > 1):
+        // the anytime result is the one-cluster seed.
+        let tight = RunBudget::unlimited().with_max_iters(1);
+        let outcome = furthest_budgeted(&oracle, FurthestParams::default(), &tight).unwrap();
+        assert_eq!(outcome.status, RunStatus::BudgetExceeded);
+        assert_eq!(outcome.clustering.len(), 6);
+        assert!(
+            correlation_cost(&oracle, &outcome.clustering)
+                <= correlation_cost(&oracle, &Clustering::one_cluster(6)) + 1e-9
+        );
     }
 }

@@ -32,8 +32,10 @@
 //! to a fully serial run at any thread count.
 
 use crate::clustering::Clustering;
+use crate::error::{AggError, AggResult};
 use crate::instance::DistanceOracle;
 use crate::parallel;
+use crate::robust::{RunBudget, RunOutcome, RunStatus};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -127,7 +129,90 @@ pub fn local_search_from<O: DistanceOracle + Sync + ?Sized>(
     if n <= 1 {
         return start.clone();
     }
+    let (labels, _, _) = descend(oracle, start, max_passes, epsilon, &RunBudget::unlimited());
+    Clustering::from_labels(labels)
+}
 
+/// Budget-aware [`local_search`]: validates the parameters and runs the
+/// descent under `budget`, returning the best-so-far clustering when the
+/// budget trips (see [`local_search_from_budgeted`]).
+pub fn local_search_budgeted<O: DistanceOracle + Sync + ?Sized>(
+    oracle: &O,
+    params: LocalSearchParams,
+    budget: &RunBudget,
+) -> AggResult<RunOutcome> {
+    let n = oracle.len();
+    let start = match &params.init {
+        LocalSearchInit::Singletons => Clustering::singletons(n),
+        LocalSearchInit::OneCluster => Clustering::one_cluster(n),
+        LocalSearchInit::Random { k, seed } => {
+            let k = (*k).max(1) as u32;
+            let mut rng = StdRng::seed_from_u64(*seed);
+            Clustering::from_labels((0..n).map(|_| rng.gen_range(0..k)).collect())
+        }
+        LocalSearchInit::Given(c) => {
+            if c.len() != n {
+                return Err(AggError::invalid_parameter(
+                    "init",
+                    format!(
+                        "given clustering covers {} objects, instance has {n}",
+                        c.len()
+                    ),
+                ));
+            }
+            c.clone()
+        }
+    };
+    local_search_from_budgeted(oracle, &start, params.max_passes, params.epsilon, budget)
+}
+
+/// Budget-aware [`local_search_from`] with **anytime semantics**: every
+/// accepted move strictly decreases the correlation cost, so whenever the
+/// deadline, iteration cap, or cancel token trips, the current labels are a
+/// valid clustering costing no more than `start` — they are returned with
+/// [`RunStatus::BudgetExceeded`] / [`RunStatus::Cancelled`] instead of an
+/// error. One budget iteration is one node visit (`O(n)` oracle lookups).
+pub fn local_search_from_budgeted<O: DistanceOracle + Sync + ?Sized>(
+    oracle: &O,
+    start: &Clustering,
+    max_passes: usize,
+    epsilon: f64,
+    budget: &RunBudget,
+) -> AggResult<RunOutcome> {
+    let n = oracle.len();
+    if start.len() != n {
+        return Err(AggError::invalid_parameter(
+            "start",
+            format!(
+                "clustering covers {} objects, instance has {n}",
+                start.len()
+            ),
+        ));
+    }
+    if epsilon.is_nan() {
+        return Err(AggError::invalid_parameter("epsilon", "must not be NaN"));
+    }
+    if n <= 1 {
+        return Ok(RunOutcome::converged(start.clone()));
+    }
+    let (labels, status, iterations) = descend(oracle, start, max_passes, epsilon, budget);
+    Ok(RunOutcome {
+        clustering: Clustering::from_labels(labels),
+        status,
+        iterations,
+    })
+}
+
+/// The steepest-descent engine shared by the panicking and budgeted entry
+/// points. Callers guarantee `start.len() == oracle.len()` and `n >= 2`.
+fn descend<O: DistanceOracle + Sync + ?Sized>(
+    oracle: &O,
+    start: &Clustering,
+    max_passes: usize,
+    epsilon: f64,
+    budget: &RunBudget,
+) -> (Vec<u32>, RunStatus, u64) {
+    let n = oracle.len();
     let mut labels: Vec<u32> = start.labels().to_vec();
     // Cluster sizes, indexed by label; empty slots may appear as nodes move
     // out and are reused only implicitly (fresh singletons get new ids).
@@ -149,6 +234,7 @@ pub fn local_search_from<O: DistanceOracle + Sync + ?Sized>(
     };
 
     let mut m_sums: Vec<f64> = Vec::new();
+    let mut meter = budget.meter();
     for _pass in 0..max_passes {
         let mut moved = false;
         let mut block_start = 0usize;
@@ -164,6 +250,12 @@ pub fn local_search_from<O: DistanceOracle + Sync + ?Sized>(
                 });
             }
             for v in block_start..block_end {
+                // One budget iteration per node visit: each costs O(n)
+                // lookups, and the labels between visits always describe a
+                // valid clustering no costlier than the start.
+                if let Err(interrupt) = meter.tick() {
+                    return (labels, interrupt.status(), meter.iterations());
+                }
                 let row = if prefetch {
                     Some(&rows[(v - block_start) * n..(v - block_start + 1) * n])
                 } else {
@@ -188,7 +280,7 @@ pub fn local_search_from<O: DistanceOracle + Sync + ?Sized>(
         }
     }
 
-    Clustering::from_labels(labels)
+    (labels, RunStatus::Converged, meter.iterations())
 }
 
 /// Evaluate all candidate moves for node `v` against the current labels and
@@ -385,5 +477,77 @@ mod tests {
         );
         let o0 = DenseOracle::from_fn(0, |_, _| 0.0);
         assert_eq!(local_search(&o0, LocalSearchParams::default()).len(), 0);
+    }
+
+    #[test]
+    fn budgeted_unlimited_matches_unbudgeted() {
+        let oracle = figure1_oracle();
+        let plain = local_search(&oracle, LocalSearchParams::default());
+        let outcome = local_search_budgeted(
+            &oracle,
+            LocalSearchParams::default(),
+            &RunBudget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(outcome.clustering, plain);
+        assert_eq!(outcome.status, RunStatus::Converged);
+        assert!(outcome.iterations > 0);
+    }
+
+    #[test]
+    fn budget_trip_returns_best_so_far() {
+        use crate::cost::correlation_cost;
+        let oracle = figure1_oracle();
+        let start = Clustering::singletons(6);
+        // A one-iteration cap trips immediately; the result must still be a
+        // valid clustering no costlier than the start.
+        let tight = RunBudget::unlimited().with_max_iters(1);
+        let outcome = local_search_from_budgeted(&oracle, &start, 200, 1e-9, &tight).unwrap();
+        assert_eq!(outcome.status, RunStatus::BudgetExceeded);
+        assert_eq!(outcome.clustering.len(), 6);
+        assert!(
+            correlation_cost(&oracle, &outcome.clustering)
+                <= correlation_cost(&oracle, &start) + 1e-9
+        );
+    }
+
+    #[test]
+    fn cancellation_is_reported() {
+        let oracle = figure1_oracle();
+        let token = crate::robust::CancelToken::new();
+        token.cancel();
+        let budget = RunBudget::unlimited().with_cancel_token(token);
+        let outcome =
+            local_search_budgeted(&oracle, LocalSearchParams::default(), &budget).unwrap();
+        assert_eq!(outcome.status, RunStatus::Cancelled);
+    }
+
+    #[test]
+    fn mismatched_start_is_a_typed_error() {
+        let oracle = figure1_oracle();
+        let bad = Clustering::singletons(3);
+        let err = local_search_from_budgeted(&oracle, &bad, 200, 1e-9, &RunBudget::unlimited())
+            .unwrap_err();
+        assert!(matches!(err, AggError::InvalidParameter { .. }));
+        let err = local_search_budgeted(
+            &oracle,
+            LocalSearchParams {
+                init: LocalSearchInit::Given(bad),
+                ..Default::default()
+            },
+            &RunBudget::unlimited(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AggError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn nan_epsilon_rejected() {
+        let oracle = figure1_oracle();
+        let start = Clustering::singletons(6);
+        let err =
+            local_search_from_budgeted(&oracle, &start, 10, f64::NAN, &RunBudget::unlimited())
+                .unwrap_err();
+        assert!(matches!(err, AggError::InvalidParameter { .. }));
     }
 }

@@ -12,7 +12,9 @@ pub mod pivot;
 pub mod sampling;
 
 use crate::clustering::Clustering;
+use crate::error::AggResult;
 use crate::instance::DistanceOracle;
+use crate::robust::{RunBudget, RunOutcome};
 
 pub use agglomerative::AgglomerativeParams;
 pub use annealing::AnnealingParams;
@@ -57,6 +59,29 @@ impl Algorithm {
         }
     }
 
+    /// Run the algorithm under a [`RunBudget`] with anytime semantics:
+    /// invalid parameters come back as typed errors, and a budget trip
+    /// yields the best-so-far clustering tagged with how the run ended
+    /// instead of panicking or running to completion.
+    pub fn run_budgeted<O: DistanceOracle + Sync>(
+        &self,
+        oracle: &O,
+        budget: &RunBudget,
+    ) -> AggResult<RunOutcome> {
+        match self {
+            Algorithm::Balls(p) => balls::balls_budgeted(oracle, *p, budget),
+            Algorithm::Agglomerative(p) => {
+                agglomerative::agglomerative_budgeted(oracle, *p, budget)
+            }
+            Algorithm::Furthest(p) => furthest::furthest_budgeted(oracle, *p, budget),
+            Algorithm::LocalSearch(p) => {
+                local_search::local_search_budgeted(oracle, p.clone(), budget)
+            }
+            Algorithm::Pivot(p) => pivot::pivot_budgeted(oracle, *p, budget),
+            Algorithm::Annealing(p) => annealing::simulated_annealing_budgeted(oracle, p, budget),
+        }
+    }
+
     /// Short display name matching the paper's tables.
     pub fn name(&self) -> &'static str {
         match self {
@@ -98,6 +123,43 @@ mod tests {
         for a in &algos {
             let result = a.run(&oracle);
             assert_eq!(result, optimum, "{} failed", a.name());
+        }
+    }
+
+    #[test]
+    fn run_budgeted_matches_run_with_unlimited_budget() {
+        let oracle = figure1_oracle();
+        let algos = [
+            Algorithm::Balls(BallsParams::default()),
+            Algorithm::Agglomerative(AgglomerativeParams::default()),
+            Algorithm::Furthest(FurthestParams::default()),
+            Algorithm::LocalSearch(LocalSearchParams::default()),
+            Algorithm::Pivot(PivotParams::default()),
+        ];
+        for a in &algos {
+            let outcome = a.run_budgeted(&oracle, &RunBudget::unlimited()).unwrap();
+            assert!(outcome.status.is_converged(), "{}", a.name());
+            assert_eq!(outcome.clustering, a.run(&oracle), "{} diverged", a.name());
+        }
+    }
+
+    #[test]
+    fn run_budgeted_never_panics_on_a_tight_budget() {
+        let oracle = figure1_oracle();
+        let algos = [
+            Algorithm::Balls(BallsParams::default()),
+            Algorithm::Agglomerative(AgglomerativeParams::default()),
+            Algorithm::Furthest(FurthestParams::default()),
+            Algorithm::LocalSearch(LocalSearchParams::default()),
+            Algorithm::Pivot(PivotParams::default()),
+            Algorithm::Annealing(AnnealingParams::default()),
+        ];
+        for cap in [0u64, 1, 2, 5] {
+            let budget = RunBudget::unlimited().with_max_iters(cap);
+            for a in &algos {
+                let outcome = a.run_budgeted(&oracle, &budget).unwrap();
+                assert_eq!(outcome.clustering.len(), 6, "{} cap {cap}", a.name());
+            }
         }
     }
 }

@@ -14,7 +14,9 @@
 //! cluster, remove them, repeat. `O(n²)` oracle lookups worst case.
 
 use crate::clustering::Clustering;
+use crate::error::AggResult;
 use crate::instance::DistanceOracle;
+use crate::robust::{BudgetMeter, Interrupt, RunBudget, RunOutcome, RunStatus};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -66,28 +68,69 @@ impl PivotParams {
 /// Run CC-PIVOT; with `repetitions > 1` the cheapest of the independent
 /// runs (by correlation cost) is returned.
 pub fn pivot<O: DistanceOracle + Sync + ?Sized>(oracle: &O, params: PivotParams) -> Clustering {
+    let (clustering, _, _) = run(oracle, params, &RunBudget::unlimited());
+    clustering
+}
+
+/// Budgeted CC-PIVOT with anytime semantics. One budget iteration per pivot
+/// (each pivot scans the remaining unclustered nodes). On a trip, the
+/// current repetition is completed by turning every unclustered node into a
+/// fresh singleton, and the cheapest clustering across the finished
+/// repetitions is returned.
+pub fn pivot_budgeted<O: DistanceOracle + Sync + ?Sized>(
+    oracle: &O,
+    params: PivotParams,
+    budget: &RunBudget,
+) -> AggResult<RunOutcome> {
+    let (clustering, status, iterations) = run(oracle, params, budget);
+    Ok(RunOutcome {
+        clustering,
+        status,
+        iterations,
+    })
+}
+
+/// Shared engine behind [`pivot`] and [`pivot_budgeted`].
+fn run<O: DistanceOracle + Sync + ?Sized>(
+    oracle: &O,
+    params: PivotParams,
+    budget: &RunBudget,
+) -> (Clustering, RunStatus, u64) {
     let n = oracle.len();
     if n == 0 {
-        return Clustering::from_labels(Vec::new());
+        return (Clustering::from_labels(Vec::new()), RunStatus::Converged, 0);
     }
     let reps = params.repetitions.max(1);
     let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut meter = budget.meter();
     let mut best: Option<(f64, Clustering)> = None;
     for _ in 0..reps {
-        let candidate = pivot_once(oracle, params.rounding, &mut rng);
+        let (candidate, tripped) = pivot_once(oracle, params.rounding, &mut rng, &mut meter);
         let cost = crate::cost::correlation_cost(oracle, &candidate);
         if best.as_ref().is_none_or(|(c, _)| cost < *c) {
             best = Some((cost, candidate));
         }
+        if let Some(interrupt) = tripped {
+            let iterations = meter.iterations();
+            return (take_best(best, n), interrupt.status(), iterations);
+        }
     }
-    best.expect("at least one repetition").1
+    let iterations = meter.iterations();
+    (take_best(best, n), RunStatus::Converged, iterations)
+}
+
+/// `best` is always `Some` after at least one repetition; the singleton
+/// fallback only avoids a panic path.
+fn take_best(best: Option<(f64, Clustering)>, n: usize) -> Clustering {
+    best.map_or_else(|| Clustering::singletons(n), |(_, clustering)| clustering)
 }
 
 fn pivot_once<O: DistanceOracle + Sync + ?Sized>(
     oracle: &O,
     rounding: PivotRounding,
     rng: &mut StdRng,
-) -> Clustering {
+    meter: &mut BudgetMeter<'_>,
+) -> (Clustering, Option<Interrupt>) {
     let n = oracle.len();
     // Random pivot order = random permutation, first unclustered wins.
     let mut order: Vec<usize> = (0..n).collect();
@@ -97,9 +140,16 @@ fn pivot_once<O: DistanceOracle + Sync + ?Sized>(
     }
     let mut labels = vec![u32::MAX; n];
     let mut next = 0u32;
+    let mut tripped = None;
     for &u in &order {
         if labels[u] != u32::MAX {
             continue;
+        }
+        if let Err(interrupt) = meter.tick() {
+            // Finish the repetition cheaply: the unclustered remainder
+            // becomes fresh singletons so the result is complete and valid.
+            tripped = Some(interrupt);
+            break;
         }
         let label = next;
         next += 1;
@@ -117,7 +167,13 @@ fn pivot_once<O: DistanceOracle + Sync + ?Sized>(
             }
         }
     }
-    Clustering::from_labels(labels)
+    if tripped.is_some() {
+        for slot in labels.iter_mut().filter(|slot| **slot == u32::MAX) {
+            *slot = next;
+            next += 1;
+        }
+    }
+    (Clustering::from_labels(labels), tripped)
 }
 
 #[cfg(test)]
@@ -198,5 +254,25 @@ mod tests {
     fn empty_instance() {
         let oracle = DenseOracle::from_fn(0, |_, _| 0.0);
         assert_eq!(pivot(&oracle, PivotParams::default()).len(), 0);
+    }
+
+    #[test]
+    fn budgeted_unlimited_matches_unbudgeted() {
+        let oracle = figure1_oracle();
+        let params = PivotParams::randomized(7, 4);
+        let outcome = pivot_budgeted(&oracle, params, &RunBudget::unlimited()).unwrap();
+        assert_eq!(outcome.status, RunStatus::Converged);
+        assert_eq!(outcome.clustering, pivot(&oracle, params));
+    }
+
+    #[test]
+    fn budget_trip_returns_complete_clustering() {
+        let oracle = figure1_oracle();
+        // One pivot allowed, then the cap trips mid-repetition: the rest of
+        // the nodes become singletons and the clustering is still complete.
+        let tight = RunBudget::unlimited().with_max_iters(1);
+        let outcome = pivot_budgeted(&oracle, PivotParams::majority(3), &tight).unwrap();
+        assert_eq!(outcome.status, RunStatus::BudgetExceeded);
+        assert_eq!(outcome.clustering.len(), 6);
     }
 }

@@ -17,7 +17,9 @@
 
 use super::Algorithm;
 use crate::clustering::Clustering;
+use crate::error::AggResult;
 use crate::instance::DistanceOracle;
+use crate::robust::{RunBudget, RunOutcome};
 use rand::rngs::StdRng;
 use rand::seq::index::sample as index_sample;
 use rand::SeedableRng;
@@ -96,6 +98,124 @@ pub struct SamplingDetails {
 /// Run the SAMPLING algorithm, returning just the clustering.
 pub fn sampling<O: DistanceOracle + Sync>(oracle: &O, params: &SamplingParams) -> Clustering {
     sampling_with_details(oracle, params).clustering
+}
+
+/// Budgeted SAMPLING with anytime semantics. The base algorithm runs under
+/// the same budget in the sample phase and the singleton-recluster phase;
+/// the per-node assignment loop ticks once per node (each an `O(s)` scan).
+/// On a trip mid-assignment the remaining nodes become fresh singletons and
+/// the recluster pass is skipped; statuses from the phases combine to the
+/// worst one observed.
+pub fn sampling_budgeted<O: DistanceOracle + Sync>(
+    oracle: &O,
+    params: &SamplingParams,
+    budget: &RunBudget,
+) -> AggResult<RunOutcome> {
+    let n = oracle.len();
+    if n == 0 {
+        return Ok(RunOutcome::converged(Clustering::from_labels(Vec::new())));
+    }
+    let s = params.size.resolve(n);
+
+    // Phase 1: uniform sample without replacement (same RNG discipline as
+    // the unbudgeted path, so results match when nothing trips).
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut sample: Vec<usize> = index_sample(&mut rng, n, s).into_vec();
+    sample.sort_unstable();
+
+    // Phase 2: aggregate the sample with the budgeted base algorithm.
+    let sub = oracle.restrict(&sample);
+    let base_outcome = params.base.run_budgeted(&sub, budget)?;
+    let mut status = base_outcome.status;
+    let mut iterations = base_outcome.iterations;
+    let sample_clustering = base_outcome.clustering;
+    let ell = sample_clustering.num_clusters();
+
+    let mut cluster_sizes = vec![0usize; ell];
+    for si in 0..sample.len() {
+        cluster_sizes[sample_clustering.label(si) as usize] += 1;
+    }
+
+    // Phase 3: assign every non-sampled node to the cheapest sample cluster
+    // or to a fresh singleton.
+    let mut labels = vec![u32::MAX; n];
+    for (si, &v) in sample.iter().enumerate() {
+        labels[v] = sample_clustering.label(si);
+    }
+    let mut next_label = ell as u32;
+    let mut in_sample = vec![false; n];
+    for &v in &sample {
+        in_sample[v] = true;
+    }
+    let mut meter = budget.meter();
+    let mut m_sums = vec![0.0f64; ell];
+    let mut tripped = false;
+    for v in 0..n {
+        if in_sample[v] {
+            continue;
+        }
+        if let Err(interrupt) = meter.tick() {
+            status = status.combine(interrupt.status());
+            tripped = true;
+            // Unassigned nodes become fresh singletons — complete and
+            // valid, if suboptimal.
+            for slot in labels.iter_mut().filter(|slot| **slot == u32::MAX) {
+                *slot = next_label;
+                next_label += 1;
+            }
+            break;
+        }
+        m_sums.iter_mut().for_each(|x| *x = 0.0);
+        let mut t_sum = 0.0;
+        for (si, &u) in sample.iter().enumerate() {
+            let x = oracle.dist(v, u);
+            m_sums[sample_clustering.label(si) as usize] += x;
+            t_sum += x;
+        }
+        let mut best = f64::INFINITY;
+        let mut best_i = usize::MAX;
+        for i in 0..ell {
+            let c = 2.0 * m_sums[i] - t_sum + s as f64 - cluster_sizes[i] as f64;
+            if c < best {
+                best = c;
+                best_i = i;
+            }
+        }
+        let singleton_cost = s as f64 - t_sum;
+        if best_i == usize::MAX || singleton_cost < best {
+            labels[v] = next_label;
+            next_label += 1;
+        } else {
+            labels[v] = best_i as u32;
+        }
+    }
+    iterations = iterations.saturating_add(meter.iterations());
+
+    // Phase 3b: re-aggregate the singletons, skipped when the budget
+    // already tripped.
+    if !tripped && params.recluster_singletons {
+        let mut sizes = vec![0usize; next_label as usize];
+        for &l in &labels {
+            sizes[l as usize] += 1;
+        }
+        let singleton_nodes: Vec<usize> =
+            (0..n).filter(|&v| sizes[labels[v] as usize] == 1).collect();
+        if singleton_nodes.len() >= 2 {
+            let sub = oracle.restrict(&singleton_nodes);
+            let re = params.base.run_budgeted(&sub, budget)?;
+            status = status.combine(re.status);
+            iterations = iterations.saturating_add(re.iterations);
+            for (i, &v) in singleton_nodes.iter().enumerate() {
+                labels[v] = next_label + re.clustering.label(i);
+            }
+        }
+    }
+
+    Ok(RunOutcome {
+        clustering: Clustering::from_labels(labels),
+        status,
+        iterations,
+    })
 }
 
 /// Run the SAMPLING algorithm with phase-level instrumentation (used by the
@@ -347,5 +467,34 @@ mod tests {
             1,
         );
         assert_eq!(sampling(&oracle, &params).len(), 0);
+    }
+
+    #[test]
+    fn budgeted_unlimited_matches_unbudgeted() {
+        let (_, oracle) = blocks_instance();
+        let params = SamplingParams::new(
+            20,
+            Algorithm::Agglomerative(AgglomerativeParams::default()),
+            42,
+        );
+        let outcome =
+            sampling_budgeted(&oracle, &params, &crate::robust::RunBudget::unlimited()).unwrap();
+        assert!(outcome.status.is_converged());
+        assert_eq!(outcome.clustering, sampling(&oracle, &params));
+    }
+
+    #[test]
+    fn budget_trip_still_covers_every_node() {
+        let (_, oracle) = blocks_instance();
+        let params = SamplingParams::new(
+            20,
+            Algorithm::Agglomerative(AgglomerativeParams::default()),
+            42,
+        );
+        for cap in [0u64, 3, 25] {
+            let budget = crate::robust::RunBudget::unlimited().with_max_iters(cap);
+            let outcome = sampling_budgeted(&oracle, &params, &budget).unwrap();
+            assert_eq!(outcome.clustering.len(), 60, "cap {cap}");
+        }
     }
 }

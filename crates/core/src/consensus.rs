@@ -24,12 +24,16 @@
 //! stops being reasonable.
 
 use crate::algorithms::local_search::local_search_from;
-use crate::algorithms::sampling::{sampling, SamplingParams};
-use crate::algorithms::{AgglomerativeParams, Algorithm};
+use crate::algorithms::local_search::local_search_from_budgeted;
+use crate::algorithms::sampling::{sampling, sampling_budgeted, SamplingParams};
+use crate::algorithms::{AgglomerativeParams, Algorithm, BallsParams};
 use crate::clustering::{Clustering, PartialClustering};
 use crate::cost::{correlation_cost, lower_bound};
 use crate::distance::total_disagreement;
+use crate::error::AggResult;
+use crate::exact::{branch_and_bound_budgeted, MAX_BNB_N};
 use crate::instance::{ClusteringsOracle, CorrelationInstance, MissingPolicy};
+use crate::robust::{RunBudget, RunStatus};
 
 /// Outcome of a consensus run.
 #[derive(Clone, Debug)]
@@ -50,6 +54,13 @@ pub struct ConsensusResult {
     pub lower_bound: Option<f64>,
     /// Whether the SAMPLING path was taken.
     pub sampled: bool,
+    /// How the run ended. Always `Converged` on the panicking API; the
+    /// budgeted [`ConsensusBuilder::try_aggregate`] path reports
+    /// `BudgetExceeded`/`Cancelled` when the result is best-so-far.
+    pub status: RunStatus,
+    /// Human-readable notes about graceful degradation steps taken (exact
+    /// solver skipped, refinement interrupted, …). Empty on a clean run.
+    pub warnings: Vec<String>,
 }
 
 /// Builder for consensus clustering runs. All settings optional.
@@ -61,6 +72,8 @@ pub struct ConsensusBuilder {
     sampling_threshold: usize,
     sample_size: usize,
     seed: u64,
+    budget: RunBudget,
+    prefer_exact: bool,
 }
 
 impl Default for ConsensusBuilder {
@@ -72,6 +85,8 @@ impl Default for ConsensusBuilder {
             sampling_threshold: 6_000,
             sample_size: 1_600,
             seed: 0,
+            budget: RunBudget::unlimited(),
+            prefer_exact: false,
         }
     }
 }
@@ -120,6 +135,23 @@ impl ConsensusBuilder {
         self
     }
 
+    /// Run budget (deadline / iteration cap / cancel token) honored by the
+    /// budgeted [`ConsensusBuilder::try_aggregate`] entry points. The
+    /// panicking `aggregate` API always runs unlimited. Default: unlimited.
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Prefer an exact branch-and-bound solve when the instance is small
+    /// enough (`n <= 24`); above that the builder degrades to the BALLS
+    /// 3-approximation with a warning instead of erroring. Only honored by
+    /// the budgeted `try_aggregate` entry points. Default: off.
+    pub fn prefer_exact(mut self, prefer_exact: bool) -> Self {
+        self.prefer_exact = prefer_exact;
+        self
+    }
+
     /// Aggregate total clusterings.
     ///
     /// # Panics
@@ -153,6 +185,8 @@ impl ConsensusBuilder {
                 disagreements: 0,
                 lower_bound: None,
                 sampled: true,
+                status: RunStatus::Converged,
+                warnings: Vec::new(),
                 clustering,
             };
         }
@@ -168,9 +202,143 @@ impl ConsensusBuilder {
             disagreements: (cost * m as f64).round() as u64,
             lower_bound: Some(lower_bound(&dense)),
             sampled: false,
+            status: RunStatus::Converged,
+            warnings: Vec::new(),
             cost,
             clustering,
         }
+    }
+
+    /// Fallible, budget-aware variant of [`ConsensusBuilder::aggregate`].
+    ///
+    /// Invalid input (empty set, mismatched object counts) comes back as a
+    /// typed [`crate::AggError`] instead of a panic, and the configured
+    /// [`RunBudget`] is honored with anytime semantics: a budget trip yields
+    /// the best consensus found so far, tagged via `status` and explained in
+    /// `warnings`.
+    pub fn try_aggregate(&self, inputs: &[Clustering]) -> AggResult<ConsensusResult> {
+        let partial: Vec<PartialClustering> =
+            inputs.iter().map(PartialClustering::from_total).collect();
+        let mut result = self.try_aggregate_partial(partial)?;
+        if !result.sampled && result.cost.is_finite() {
+            result.disagreements = total_disagreement(inputs, &result.clustering);
+        }
+        Ok(result)
+    }
+
+    /// Fallible, budget-aware variant of [`ConsensusBuilder::aggregate_partial`].
+    ///
+    /// Graceful-degradation chain:
+    /// 1. `n` over the sampling threshold → SAMPLING (budgeted).
+    /// 2. Dense matrix build trips the budget → singleton clustering plus a
+    ///    warning (no time left to do anything smarter).
+    /// 3. `prefer_exact` on a too-large instance → warning, then the BALLS
+    ///    3-approximation instead of an error.
+    /// 4. Budget trips mid-refinement → the partially refined consensus is
+    ///    returned with a warning rather than discarded.
+    pub fn try_aggregate_partial(
+        &self,
+        inputs: Vec<PartialClustering>,
+    ) -> AggResult<ConsensusResult> {
+        let m = inputs.len();
+        let instance = CorrelationInstance::try_from_partial(inputs, self.missing_policy)?;
+        let n = instance.len();
+
+        if n > self.sampling_threshold {
+            let params = SamplingParams::new(self.sample_size, self.algorithm.clone(), self.seed);
+            let outcome = sampling_budgeted(&instance.lazy_oracle(), &params, &self.budget)?;
+            let mut warnings = Vec::new();
+            if !outcome.status.is_converged() {
+                warnings.push(format!(
+                    "sampling run stopped early ({:?}); unvisited objects were left as singletons",
+                    outcome.status
+                ));
+            }
+            return Ok(ConsensusResult {
+                cost: f64::NAN,
+                disagreements: 0,
+                lower_bound: None,
+                sampled: true,
+                status: outcome.status,
+                warnings,
+                clustering: outcome.clustering,
+            });
+        }
+
+        let mut warnings = Vec::new();
+        let dense = match instance.try_dense_oracle(&self.budget) {
+            Ok(dense) => dense,
+            Err(interrupt) => {
+                // Budget died before we even had distances: the only valid
+                // anytime answer is the trivial clustering.
+                warnings.push(
+                    "budget exhausted while building the distance matrix; \
+                     returning the all-singletons clustering"
+                        .to_string(),
+                );
+                return Ok(ConsensusResult {
+                    clustering: Clustering::singletons(n),
+                    cost: f64::NAN,
+                    disagreements: 0,
+                    lower_bound: None,
+                    sampled: false,
+                    status: interrupt.status(),
+                    warnings,
+                });
+            }
+        };
+
+        let outcome = if self.prefer_exact {
+            if n <= MAX_BNB_N {
+                let (exact, status) = branch_and_bound_budgeted(&dense, &self.budget)?;
+                if !status.is_converged() {
+                    warnings.push(
+                        "exact search stopped early; the result is the best \
+                         incumbent found, not a proven optimum"
+                            .to_string(),
+                    );
+                }
+                crate::robust::RunOutcome {
+                    clustering: exact.clustering,
+                    status,
+                    iterations: exact.partitions_examined,
+                }
+            } else {
+                warnings.push(format!(
+                    "instance too large for exact search (n = {n} > {MAX_BNB_N}); \
+                     falling back to the BALLS 3-approximation"
+                ));
+                Algorithm::Balls(BallsParams::default()).run_budgeted(&dense, &self.budget)?
+            }
+        } else {
+            self.algorithm.run_budgeted(&dense, &self.budget)?
+        };
+        let mut status = outcome.status;
+        let mut clustering = outcome.clustering;
+
+        if self.refine {
+            let refined = local_search_from_budgeted(&dense, &clustering, 200, 1e-9, &self.budget)?;
+            if !refined.status.is_converged() {
+                warnings.push(
+                    "budget exhausted during LOCALSEARCH refinement; \
+                     returning the partially refined consensus"
+                        .to_string(),
+                );
+            }
+            status = status.combine(refined.status);
+            clustering = refined.clustering;
+        }
+
+        let cost = correlation_cost(&dense, &clustering);
+        Ok(ConsensusResult {
+            disagreements: (cost * m as f64).round() as u64,
+            lower_bound: Some(lower_bound(&dense)),
+            sampled: false,
+            status,
+            warnings,
+            cost,
+            clustering,
+        })
     }
 }
 
@@ -258,5 +426,80 @@ mod tests {
     #[should_panic(expected = "at least one input")]
     fn empty_inputs_rejected() {
         let _ = aggregate(&[]);
+    }
+
+    #[test]
+    fn try_aggregate_matches_aggregate_when_unlimited() {
+        let inputs = figure1();
+        let plain = ConsensusBuilder::new().aggregate(&inputs);
+        let tried = ConsensusBuilder::new().try_aggregate(&inputs).unwrap();
+        assert_eq!(tried.clustering, plain.clustering);
+        assert_eq!(tried.disagreements, plain.disagreements);
+        assert!(tried.status.is_converged());
+        assert!(tried.warnings.is_empty());
+    }
+
+    #[test]
+    fn try_aggregate_rejects_empty_and_mismatched_inputs() {
+        let empty = ConsensusBuilder::new().try_aggregate(&[]);
+        assert!(matches!(empty, Err(crate::AggError::Degenerate { .. })));
+        let mismatched = vec![c(&[0, 0, 1]), c(&[0, 1])];
+        let err = ConsensusBuilder::new().try_aggregate(&mismatched);
+        assert!(matches!(err, Err(crate::AggError::InvalidInstance { .. })));
+    }
+
+    #[test]
+    fn prefer_exact_solves_small_instances() {
+        let result = ConsensusBuilder::new()
+            .prefer_exact(true)
+            .try_aggregate(&figure1())
+            .unwrap();
+        assert_eq!(result.clustering, c(&[0, 1, 0, 1, 2, 2]));
+        assert!(result.status.is_converged());
+        assert!(result.warnings.is_empty());
+    }
+
+    #[test]
+    fn prefer_exact_degrades_to_balls_when_too_large() {
+        // 30 objects > MAX_BNB_N = 24: must warn and fall back, not error.
+        let truth: Vec<u32> = (0..30).map(|v| v / 10).collect();
+        let inputs = vec![c(&truth); 3];
+        let result = ConsensusBuilder::new()
+            .prefer_exact(true)
+            .try_aggregate(&inputs)
+            .unwrap();
+        assert_eq!(result.clustering, c(&truth));
+        assert_eq!(result.warnings.len(), 1);
+        assert!(result.warnings[0].contains("too large for exact search"));
+        assert!(result.status.is_converged());
+    }
+
+    #[test]
+    fn budget_trip_during_matrix_build_returns_singletons_with_warning() {
+        let token = crate::robust::CancelToken::new();
+        token.cancel();
+        let result = ConsensusBuilder::new()
+            .budget(RunBudget::unlimited().with_cancel_token(token))
+            .try_aggregate(&figure1())
+            .unwrap();
+        assert_eq!(result.clustering, Clustering::singletons(6));
+        assert_eq!(result.status, RunStatus::Cancelled);
+        assert!(result.warnings[0].contains("distance matrix"));
+    }
+
+    #[test]
+    fn sampling_path_respects_budget_and_stays_valid() {
+        let truth: Vec<u32> = (0..60).map(|v| v / 20).collect();
+        let inputs = vec![c(&truth); 4];
+        let result = ConsensusBuilder::new()
+            .sampling_threshold(30)
+            .sample_size(25)
+            .budget(RunBudget::unlimited().with_max_iters(3))
+            .try_aggregate(&inputs)
+            .unwrap();
+        assert!(result.sampled);
+        assert_eq!(result.clustering.len(), 60);
+        assert_eq!(result.status, RunStatus::BudgetExceeded);
+        assert!(!result.warnings.is_empty());
     }
 }

@@ -112,10 +112,9 @@ pub fn expected_disagreements<O: DistanceOracle + Sync + ?Sized>(
     oracle: &O,
     c: &Clustering,
 ) -> f64 {
-    let m = oracle
-        .num_clusterings()
-        .expect("oracle does not know its clustering count") as f64;
-    m * correlation_cost(oracle, c)
+    let m = oracle.num_clusterings();
+    assert!(m.is_some(), "oracle does not know its clustering count");
+    m.unwrap_or(0) as f64 * correlation_cost(oracle, c)
 }
 
 #[cfg(test)]

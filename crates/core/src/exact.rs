@@ -12,7 +12,9 @@
 //! algorithm.
 
 use crate::clustering::Clustering;
+use crate::error::{AggError, AggResult};
 use crate::instance::DistanceOracle;
+use crate::robust::{BudgetMeter, Interrupt, RunBudget, RunStatus};
 
 /// Largest instance size accepted by [`optimal_clustering`].
 pub const MAX_EXACT_N: usize = 14;
@@ -152,12 +154,45 @@ pub fn branch_and_bound<O: DistanceOracle + Sync + ?Sized>(oracle: &O) -> ExactR
         n <= MAX_BNB_N,
         "branch-and-bound limited to n ≤ {MAX_BNB_N}, got {n}"
     );
+    match branch_and_bound_budgeted(oracle, &RunBudget::unlimited()) {
+        Ok((result, _)) => result,
+        // Unreachable: the size guard above is the only error source and an
+        // unlimited budget never trips.
+        Err(_) => ExactResult {
+            clustering: Clustering::singletons(n),
+            cost: f64::INFINITY,
+            partitions_examined: 0,
+        },
+    }
+}
+
+/// Budgeted [`branch_and_bound`]: the size guard becomes a typed
+/// [`AggError::TooLarge`] and the search ticks its budget once per expanded
+/// node. On a trip the incumbent — seeded by the LOCALSEARCH warm start, so
+/// always a valid clustering — is returned with
+/// [`RunStatus::BudgetExceeded`]; its `cost` field is then an upper bound
+/// on the optimum rather than the proven optimum.
+pub fn branch_and_bound_budgeted<O: DistanceOracle + Sync + ?Sized>(
+    oracle: &O,
+    budget: &RunBudget,
+) -> AggResult<(ExactResult, RunStatus)> {
+    let n = oracle.len();
+    if n > MAX_BNB_N {
+        return Err(AggError::TooLarge {
+            what: "branch-and-bound".into(),
+            n,
+            max: MAX_BNB_N,
+        });
+    }
     if n == 0 {
-        return ExactResult {
-            clustering: Clustering::from_labels(Vec::new()),
-            cost: 0.0,
-            partitions_examined: 1,
-        };
+        return Ok((
+            ExactResult {
+                clustering: Clustering::from_labels(Vec::new()),
+                cost: 0.0,
+                partitions_examined: 1,
+            },
+            RunStatus::Converged,
+        ));
     }
 
     let base = crate::cost::split_everything_cost(oracle);
@@ -189,8 +224,9 @@ pub fn branch_and_bound<O: DistanceOracle + Sync + ?Sized>(oracle: &O) -> ExactR
     let mut labels = vec![0u32; n];
     let mut members: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut expanded = 0u64;
+    let mut meter = budget.meter();
 
-    struct Search<'a> {
+    struct Search<'a, 'b> {
         n: usize,
         gain: &'a [Vec<f64>],
         remaining_lb: &'a [f64],
@@ -199,31 +235,40 @@ pub fn branch_and_bound<O: DistanceOracle + Sync + ?Sized>(oracle: &O) -> ExactR
         best_labels: &'a mut Vec<u32>,
         best_within: &'a mut f64,
         expanded: &'a mut u64,
+        meter: &'a mut BudgetMeter<'b>,
     }
 
-    fn dfs(s: &mut Search<'_>, depth: usize, used: usize, within: f64) {
+    fn dfs(
+        s: &mut Search<'_, '_>,
+        depth: usize,
+        used: usize,
+        within: f64,
+    ) -> Result<(), Interrupt> {
         *s.expanded += 1;
+        s.meter.tick()?;
         if depth == s.n {
             if within < *s.best_within - 1e-12 {
                 *s.best_within = within;
                 s.best_labels.copy_from_slice(s.labels);
             }
-            return;
+            return Ok(());
         }
         if within + s.remaining_lb[depth] >= *s.best_within - 1e-12 {
-            return; // admissible bound: no completion can win
+            return Ok(()); // admissible bound: no completion can win
         }
         for c in 0..=used.min(s.n - 1) {
             let delta: f64 = s.members[c].iter().map(|&u| s.gain[depth][u]).sum();
             s.labels[depth] = c as u32;
             s.members[c].push(depth);
             let next_used = if c == used { used + 1 } else { used };
-            dfs(s, depth + 1, next_used, within + delta);
+            let descent = dfs(s, depth + 1, next_used, within + delta);
             s.members[c].pop();
+            descent?;
         }
+        Ok(())
     }
 
-    dfs(
+    let status = match dfs(
         &mut Search {
             n,
             gain: &gain,
@@ -233,17 +278,24 @@ pub fn branch_and_bound<O: DistanceOracle + Sync + ?Sized>(oracle: &O) -> ExactR
             best_labels: &mut best_labels,
             best_within: &mut best_within,
             expanded: &mut expanded,
+            meter: &mut meter,
         },
         0,
         0,
         0.0,
-    );
+    ) {
+        Ok(()) => RunStatus::Converged,
+        Err(interrupt) => interrupt.status(),
+    };
 
-    ExactResult {
-        clustering: Clustering::from_labels(best_labels),
-        cost: base + best_within,
-        partitions_examined: expanded,
-    }
+    Ok((
+        ExactResult {
+            clustering: Clustering::from_labels(best_labels),
+            cost: base + best_within,
+            partitions_examined: expanded,
+        },
+        status,
+    ))
 }
 
 #[cfg(test)]
@@ -400,5 +452,29 @@ mod tests {
     fn branch_and_bound_empty() {
         let oracle = DenseOracle::from_fn(0, |_, _| 0.0);
         assert_eq!(branch_and_bound(&oracle).cost, 0.0);
+    }
+
+    #[test]
+    fn budgeted_bnb_too_large_is_a_typed_error() {
+        let oracle = DenseOracle::from_fn(MAX_BNB_N + 1, |_, _| 0.5);
+        let err = branch_and_bound_budgeted(&oracle, &RunBudget::unlimited()).unwrap_err();
+        assert!(matches!(err, AggError::TooLarge { max: MAX_BNB_N, .. }));
+    }
+
+    #[test]
+    fn budgeted_bnb_trip_returns_warm_start_quality() {
+        let inputs = lcg_clusterings(10, 4, 3, 99);
+        let oracle = DenseOracle::from_clusterings(&inputs);
+        // One expansion, then the cap trips: the incumbent is the
+        // LOCALSEARCH warm start, whose reported cost matches its clustering.
+        let tight = RunBudget::unlimited().with_max_iters(1);
+        let (result, status) = branch_and_bound_budgeted(&oracle, &tight).unwrap();
+        assert_eq!(status, RunStatus::BudgetExceeded);
+        assert!(
+            (correlation_cost(&oracle, &result.clustering) - result.cost).abs() < 1e-9,
+            "anytime cost must match the returned clustering"
+        );
+        let exact = optimal_clustering(&oracle);
+        assert!(result.cost >= exact.cost - 1e-9, "still an upper bound");
     }
 }

@@ -16,6 +16,8 @@
 //!   [`crate::algorithms::sampling`] scale to millions of objects.
 
 use crate::clustering::{Clustering, PartialClustering};
+use crate::error::{AggError, AggResult};
+use crate::robust::{Interrupt, RunBudget};
 
 /// How a clustering with missing labels contributes to pairwise distances
 /// (paper §2, "Missing values").
@@ -129,6 +131,84 @@ impl DenseOracle {
             d
         });
         DenseOracle { n, data, m: None }
+    }
+
+    /// Validating variant of [`DenseOracle::from_fn`]: every distance is
+    /// checked to be finite and in `[0, 1]` — a real check, unlike the
+    /// `debug_assert!` in the unchecked constructors — so corrupted inputs
+    /// (NaN weights, out-of-range values) surface as typed errors instead
+    /// of silently poisoning every downstream cost.
+    pub fn try_from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> AggResult<Self> {
+        let mut data = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let d = f(u, v);
+                if !(0.0..=1.0).contains(&d) {
+                    return Err(AggError::invalid_instance(format!(
+                        "distance X[{u},{v}] = {d} out of [0,1]"
+                    )));
+                }
+                data.push(d);
+            }
+        }
+        Ok(DenseOracle { n, data, m: None })
+    }
+
+    /// Validating variant of [`DenseOracle::from_clusterings`]: empty input
+    /// and mismatched object counts come back as typed errors instead of
+    /// panics.
+    pub fn try_from_clusterings(clusterings: &[Clustering]) -> AggResult<Self> {
+        if clusterings.is_empty() {
+            return Err(AggError::degenerate("need at least one input clustering"));
+        }
+        let n = clusterings[0].len();
+        if let Some(bad) = clusterings.iter().find(|c| c.len() != n) {
+            return Err(AggError::invalid_instance(format!(
+                "input clusterings disagree on the object count: {} vs {}",
+                n,
+                bad.len()
+            )));
+        }
+        Ok(DenseOracle::from_clusterings(clusterings))
+    }
+
+    /// Validating variant of [`DenseOracle::from_weighted_clusterings`]:
+    /// length mismatches, NaN or negative weights, and an all-zero weight
+    /// vector come back as typed errors instead of panics.
+    pub fn try_from_weighted_clusterings(
+        clusterings: &[Clustering],
+        weights: &[f64],
+    ) -> AggResult<Self> {
+        if clusterings.is_empty() {
+            return Err(AggError::degenerate("need at least one input clustering"));
+        }
+        if clusterings.len() != weights.len() {
+            return Err(AggError::invalid_instance(format!(
+                "{} clusterings but {} weights",
+                clusterings.len(),
+                weights.len()
+            )));
+        }
+        if let Some(w) = weights.iter().find(|w| w.is_nan() || **w < 0.0) {
+            return Err(AggError::invalid_instance(format!(
+                "weight {w} is negative or NaN"
+            )));
+        }
+        let total: f64 = weights.iter().sum();
+        if !total.is_finite() || total <= 0.0 {
+            return Err(AggError::invalid_instance(format!(
+                "weights must sum to a positive finite value, got {total}"
+            )));
+        }
+        let n = clusterings[0].len();
+        if let Some(bad) = clusterings.iter().find(|c| c.len() != n) {
+            return Err(AggError::invalid_instance(format!(
+                "input clusterings disagree on the object count: {} vs {}",
+                n,
+                bad.len()
+            )));
+        }
+        Ok(DenseOracle::from_weighted_clusterings(clusterings, weights))
     }
 
     /// Build directly from total clusterings: `X_uv` is the fraction of
@@ -267,6 +347,36 @@ impl ClusteringsOracle {
         }
     }
 
+    /// Validating variant of [`ClusteringsOracle::new`]: empty input,
+    /// mismatched object counts, and an out-of-range coin probability come
+    /// back as typed errors instead of panics.
+    pub fn try_new(clusterings: Vec<PartialClustering>, policy: MissingPolicy) -> AggResult<Self> {
+        if clusterings.is_empty() {
+            return Err(AggError::degenerate("need at least one input clustering"));
+        }
+        let n = clusterings[0].len();
+        if let Some(bad) = clusterings.iter().find(|c| c.len() != n) {
+            return Err(AggError::invalid_instance(format!(
+                "input clusterings disagree on the object count: {} vs {}",
+                n,
+                bad.len()
+            )));
+        }
+        if let MissingPolicy::Coin(p) = policy {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(AggError::invalid_parameter(
+                    "coin probability",
+                    format!("{p} out of [0,1]"),
+                ));
+            }
+        }
+        Ok(ClusteringsOracle {
+            clusterings,
+            n,
+            policy,
+        })
+    }
+
     /// Build from total clusterings (no missing labels).
     pub fn from_total(clusterings: &[Clustering]) -> Self {
         ClusteringsOracle::new(
@@ -373,6 +483,42 @@ impl CorrelationInstance {
         CorrelationInstance { inputs, policy, n }
     }
 
+    /// Validating variant of [`CorrelationInstance::from_partial`]: empty
+    /// input, mismatched object counts, an out-of-range coin probability,
+    /// and inputs whose labels are missing *everywhere* (no pair carries
+    /// any information, so no consensus is defined) come back as typed
+    /// errors instead of panics or garbage.
+    pub fn try_from_partial(
+        inputs: Vec<PartialClustering>,
+        policy: MissingPolicy,
+    ) -> AggResult<Self> {
+        if inputs.is_empty() {
+            return Err(AggError::degenerate("need at least one input clustering"));
+        }
+        let n = inputs[0].len();
+        if let Some(bad) = inputs.iter().find(|c| c.len() != n) {
+            return Err(AggError::invalid_instance(format!(
+                "input clusterings disagree on the object count: {} vs {}",
+                n,
+                bad.len()
+            )));
+        }
+        if let MissingPolicy::Coin(p) = policy {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(AggError::invalid_parameter(
+                    "coin probability",
+                    format!("{p} out of [0,1]"),
+                ));
+            }
+        }
+        if n > 0 && inputs.iter().all(|c| c.num_missing() == c.len()) {
+            return Err(AggError::degenerate(
+                "every label is missing in every input clustering",
+            ));
+        }
+        Ok(CorrelationInstance { inputs, policy, n })
+    }
+
     /// Number of objects.
     pub fn len(&self) -> usize {
         self.n
@@ -401,6 +547,19 @@ impl CorrelationInstance {
     /// A lazy per-pair oracle (`O(m)` per lookup).
     pub fn lazy_oracle(&self) -> ClusteringsOracle {
         ClusteringsOracle::new(self.inputs.clone(), self.policy)
+    }
+
+    /// Budgeted variant of [`CorrelationInstance::dense_oracle`]: the `O(n² m)`
+    /// matrix build polls `budget` between row chunks and reports the interrupt
+    /// instead of blowing through a deadline on a large instance.
+    pub fn try_dense_oracle(&self, budget: &RunBudget) -> Result<DenseOracle, Interrupt> {
+        let lazy = self.lazy_oracle();
+        let data = crate::parallel::try_fill_condensed(self.n, |u, v| lazy.dist(u, v), budget)?;
+        Ok(DenseOracle {
+            n: self.n,
+            data,
+            m: Some(self.inputs.len()),
+        })
     }
 }
 
@@ -599,5 +758,95 @@ mod tests {
     #[should_panic(expected = "positive value")]
     fn all_zero_weights_rejected() {
         let _ = DenseOracle::from_weighted_clusterings(&figure1(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn try_from_fn_rejects_out_of_range_and_nan() {
+        assert!(DenseOracle::try_from_fn(3, |_, _| 0.5).is_ok());
+        let too_big = DenseOracle::try_from_fn(3, |_, _| 1.5);
+        assert!(matches!(too_big, Err(AggError::InvalidInstance { .. })));
+        let nan = DenseOracle::try_from_fn(3, |_, _| f64::NAN);
+        assert!(matches!(nan, Err(AggError::InvalidInstance { .. })));
+    }
+
+    #[test]
+    fn try_from_clusterings_validates() {
+        assert!(DenseOracle::try_from_clusterings(&figure1()).is_ok());
+        assert!(matches!(
+            DenseOracle::try_from_clusterings(&[]),
+            Err(AggError::Degenerate { .. })
+        ));
+        let mismatched = vec![c(&[0, 0, 1]), c(&[0, 1])];
+        assert!(matches!(
+            DenseOracle::try_from_clusterings(&mismatched),
+            Err(AggError::InvalidInstance { .. })
+        ));
+    }
+
+    #[test]
+    fn try_from_weighted_clusterings_validates() {
+        let cs = figure1();
+        assert!(DenseOracle::try_from_weighted_clusterings(&cs, &[1.0, 2.0, 3.0]).is_ok());
+        assert!(matches!(
+            DenseOracle::try_from_weighted_clusterings(&cs, &[1.0, 2.0]),
+            Err(AggError::InvalidInstance { .. })
+        ));
+        assert!(matches!(
+            DenseOracle::try_from_weighted_clusterings(&cs, &[1.0, -1.0, 1.0]),
+            Err(AggError::InvalidInstance { .. })
+        ));
+        assert!(matches!(
+            DenseOracle::try_from_weighted_clusterings(&cs, &[1.0, f64::NAN, 1.0]),
+            Err(AggError::InvalidInstance { .. })
+        ));
+        assert!(matches!(
+            DenseOracle::try_from_weighted_clusterings(&cs, &[0.0, 0.0, 0.0]),
+            Err(AggError::InvalidInstance { .. })
+        ));
+    }
+
+    #[test]
+    fn try_from_partial_validates() {
+        let good: Vec<PartialClustering> = figure1()
+            .iter()
+            .map(PartialClustering::from_total)
+            .collect();
+        assert!(CorrelationInstance::try_from_partial(good, MissingPolicy::Ignore).is_ok());
+        assert!(matches!(
+            CorrelationInstance::try_from_partial(vec![], MissingPolicy::Ignore),
+            Err(AggError::Degenerate { .. })
+        ));
+        let all_missing = vec![PartialClustering::from_labels(vec![None, None, None])];
+        assert!(matches!(
+            CorrelationInstance::try_from_partial(all_missing, MissingPolicy::Ignore),
+            Err(AggError::Degenerate { .. })
+        ));
+        let bad_coin = vec![PartialClustering::from_total(&c(&[0, 1]))];
+        assert!(matches!(
+            CorrelationInstance::try_from_partial(bad_coin, MissingPolicy::Coin(1.5)),
+            Err(AggError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn try_dense_oracle_matches_dense_when_unlimited() {
+        let instance = CorrelationInstance::from_clusterings(&figure1());
+        let dense = instance.dense_oracle();
+        let tried = instance.try_dense_oracle(&RunBudget::unlimited()).unwrap();
+        for u in 0..6 {
+            for v in 0..6 {
+                assert!((dense.dist(u, v) - tried.dist(u, v)).abs() < 1e-12);
+            }
+        }
+        assert_eq!(tried.num_clusterings(), Some(3));
+    }
+
+    #[test]
+    fn try_dense_oracle_reports_cancellation() {
+        let instance = CorrelationInstance::from_clusterings(&figure1());
+        let token = crate::robust::CancelToken::new();
+        token.cancel();
+        let budget = RunBudget::unlimited().with_cancel_token(token);
+        assert!(instance.try_dense_oracle(&budget).is_err());
     }
 }

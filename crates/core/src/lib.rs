@@ -64,11 +64,15 @@ pub mod clustering;
 pub mod consensus;
 pub mod cost;
 pub mod distance;
+pub mod error;
 pub mod exact;
 pub mod instance;
 pub mod linkage;
 pub mod parallel;
+pub mod robust;
 
 pub use clustering::{Clustering, PartialClustering};
 pub use consensus::{aggregate, ConsensusBuilder, ConsensusResult};
+pub use error::{AggError, AggResult};
 pub use instance::{CorrelationInstance, DenseOracle, DistanceOracle, MissingPolicy};
+pub use robust::{CancelToken, RunBudget, RunOutcome, RunStatus};

@@ -15,6 +15,7 @@
 use crate::clustering::Clustering;
 use crate::instance::DistanceOracle;
 use crate::parallel;
+use crate::robust::{RunBudget, RunStatus};
 
 /// Minimum matrix size before the nearest-neighbor lookups inside the
 /// chain loop are chunked across worker threads; the per-step scan is
@@ -91,6 +92,18 @@ impl CondensedMatrix {
     /// Copy the distances out of any [`DistanceOracle`] (in parallel).
     pub fn from_oracle<O: DistanceOracle + Sync + ?Sized>(oracle: &O) -> Self {
         CondensedMatrix::from_fn_sync(oracle.len(), |u, v| oracle.dist(u, v))
+    }
+
+    /// Budgeted [`CondensedMatrix::from_oracle`]: the parallel fill polls
+    /// the budget between row chunks and aborts early on a trip, since a
+    /// half-filled matrix is useless.
+    pub fn try_from_oracle<O: DistanceOracle + Sync + ?Sized>(
+        oracle: &O,
+        budget: &RunBudget,
+    ) -> Result<Self, crate::robust::Interrupt> {
+        let n = oracle.len();
+        let data = parallel::try_fill_condensed(n, |u, v| oracle.dist(u, v), budget)?;
+        Ok(CondensedMatrix { n, data })
     }
 
     /// Number of points.
@@ -177,13 +190,16 @@ impl Dendrogram {
     }
 
     /// Flat clustering obtained by applying merges in ascending height order
-    /// until exactly `k` clusters remain.
+    /// until exactly `k` clusters remain. On a *partial* dendrogram (a
+    /// budget-interrupted [`linkage_budgeted`] run) fewer merges may exist
+    /// than `n − k`; all available merges are applied and the cut has more
+    /// than `k` clusters.
     ///
     /// # Panics
     /// Panics if `k` is 0 or greater than `n` (for `n > 0`).
     pub fn cut_num_clusters(&self, k: usize) -> Clustering {
         assert!(k >= 1 && k <= self.n.max(1), "k = {k} out of range");
-        let to_apply = self.n - k;
+        let to_apply = (self.n - k).min(self.merges.len());
         self.replay(&self.sorted_merge_order()[..to_apply])
     }
 
@@ -236,8 +252,11 @@ impl Dendrogram {
         members.resize_with(n + self.merges.len(), || None);
         for &i in &self.sorted_merge_order() {
             let m = self.merges[i];
-            let a = members[m.a].take().expect("child node already consumed");
-            let b = members[m.b].take().expect("child node already consumed");
+            // Children are present exactly once for monotone linkages; an
+            // empty set (impossible for well-formed dendrograms) simply
+            // contributes no pairs instead of aborting.
+            let a = members[m.a].take().unwrap_or_default();
+            let b = members[m.b].take().unwrap_or_default();
             for &u in &a {
                 for &v in &b {
                     out[u][v] = m.height;
@@ -286,14 +305,31 @@ impl Dendrogram {
 ///
 /// Returns the full dendrogram; use [`Dendrogram::cut_num_clusters`] or
 /// [`Dendrogram::cut_height`] for a flat clustering.
-pub fn linkage(mut dist: CondensedMatrix, method: LinkageMethod) -> Dendrogram {
+pub fn linkage(dist: CondensedMatrix, method: LinkageMethod) -> Dendrogram {
+    linkage_budgeted(dist, method, &RunBudget::unlimited()).0
+}
+
+/// Budgeted [`linkage`]: one budget iteration per merge (each is an `O(n)`
+/// chain-growth step amortized). On a trip, returns the *partial* dendrogram
+/// built so far — its cut methods still produce valid (finer) clusterings —
+/// along with how the run ended and the iterations consumed.
+pub fn linkage_budgeted(
+    mut dist: CondensedMatrix,
+    method: LinkageMethod,
+    budget: &RunBudget,
+) -> (Dendrogram, RunStatus, u64) {
     let n = dist.n;
     if n == 0 {
-        return Dendrogram {
-            n,
-            merges: Vec::new(),
-        };
+        return (
+            Dendrogram {
+                n,
+                merges: Vec::new(),
+            },
+            RunStatus::Converged,
+            0,
+        );
     }
+    let mut meter = budget.meter();
     let mut size: Vec<f64> = vec![1.0; n];
     let mut node_id: Vec<usize> = (0..n).collect();
     let mut active: Vec<bool> = vec![true; n];
@@ -301,13 +337,25 @@ pub fn linkage(mut dist: CondensedMatrix, method: LinkageMethod) -> Dendrogram {
     let mut merges: Vec<Merge> = Vec::with_capacity(n.saturating_sub(1));
 
     for _ in 0..n.saturating_sub(1) {
+        if let Err(interrupt) = meter.tick() {
+            return (
+                Dendrogram { n, merges },
+                interrupt.status(),
+                meter.iterations(),
+            );
+        }
         if chain.is_empty() {
-            let first = active.iter().position(|&a| a).expect("an active cluster");
+            // While merges remain, an active cluster always exists; the
+            // fallback index is unreachable and only avoids a panic path.
+            let first = active.iter().position(|&a| a).unwrap_or(0);
             chain.push(first);
         }
         // Grow the chain until we find a reciprocal nearest-neighbor pair.
         let (x, y, height) = loop {
-            let x = *chain.last().unwrap();
+            // Non-empty by construction: seeded above, and the reciprocal
+            // pair popped at the end of each outer step leaves the re-seed
+            // branch to run first.
+            let x = chain.last().copied().unwrap_or(0);
             // Prefer the chain predecessor on ties so the chain terminates.
             let mut best;
             let mut best_d;
@@ -372,7 +420,11 @@ pub fn linkage(mut dist: CondensedMatrix, method: LinkageMethod) -> Dendrogram {
         node_id[y] = new_node;
     }
 
-    Dendrogram { n, merges }
+    (
+        Dendrogram { n, merges },
+        RunStatus::Converged,
+        meter.iterations(),
+    )
 }
 
 #[cfg(test)]
@@ -557,6 +609,37 @@ mod tests {
             assert!(w[0].0 <= w[1].0 + 1e-12);
             assert_eq!(w[0].1, w[1].1 + 1);
         }
+    }
+
+    #[test]
+    fn budget_trip_leaves_a_usable_partial_dendrogram() {
+        let pts = [0.0, 1.0, 2.0, 3.0, 10.0, 11.0];
+        // Allow exactly two merges, then trip on the iteration cap.
+        let budget = RunBudget::unlimited().with_max_iters(2);
+        let (dend, status, iters) =
+            linkage_budgeted(line_matrix(&pts), LinkageMethod::Average, &budget);
+        assert_eq!(status, RunStatus::BudgetExceeded);
+        assert_eq!(iters, 3); // the third tick tripped
+        assert_eq!(dend.merges().len(), 2);
+        // Cuts on the partial tree are valid clusterings, just finer than
+        // requested: 6 points, 2 merges → at least 4 clusters.
+        let c = dend.cut_num_clusters(1);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.num_clusters(), 4);
+        assert_eq!(dend.cut_height(f64::INFINITY).num_clusters(), 4);
+    }
+
+    #[test]
+    fn budgeted_unlimited_matches_plain_linkage() {
+        let pts = [0.0, 0.9, 2.0, 5.5, 6.0, 9.0];
+        let plain = linkage(line_matrix(&pts), LinkageMethod::Average);
+        let (budgeted, status, _) = linkage_budgeted(
+            line_matrix(&pts),
+            LinkageMethod::Average,
+            &RunBudget::unlimited(),
+        );
+        assert_eq!(status, RunStatus::Converged);
+        assert_eq!(plain.merges(), budgeted.merges());
     }
 
     #[test]

@@ -108,7 +108,13 @@ where
             std::thread::scope(|scope| {
                 for _ in 0..threads {
                     scope.spawn(|| loop {
-                        let job = queue.lock().unwrap().next();
+                        // A worker can only have panicked inside `f`, which
+                        // never leaves a partially-updated job; recover the
+                        // queue so the remaining workers drain it.
+                        let job = queue
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .next();
                         match job {
                             Some(job) => f(job),
                             None => break,
@@ -287,6 +293,69 @@ where
     data
 }
 
+/// Budget-aware variant of [`fill_condensed`]: workers check the budget's
+/// deadline and cancel token between chunk jobs, so a trip is honored
+/// within one chunk's worth of work. On a trip the partially-filled buffer
+/// is discarded and the interrupt returned; callers degrade gracefully
+/// (e.g. fall back to singletons). Iteration caps are algorithm-level and
+/// are not consumed here.
+///
+/// When the budget is unlimited this is exactly [`fill_condensed`] — same
+/// chunk layout, same bit-identical result at any thread count.
+pub fn try_fill_condensed<F>(
+    n: usize,
+    f: F,
+    budget: &crate::robust::RunBudget,
+) -> Result<Vec<f64>, crate::robust::Interrupt>
+where
+    F: Fn(usize, usize) -> f64 + Sync,
+{
+    use crate::robust::Interrupt;
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    if budget.is_unlimited() {
+        return Ok(fill_condensed(n, f));
+    }
+    // 0 = running, 1 = deadline, 2 = cancelled. First trip wins; later
+    // jobs see the flag and return immediately without touching the clock.
+    let tripped = AtomicU8::new(0);
+    let len = n * n.saturating_sub(1) / 2;
+    let mut data = vec![0.0f64; len];
+    let mut jobs: Vec<(Range<usize>, &mut [f64])> = Vec::new();
+    let mut rest: &mut [f64] = &mut data;
+    for rows in row_ranges(n) {
+        let pairs: usize = rows.clone().map(|u| n - 1 - u).sum();
+        let (head, tail) = rest.split_at_mut(pairs);
+        jobs.push((rows, head));
+        rest = tail;
+    }
+    run_jobs(jobs, |(rows, out)| {
+        if tripped.load(Ordering::Relaxed) != 0 {
+            return;
+        }
+        if let Err(interrupt) = budget.poll() {
+            let code = match interrupt {
+                Interrupt::Cancelled => 2,
+                _ => 1,
+            };
+            tripped.store(code, Ordering::Relaxed);
+            return;
+        }
+        let mut i = 0usize;
+        for u in rows {
+            for v in u + 1..n {
+                out[i] = f(u, v);
+                i += 1;
+            }
+        }
+    });
+    match tripped.load(Ordering::Relaxed) {
+        0 => Ok(data),
+        2 => Err(Interrupt::Cancelled),
+        _ => Err(Interrupt::Deadline),
+    }
+}
+
 /// The pair `u < v` maximizing `f(u, v)`, earliest pair (in `(u, v)`
 /// lexicographic order) on ties — exactly the result of a serial strict-`>`
 /// scan. `None` for `n < 2`.
@@ -448,6 +517,35 @@ mod tests {
             }
             assert_eq!(covered, n);
         }
+    }
+
+    #[test]
+    fn try_fill_condensed_matches_and_trips() {
+        use crate::robust::{CancelToken, Interrupt, RunBudget};
+        let n = 300;
+        let f = |u: usize, v: usize| ((u * 7 + v) % 13) as f64;
+        // A generous live budget reproduces the unbudgeted result exactly.
+        let generous = RunBudget::unlimited().with_deadline_ms(60_000);
+        assert_eq!(
+            try_fill_condensed(n, f, &generous).unwrap(),
+            fill_condensed(n, f)
+        );
+        // An unlimited budget takes the fast path.
+        assert_eq!(
+            try_fill_condensed(n, f, &RunBudget::unlimited()).unwrap(),
+            fill_condensed(n, f)
+        );
+        // An already-expired deadline trips before any work completes.
+        let expired = RunBudget::unlimited().with_deadline(std::time::Duration::ZERO);
+        assert_eq!(try_fill_condensed(n, f, &expired), Err(Interrupt::Deadline));
+        // A fired cancel token reports Cancelled.
+        let token = CancelToken::new();
+        token.cancel();
+        let cancelled = RunBudget::unlimited().with_cancel_token(token);
+        assert_eq!(
+            try_fill_condensed(n, f, &cancelled),
+            Err(Interrupt::Cancelled)
+        );
     }
 
     #[test]

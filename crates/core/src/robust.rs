@@ -1,0 +1,330 @@
+//! Run budgets, cooperative cancellation, and anytime-result plumbing.
+//!
+//! A [`RunBudget`] bundles the three ways a caller can bound an algorithm
+//! run: a wall-clock deadline, an iteration cap, and a [`CancelToken`]
+//! another thread can flip. Every `*_budgeted` algorithm entry point takes
+//! one and checks it at `O(n)`-work granularity (per node visit, merge,
+//! pivot, or center round) through a [`BudgetMeter`], so a trip is noticed
+//! within one linear-time unit of work — cheap enough that `Instant::now()`
+//! overhead is negligible relative to the work between checks.
+//!
+//! When the budget trips, the anytime algorithms (LOCALSEARCH, annealing,
+//! AGGLOMERATIVE, and the rest of the roster) do **not** error: they return
+//! their best-so-far clustering inside a [`RunOutcome`] tagged
+//! [`RunStatus::BudgetExceeded`] or [`RunStatus::Cancelled`]. The internal
+//! [`Interrupt`] type carries the trip reason from the check site to the
+//! wrap-up code.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::clustering::Clustering;
+
+/// A shareable flag for cooperative cancellation. Clone it, hand the clone
+/// to the running thread's [`RunBudget`], and call [`CancelToken::cancel`]
+/// from anywhere; the run returns its best-so-far result at the next check.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a budgeted run stopped early. Internal currency between the check
+/// sites and the per-algorithm wrap-up code; public so downstream crates
+/// can write their own budgeted loops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The iteration cap was reached.
+    IterationCap,
+    /// The [`CancelToken`] fired.
+    Cancelled,
+}
+
+impl Interrupt {
+    /// The [`RunStatus`] an anytime result should carry after this
+    /// interrupt.
+    pub fn status(self) -> RunStatus {
+        match self {
+            Interrupt::Deadline | Interrupt::IterationCap => RunStatus::BudgetExceeded,
+            Interrupt::Cancelled => RunStatus::Cancelled,
+        }
+    }
+}
+
+/// How a budgeted run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The algorithm ran to its natural completion.
+    Converged,
+    /// The deadline or iteration cap tripped; the result is the best
+    /// clustering found so far.
+    BudgetExceeded,
+    /// The [`CancelToken`] fired; the result is the best clustering found
+    /// so far.
+    Cancelled,
+}
+
+impl RunStatus {
+    /// `true` for [`RunStatus::Converged`].
+    pub fn is_converged(self) -> bool {
+        self == RunStatus::Converged
+    }
+
+    /// The worse of two statuses (`Converged < BudgetExceeded < Cancelled`),
+    /// used when a pipeline combines several budgeted phases.
+    pub fn combine(self, other: RunStatus) -> RunStatus {
+        fn rank(s: RunStatus) -> u8 {
+            match s {
+                RunStatus::Converged => 0,
+                RunStatus::BudgetExceeded => 1,
+                RunStatus::Cancelled => 2,
+            }
+        }
+        if rank(other) > rank(self) {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+/// An anytime algorithm result: the clustering, how the run ended, and how
+/// much work it did.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The returned clustering — the final result when
+    /// [`RunStatus::Converged`], the best-so-far otherwise.
+    pub clustering: Clustering,
+    /// How the run ended.
+    pub status: RunStatus,
+    /// Budget iterations consumed (each is one `O(n)` unit of work; see
+    /// [`BudgetMeter::tick`]).
+    pub iterations: u64,
+}
+
+impl RunOutcome {
+    /// A converged outcome (used by trivial early-exit paths).
+    pub fn converged(clustering: Clustering) -> Self {
+        RunOutcome {
+            clustering,
+            status: RunStatus::Converged,
+            iterations: 0,
+        }
+    }
+}
+
+/// Execution limits for one algorithm run. The default is unlimited.
+///
+/// ```
+/// use aggclust_core::robust::RunBudget;
+/// use std::time::Duration;
+///
+/// let budget = RunBudget::unlimited()
+///     .with_deadline(Duration::from_millis(50))
+///     .with_max_iters(1_000_000);
+/// assert!(!budget.is_unlimited());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RunBudget {
+    deadline: Option<Instant>,
+    max_iters: Option<u64>,
+    cancel: Option<CancelToken>,
+}
+
+impl RunBudget {
+    /// No limits: every check passes.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Stop after `duration` of wall-clock time from now.
+    pub fn with_deadline(mut self, duration: Duration) -> Self {
+        self.deadline = Some(Instant::now() + duration);
+        self
+    }
+
+    /// Stop after `ms` milliseconds of wall-clock time from now.
+    pub fn with_deadline_ms(self, ms: u64) -> Self {
+        self.with_deadline(Duration::from_millis(ms))
+    }
+
+    /// Stop after `max_iters` budget iterations (each roughly one `O(n)`
+    /// unit of work — a node visit, merge, pivot, or center round).
+    pub fn with_max_iters(mut self, max_iters: u64) -> Self {
+        self.max_iters = Some(max_iters);
+        self
+    }
+
+    /// Attach a cancellation token.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// `true` when no deadline, cap, or token is set — checks are then
+    /// branch-only and effectively free.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_iters.is_none() && self.cancel.is_none()
+    }
+
+    /// Check the deadline and the cancel token (but not the iteration cap,
+    /// which only a [`BudgetMeter`] tracks). Used by parallel kernels whose
+    /// workers share one budget.
+    pub fn poll(&self) -> Result<(), Interrupt> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(Interrupt::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(Interrupt::Deadline);
+            }
+        }
+        Ok(())
+    }
+
+    /// Start metering a run against this budget.
+    pub fn meter(&self) -> BudgetMeter<'_> {
+        BudgetMeter {
+            budget: self,
+            iterations: 0,
+        }
+    }
+}
+
+/// Per-run iteration counter bound to a [`RunBudget`].
+///
+/// One *iteration* is one `O(n)` unit of algorithm work, so the deadline is
+/// polled often enough to be honored within a linear-time slice while the
+/// `Instant::now()` call stays amortized.
+#[derive(Debug)]
+pub struct BudgetMeter<'a> {
+    budget: &'a RunBudget,
+    iterations: u64,
+}
+
+impl BudgetMeter<'_> {
+    /// Record one unit of work and check every limit.
+    pub fn tick(&mut self) -> Result<(), Interrupt> {
+        self.tick_n(1)
+    }
+
+    /// Record `n` units of work and check every limit.
+    pub fn tick_n(&mut self, n: u64) -> Result<(), Interrupt> {
+        self.iterations = self.iterations.saturating_add(n);
+        if self.budget.is_unlimited() {
+            return Ok(());
+        }
+        if let Some(cap) = self.budget.max_iters {
+            if self.iterations > cap {
+                return Err(Interrupt::IterationCap);
+            }
+        }
+        self.budget.poll()
+    }
+
+    /// Units of work recorded so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let budget = RunBudget::unlimited();
+        let mut meter = budget.meter();
+        for _ in 0..10_000 {
+            assert!(meter.tick().is_ok());
+        }
+        assert_eq!(meter.iterations(), 10_000);
+    }
+
+    #[test]
+    fn iteration_cap_trips_exactly() {
+        let budget = RunBudget::unlimited().with_max_iters(5);
+        let mut meter = budget.meter();
+        for _ in 0..5 {
+            assert!(meter.tick().is_ok());
+        }
+        assert_eq!(meter.tick(), Err(Interrupt::IterationCap));
+    }
+
+    #[test]
+    fn expired_deadline_trips_immediately() {
+        let budget = RunBudget::unlimited().with_deadline(Duration::ZERO);
+        let mut meter = budget.meter();
+        assert_eq!(meter.tick(), Err(Interrupt::Deadline));
+        assert_eq!(budget.poll(), Err(Interrupt::Deadline));
+    }
+
+    #[test]
+    fn cancel_token_is_shared() {
+        let token = CancelToken::new();
+        let budget = RunBudget::unlimited().with_cancel_token(token.clone());
+        let mut meter = budget.meter();
+        assert!(meter.tick().is_ok());
+        token.cancel();
+        assert_eq!(meter.tick(), Err(Interrupt::Cancelled));
+        assert_eq!(budget.poll(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn cancellation_beats_deadline() {
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = RunBudget::unlimited()
+            .with_deadline(Duration::ZERO)
+            .with_cancel_token(token);
+        assert_eq!(budget.poll(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn interrupt_to_status() {
+        assert_eq!(Interrupt::Deadline.status(), RunStatus::BudgetExceeded);
+        assert_eq!(Interrupt::IterationCap.status(), RunStatus::BudgetExceeded);
+        assert_eq!(Interrupt::Cancelled.status(), RunStatus::Cancelled);
+    }
+
+    #[test]
+    fn status_combine_takes_the_worse() {
+        use RunStatus::*;
+        assert_eq!(Converged.combine(BudgetExceeded), BudgetExceeded);
+        assert_eq!(BudgetExceeded.combine(Converged), BudgetExceeded);
+        assert_eq!(BudgetExceeded.combine(Cancelled), Cancelled);
+        assert_eq!(Converged.combine(Converged), Converged);
+        assert!(Converged.is_converged());
+        assert!(!Cancelled.is_converged());
+    }
+
+    #[test]
+    fn tick_n_counts_in_bulk() {
+        let budget = RunBudget::unlimited().with_max_iters(100);
+        let mut meter = budget.meter();
+        assert!(meter.tick_n(100).is_ok());
+        assert_eq!(meter.tick_n(1), Err(Interrupt::IterationCap));
+    }
+}

@@ -404,7 +404,7 @@ impl LatentClassConfig {
             class_labels.push(self.cluster_to_class[z]);
             // Draw this row's noise multiplier.
             let mut draw = rng.gen::<f64>() * level_total;
-            let mut multiplier = noise_levels.last().unwrap().1;
+            let mut multiplier = noise_levels.last().map_or(1.0, |level| level.1);
             for &(p, m) in &noise_levels {
                 draw -= p;
                 if draw <= 0.0 {

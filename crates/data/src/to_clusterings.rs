@@ -42,8 +42,7 @@ pub fn quantile_binning(col: &NumericColumn, bins: usize) -> PartialClustering {
     let mut defined: Vec<usize> = (0..n).filter(|&r| col.values[r].is_some()).collect();
     defined.sort_by(|&a, &b| {
         col.values[a]
-            .unwrap()
-            .partial_cmp(&col.values[b].unwrap())
+            .partial_cmp(&col.values[b])
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });

@@ -9,3 +9,51 @@ use aggclust_core::clustering::Clustering;
 pub fn clustering(labels: &[u32]) -> Clustering {
     Clustering::from_labels(labels.to_vec())
 }
+
+/// Deterministically flip `flips` bytes of `text` (fault-injection helper).
+///
+/// Positions and replacement bytes are derived from `seed` with a
+/// splitmix64 stream, so corrupted inputs are reproducible run-to-run.
+pub fn corrupt_bytes(text: &str, flips: usize, seed: u64) -> Vec<u8> {
+    let mut bytes = text.as_bytes().to_vec();
+    if bytes.is_empty() {
+        return bytes;
+    }
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for _ in 0..flips {
+        let pos = (next() as usize) % bytes.len();
+        bytes[pos] = (next() & 0xff) as u8;
+    }
+    bytes
+}
+
+/// Truncate `text` to its first `fraction` (in `[0, 1]`) of bytes, snapped
+/// back to a UTF-8 character boundary (fault-injection helper).
+pub fn truncate_text(text: &str, fraction: f64) -> &str {
+    let cut = (text.len() as f64 * fraction.clamp(0.0, 1.0)) as usize;
+    let mut cut = cut.min(text.len());
+    while cut > 0 && !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    &text[..cut]
+}
+
+/// `m` clusterings of `n` objects constructed to pairwise disagree as much
+/// as possible: clustering `i` groups objects by `(v + i) / ceil(n / k)`
+/// with a different cluster count `k` per input, so no consensus is clean.
+pub fn adversarial_disagreeing(n: usize, m: usize) -> Vec<Clustering> {
+    (0..m)
+        .map(|i| {
+            let k = (i % n.max(1)) + 2;
+            let labels = (0..n).map(|v| ((v * k + i) % n.max(1)) as u32).collect();
+            Clustering::from_labels(labels)
+        })
+        .collect()
+}

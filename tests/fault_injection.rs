@@ -1,0 +1,309 @@
+//! Fault-injection harness: corrupted, truncated, and adversarial inputs
+//! must surface as typed errors or valid anytime results — never as panics,
+//! and never as runs that blow far past their deadline.
+
+use std::time::{Duration, Instant};
+
+use aggclust_cli::csv::parse_label_matrix;
+use aggclust_core::algorithms::local_search::local_search_budgeted;
+use aggclust_core::algorithms::sampling::sampling_budgeted;
+use aggclust_core::algorithms::{
+    AgglomerativeParams, Algorithm, AnnealingParams, BallsParams, FurthestParams,
+    LocalSearchParams, PivotParams, SamplingParams,
+};
+use aggclust_core::clustering::{Clustering, PartialClustering};
+use aggclust_core::consensus::ConsensusBuilder;
+use aggclust_core::cost::correlation_cost;
+use aggclust_core::instance::{ClusteringsOracle, CorrelationInstance, DenseOracle, MissingPolicy};
+use aggclust_core::{AggError, CancelToken, RunBudget, RunStatus};
+use aggclust_tests::{adversarial_disagreeing, clustering, corrupt_bytes, truncate_text};
+use proptest::prelude::*;
+
+const FIGURE1_CSV: &str = "0,0,0\n0,1,1\n1,0,0\n1,1,1\n2,2,2\n2,3,2\n";
+
+fn all_algorithms(seed: u64) -> Vec<Algorithm> {
+    vec![
+        Algorithm::Balls(BallsParams::default()),
+        Algorithm::Agglomerative(AgglomerativeParams::default()),
+        Algorithm::Furthest(FurthestParams::default()),
+        Algorithm::LocalSearch(LocalSearchParams::default()),
+        Algorithm::Pivot(PivotParams::randomized(seed, 3)),
+        Algorithm::Annealing(AnnealingParams {
+            seed,
+            ..Default::default()
+        }),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Corrupted and truncated files
+// ---------------------------------------------------------------------------
+
+#[test]
+fn random_byte_flips_never_panic_the_parser_or_the_pipeline() {
+    for seed in 0..200u64 {
+        for flips in [1usize, 3, 8, 24] {
+            let corrupted = corrupt_bytes(FIGURE1_CSV, flips, seed);
+            let text = String::from_utf8_lossy(&corrupted);
+            // Parsing must return Ok or a typed error, never panic.
+            if let Ok(inputs) = parse_label_matrix(&text, ',', false) {
+                // Whatever parsed must aggregate without panicking too.
+                let outcome = ConsensusBuilder::new().try_aggregate_partial(inputs);
+                match outcome {
+                    Ok(result) => assert!(!result.clustering.labels().is_empty()),
+                    Err(e) => {
+                        let _ = e.to_string(); // typed, displayable
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_files_never_panic() {
+    for step in 0..=40 {
+        let text = truncate_text(FIGURE1_CSV, step as f64 / 40.0);
+        match parse_label_matrix(text, ',', false) {
+            Ok(inputs) => {
+                let _ = ConsensusBuilder::new().try_aggregate_partial(inputs);
+            }
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_csv_parser(
+        bytes in prop::collection::vec(0u8..=255, 0..200)
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        for separator in [',', '\t', ';'] {
+            for header in [false, true] {
+                let _ = parse_label_matrix(&text, separator, header);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Invalid numeric inputs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn nan_and_negative_weights_are_typed_errors() {
+    let cs = vec![clustering(&[0, 0, 1]), clustering(&[0, 1, 1])];
+    for weights in [
+        [1.0, f64::NAN],
+        [1.0, -2.0],
+        [0.0, 0.0],
+        [1.0, f64::INFINITY],
+    ] {
+        let result = DenseOracle::try_from_weighted_clusterings(&cs, &weights);
+        assert!(
+            matches!(result, Err(AggError::InvalidInstance { .. })),
+            "weights {weights:?} should be rejected"
+        );
+    }
+}
+
+#[test]
+fn out_of_range_distances_are_typed_errors() {
+    assert!(matches!(
+        DenseOracle::try_from_fn(4, |u, v| (u + v) as f64),
+        Err(AggError::InvalidInstance { .. })
+    ));
+    assert!(matches!(
+        DenseOracle::try_from_fn(4, |_, _| f64::NAN),
+        Err(AggError::InvalidInstance { .. })
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate instances through every algorithm
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn degenerate_instances_never_panic_any_algorithm(seed in 0u64..1000) {
+        let degenerate_oracles = vec![
+            // n = 0 and n = 1.
+            DenseOracle::from_clusterings(&[clustering(&[])]),
+            DenseOracle::from_clusterings(&[clustering(&[0])]),
+            // Single cluster everywhere.
+            DenseOracle::from_clusterings(&[clustering(&[0, 0, 0, 0])]),
+            // Perfectly contradictory pair of inputs.
+            DenseOracle::from_clusterings(&[
+                clustering(&[0, 0, 1, 1]),
+                clustering(&[0, 1, 0, 1]),
+            ]),
+            // All labels missing: every pairwise distance is ½ (maximum
+            // uncertainty under the coin model).
+            {
+                use aggclust_core::instance::DistanceOracle as _;
+                ClusteringsOracle::new(
+                    vec![PartialClustering::from_labels(vec![None; 4])],
+                    MissingPolicy::default(),
+                )
+                .to_dense()
+            },
+        ];
+        for oracle in &degenerate_oracles {
+            for algorithm in all_algorithms(seed) {
+                let outcome = algorithm.run_budgeted(oracle, &RunBudget::unlimited());
+                match outcome {
+                    Ok(run) => prop_assert_eq!(run.clustering.len(), oracle_len(oracle)),
+                    Err(e) => { let _ = e.to_string(); }
+                }
+            }
+        }
+    }
+}
+
+fn oracle_len(o: &DenseOracle) -> usize {
+    use aggclust_core::instance::DistanceOracle;
+    o.len()
+}
+
+#[test]
+fn empty_and_all_missing_inputs_are_degenerate_errors() {
+    // m = 0: no input clusterings at all.
+    assert!(matches!(
+        CorrelationInstance::try_from_partial(vec![], MissingPolicy::default()),
+        Err(AggError::Degenerate { .. })
+    ));
+    assert!(matches!(
+        DenseOracle::try_from_clusterings(&[]),
+        Err(AggError::Degenerate { .. })
+    ));
+    let all_missing = vec![
+        PartialClustering::from_labels(vec![None; 5]),
+        PartialClustering::from_labels(vec![None; 5]),
+    ];
+    assert!(matches!(
+        CorrelationInstance::try_from_partial(all_missing, MissingPolicy::default()),
+        Err(AggError::Degenerate { .. })
+    ));
+    assert!(matches!(
+        ConsensusBuilder::new().try_aggregate(&[]),
+        Err(AggError::Degenerate { .. })
+    ));
+}
+
+#[test]
+fn adversarial_all_disagreeing_inputs_still_aggregate() {
+    let inputs = adversarial_disagreeing(40, 7);
+    let result = ConsensusBuilder::new().try_aggregate(&inputs).unwrap();
+    assert_eq!(result.clustering.len(), 40);
+    assert!(result.status.is_converged());
+    // The consensus can be no better than the instance lower bound allows,
+    // but it must still be a finite, valid cost.
+    assert!(result.cost.is_finite());
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines and cancellation: anytime semantics under time pressure
+// ---------------------------------------------------------------------------
+
+/// The ISSUE acceptance test: LOCALSEARCH on n = 5000 with a 50 ms deadline
+/// must come back `BudgetExceeded`, promptly, with a valid best-so-far
+/// clustering no worse than its starting point.
+#[test]
+fn localsearch_deadline_on_large_instance_returns_best_so_far() {
+    let n = 5000;
+    // Three clusterings of 5000 objects that broadly agree on 10 groups but
+    // disagree on rotated slices — enough structure for moves to pay off.
+    let inputs: Vec<PartialClustering> = (0..3u32)
+        .map(|i| {
+            let labels = (0..n)
+                .map(|v| Some((((v as u32) + 137 * i) / (n as u32 / 10)).min(9)))
+                .collect();
+            PartialClustering::from_labels(labels)
+        })
+        .collect();
+    // Lazy oracle: the dense n² matrix would dominate the deadline.
+    let oracle = ClusteringsOracle::new(inputs, MissingPolicy::default());
+
+    let start = Clustering::singletons(n);
+    let budget = RunBudget::unlimited().with_deadline(Duration::from_millis(50));
+    let t0 = Instant::now();
+    let outcome = local_search_budgeted(&oracle, LocalSearchParams::default(), &budget).unwrap();
+    let elapsed = t0.elapsed();
+
+    assert_eq!(outcome.status, RunStatus::BudgetExceeded);
+    assert_eq!(outcome.clustering.len(), n);
+    // "Never hangs past the deadline": one node visit is O(n·m), so the
+    // overshoot is bounded; 2 s is orders of magnitude of slack.
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "LOCALSEARCH overshot its 50 ms deadline by {elapsed:?}"
+    );
+    // Anytime quality: never worse than the initial clustering.
+    let initial_cost = correlation_cost(&oracle, &start);
+    let final_cost = correlation_cost(&oracle, &outcome.clustering);
+    assert!(
+        final_cost <= initial_cost + 1e-9,
+        "best-so-far cost {final_cost} worse than initial {initial_cost}"
+    );
+}
+
+#[test]
+fn sampling_respects_a_deadline_on_a_large_instance() {
+    let n = 20_000;
+    let inputs: Vec<PartialClustering> = (0..3u32)
+        .map(|i| {
+            let labels = (0..n)
+                .map(|v| Some((((v as u32) + 977 * i) / (n as u32 / 8)).min(7)))
+                .collect();
+            PartialClustering::from_labels(labels)
+        })
+        .collect();
+    let oracle = ClusteringsOracle::new(inputs, MissingPolicy::default());
+    let params = SamplingParams::new(
+        400,
+        Algorithm::Agglomerative(AgglomerativeParams::default()),
+        7,
+    );
+    let budget = RunBudget::unlimited().with_deadline(Duration::from_millis(50));
+    let t0 = Instant::now();
+    let outcome = sampling_budgeted(&oracle, &params, &budget).unwrap();
+    assert_eq!(outcome.clustering.len(), n);
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "SAMPLING overshot its deadline: {:?}",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn cancellation_stops_every_algorithm_with_a_valid_result() {
+    let cs = adversarial_disagreeing(30, 5);
+    let oracle = DenseOracle::from_clusterings(&cs);
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = RunBudget::unlimited().with_cancel_token(token);
+    for algorithm in all_algorithms(11) {
+        let outcome = algorithm.run_budgeted(&oracle, &budget).unwrap();
+        assert_eq!(outcome.clustering.len(), 30, "{}", algorithm.name());
+        assert_eq!(outcome.status, RunStatus::Cancelled, "{}", algorithm.name());
+    }
+}
+
+#[test]
+fn consensus_degradation_chain_survives_a_zero_budget() {
+    let inputs = adversarial_disagreeing(25, 4);
+    let result = ConsensusBuilder::new()
+        .budget(RunBudget::unlimited().with_max_iters(0))
+        .try_aggregate(&inputs)
+        .unwrap();
+    assert_eq!(result.clustering.len(), 25);
+    assert_eq!(result.status, RunStatus::BudgetExceeded);
+    assert!(!result.warnings.is_empty());
+}
