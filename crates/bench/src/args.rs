@@ -59,8 +59,9 @@ impl Args {
         }
     }
 
-    /// Build a [`RunBudget`](aggclust_core::RunBudget) from the shared `--deadline-ms` and
-    /// `--max-iters` options (unlimited when neither is given).
+    /// Build a [`RunBudget`](aggclust_core::RunBudget) from the shared
+    /// `--deadline-ms`, `--max-iters` and `--mem-budget-mb` options
+    /// (unlimited when none is given).
     pub fn run_budget(&self) -> aggclust_core::RunBudget {
         let mut budget = aggclust_core::RunBudget::unlimited();
         if let Some(ms) = self.get("deadline-ms") {
@@ -77,7 +78,25 @@ impl Args {
             });
             budget = budget.with_max_iters(iters);
         }
+        if let Some(mb) = self.get("mem-budget-mb") {
+            let mb: u64 = mb.parse().unwrap_or_else(|_| {
+                eprintln!("error: could not parse --mem-budget-mb value {mb:?}");
+                std::process::exit(2);
+            });
+            budget = budget.with_mem_limit_mb(mb);
+        }
         budget
+    }
+
+    /// The shared `--threads N` override (0 or absent = automatic). Callers
+    /// wrap their work in
+    /// [`parallel::with_num_threads`](aggclust_core::parallel::with_num_threads)
+    /// when this returns `Some`.
+    pub fn threads(&self) -> Option<usize> {
+        match self.get_or("threads", 0usize) {
+            0 => None,
+            t => Some(t),
+        }
     }
 }
 
@@ -118,5 +137,22 @@ mod tests {
         let budget = a.run_budget();
         assert!(!budget.is_unlimited());
         assert!(budget.poll().is_ok());
+    }
+
+    #[test]
+    fn run_budget_parses_memory_cap() {
+        let a = args(&["--mem-budget-mb", "64"]);
+        let budget = a.run_budget();
+        assert_eq!(budget.mem_limit_bytes(), Some(64 << 20));
+        // A memory cap alone leaves the run limits (time/iterations)
+        // unlimited.
+        assert!(budget.no_run_limits());
+    }
+
+    #[test]
+    fn threads_zero_or_absent_means_automatic() {
+        assert_eq!(args(&[]).threads(), None);
+        assert_eq!(args(&["--threads", "0"]).threads(), None);
+        assert_eq!(args(&["--threads", "3"]).threads(), Some(3));
     }
 }

@@ -19,8 +19,11 @@ use aggclust_core::algorithms::{
 use aggclust_core::clustering::PartialClustering;
 use aggclust_core::consensus::ConsensusBuilder;
 use aggclust_core::instance::MissingPolicy;
-use aggclust_core::{AggError, RunStatus};
+use aggclust_core::snapshot::{load_snapshot, retry_with_backoff, SnapshotLoad};
+use aggclust_core::{AggError, CancelToken, RunStatus};
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const HELP: &str = "\
 aggclust — clustering aggregation (Gionis, Mannila, Tsaparas; ICDE 2005)
@@ -40,7 +43,9 @@ COMMON OPTIONS:
                           clusterings, '?' or empty = missing label)
     --separator CHAR      field separator (default ',')
     --header              skip the first line
-    --missing POLICY      coin (default) | ignore
+    --missing POLICY      coin (default, p = 0.5) | coin:P | ignore
+    --threads N           worker threads for the O(n^2) kernels
+                          (overrides RAYON_NUM_THREADS; default: auto)
 
 AGGREGATE OPTIONS:
     --algorithm NAME      agglomerative (default) | balls | furthest |
@@ -54,6 +59,19 @@ AGGREGATE OPTIONS:
     --deadline-ms N       wall-clock run budget; on expiry the best
                           clustering found so far is still written
     --max-iters N         iteration budget (same anytime semantics)
+    --mem-budget-mb N     tracked-memory cap; runs that would exceed it
+                          degrade (dense matrix -> lazy oracle / sampling)
+                          instead of allocating past the cap
+    --checkpoint PATH     crash-safe checkpoint file, written atomically
+                          while the run is in flight and deleted on
+                          converged success; SIGINT also flushes a final
+                          checkpoint before the anytime exit
+    --checkpoint-every-ms N
+                          minimum interval between checkpoints (default 250)
+    --resume              resume from --checkpoint PATH if it holds a valid
+                          snapshot (corrupt or missing: start fresh with a
+                          warning); a resumed run produces bit-identical
+                          labels to an uninterrupted one
     --output PATH         write one label per line (default: stdout)
 
 EVAL OPTIONS:
@@ -67,7 +85,9 @@ EXIT CODES:
     5   invalid instance (e.g. inputs disagree on the object count)
     6   degenerate input (nothing to aggregate)
     7   run budget exceeded (anytime: best-so-far labels were written)
-    8   cancelled
+    8   cancelled (Ctrl-C: best-so-far labels and a final checkpoint
+        were written)
+    9   memory budget exceeded with no degraded mode available
 ";
 
 /// A CLI failure, mapped one-to-one onto the exit codes documented in
@@ -89,6 +109,8 @@ enum CliError {
     BudgetExceeded(String),
     /// Exit 8: the run was cancelled.
     Cancelled(String),
+    /// Exit 9: the memory budget was exceeded and no degraded mode applied.
+    Memory(String),
 }
 
 impl CliError {
@@ -101,6 +123,7 @@ impl CliError {
             CliError::Degenerate(_) => 6,
             CliError::BudgetExceeded(_) => 7,
             CliError::Cancelled(_) => 8,
+            CliError::Memory(_) => 9,
         }
     }
 
@@ -112,7 +135,8 @@ impl CliError {
             | CliError::InvalidInstance(m)
             | CliError::Degenerate(m)
             | CliError::BudgetExceeded(m)
-            | CliError::Cancelled(m) => m,
+            | CliError::Cancelled(m)
+            | CliError::Memory(m) => m,
         }
     }
 }
@@ -129,6 +153,7 @@ impl From<AggError> for CliError {
             AggError::Degenerate { .. } => CliError::Degenerate(message),
             AggError::BudgetExceeded { .. } => CliError::BudgetExceeded(message),
             AggError::Cancelled { .. } => CliError::Cancelled(message),
+            AggError::MemoryExceeded { .. } => CliError::Memory(message),
         }
     }
 }
@@ -137,7 +162,7 @@ fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
     let command = argv.next().unwrap_or_else(|| "help".to_string());
     let args = Args::parse(argv);
-    let result = match command.as_str() {
+    let run = || match command.as_str() {
         "aggregate" => cmd_aggregate(&args),
         "eval" => cmd_eval(&args),
         "diagnose" => cmd_diagnose(&args),
@@ -153,6 +178,12 @@ fn main() -> ExitCode {
             "unknown command {other:?}; try `aggclust help`"
         ))),
     };
+    // --threads takes precedence over RAYON_NUM_THREADS, which in turn
+    // beats the detected core count (see aggclust_core::parallel).
+    let result = match args.threads() {
+        Some(t) => aggclust_core::parallel::with_num_threads(t, run),
+        None => run(),
+    };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -162,12 +193,53 @@ fn main() -> ExitCode {
     }
 }
 
+/// Install a SIGINT handler that flips `token`, so Ctrl-C turns into a
+/// cooperative cancellation: the algorithms stop at the next budget poll,
+/// write a final checkpoint if one is configured, and the CLI still emits
+/// the best-so-far labels before exiting 8.
+///
+/// The handler itself only stores to an atomic (the only thing that is
+/// async-signal-safe); a small watcher thread translates the flag into the
+/// `CancelToken` from normal code.
+#[cfg(unix)]
+fn install_sigint_cancel(token: CancelToken) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_sigint(_signum: i32) {
+        SIGINT_SEEN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+    std::thread::spawn(move || loop {
+        if SIGINT_SEEN.load(Ordering::SeqCst) {
+            token.cancel();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    });
+}
+
+#[cfg(not(unix))]
+fn install_sigint_cancel(_token: CancelToken) {}
+
+/// Attempts and backoff base for transient-I/O retries (dataset reads;
+/// checkpoint writes use the same policy inside `Checkpointer`).
+const IO_RETRY_ATTEMPTS: u32 = 3;
+const IO_RETRY_BASE: Duration = Duration::from_millis(10);
+
 fn load_inputs(args: &Args) -> Result<Vec<PartialClustering>, CliError> {
     let path = args
         .get("input")
         .ok_or_else(|| CliError::Usage("--input PATH is required".to_string()))?;
-    let text =
-        std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("reading {path}: {e}")))?;
+    let text = retry_with_backoff(IO_RETRY_ATTEMPTS, IO_RETRY_BASE, 0x5eed_da7a, || {
+        std::fs::read_to_string(path)
+    })
+    .map_err(|e| CliError::Io(format!("reading {path}: {e}")))?;
     let separator = parse_separator(args)?;
     csv::parse_label_matrix(&text, separator, args.flag("header"))
         .map_err(|e| CliError::Parse(format!("parsing {path}: {e}")))
@@ -190,12 +262,22 @@ fn parse_separator(args: &Args) -> Result<char, CliError> {
 }
 
 fn parse_policy(args: &Args) -> Result<MissingPolicy, CliError> {
-    match args.get("missing").unwrap_or("coin") {
+    let spec = args.get("missing").unwrap_or("coin");
+    match spec {
         "coin" => Ok(MissingPolicy::Coin(0.5)),
         "ignore" => Ok(MissingPolicy::Ignore),
-        other => Err(CliError::Usage(format!(
-            "--missing must be coin or ignore, got {other:?}"
-        ))),
+        _ => match spec.strip_prefix("coin:") {
+            Some(p) => {
+                let p: f64 = p.parse().map_err(|_| {
+                    CliError::Usage(format!("--missing coin:P needs a number, got {spec:?}"))
+                })?;
+                // try_coin rejects NaN and p outside [0, 1] as a typed error.
+                Ok(MissingPolicy::try_coin(p)?)
+            }
+            None => Err(CliError::Usage(format!(
+                "--missing must be coin, coin:P or ignore, got {spec:?}"
+            ))),
+        },
     }
 }
 
@@ -218,18 +300,49 @@ fn parse_algorithm(args: &Args) -> Result<Algorithm, CliError> {
 fn cmd_aggregate(args: &Args) -> Result<(), CliError> {
     let inputs = load_inputs(args)?;
     let n = inputs[0].len();
+    let cancel = CancelToken::new();
+    install_sigint_cancel(cancel.clone());
     let mut builder = ConsensusBuilder::new()
         .algorithm(parse_algorithm(args)?)
         .missing_policy(parse_policy(args)?)
         .refine(!args.flag("no-refine"))
         .prefer_exact(args.flag("exact"))
-        .budget(args.run_budget())
+        .budget(args.run_budget().with_cancel_token(cancel))
         .seed(args.get_or("seed", 0u64));
     if let Some(sample) = args.get("sample") {
         let sample: usize = sample
             .parse()
             .map_err(|_| CliError::Usage("--sample must be an integer".to_string()))?;
         builder = builder.sampling_threshold(0).sample_size(sample);
+    }
+    let checkpoint_path = args.get("checkpoint").map(PathBuf::from);
+    if let Some(path) = &checkpoint_path {
+        let every = Duration::from_millis(args.get_or("checkpoint-every-ms", 250u64));
+        builder = builder.checkpoint(path, every);
+        if args.flag("resume") {
+            match load_snapshot(path) {
+                SnapshotLoad::Loaded(snapshot) => {
+                    eprintln!("resuming from checkpoint {}", path.display());
+                    builder = builder.resume_from(snapshot);
+                }
+                SnapshotLoad::Missing => {
+                    eprintln!(
+                        "warning: no checkpoint at {}; starting fresh",
+                        path.display()
+                    );
+                }
+                SnapshotLoad::Corrupt(reason) => {
+                    eprintln!(
+                        "warning: checkpoint {} is unusable ({reason}); starting fresh",
+                        path.display()
+                    );
+                }
+            }
+        }
+    } else if args.flag("resume") {
+        return Err(CliError::Usage(
+            "--resume requires --checkpoint PATH".to_string(),
+        ));
     }
     let result = builder.try_aggregate_partial(inputs)?;
     for warning in &result.warnings {
@@ -263,7 +376,20 @@ fn cmd_aggregate(args: &Args) -> Result<(), CliError> {
         None => print!("{rendered}"),
     }
     match result.status {
-        RunStatus::Converged => Ok(()),
+        RunStatus::Converged => {
+            // The run finished; the checkpoint has nothing left to resume.
+            if let Some(path) = &checkpoint_path {
+                if let Err(e) = std::fs::remove_file(path) {
+                    if e.kind() != std::io::ErrorKind::NotFound {
+                        eprintln!(
+                            "warning: could not remove checkpoint {}: {e}",
+                            path.display()
+                        );
+                    }
+                }
+            }
+            Ok(())
+        }
         RunStatus::BudgetExceeded => Err(CliError::BudgetExceeded(
             "run budget exceeded; the labels above are the best found so far".to_string(),
         )),

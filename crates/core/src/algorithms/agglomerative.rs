@@ -17,8 +17,9 @@
 use crate::clustering::Clustering;
 use crate::error::AggResult;
 use crate::instance::DistanceOracle;
-use crate::linkage::{linkage, linkage_budgeted, CondensedMatrix, LinkageMethod};
+use crate::linkage::{linkage, linkage_resumable, CondensedMatrix, LinkageMethod};
 use crate::robust::{RunBudget, RunOutcome};
+use crate::snapshot::{AgglomerativeSnapshot, Checkpointer};
 
 /// Parameters for [`agglomerative`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -83,6 +84,24 @@ pub fn agglomerative_budgeted<O: DistanceOracle + Sync + ?Sized>(
     params: AgglomerativeParams,
     budget: &RunBudget,
 ) -> AggResult<RunOutcome> {
+    agglomerative_resumable(oracle, params, budget, None, None)
+}
+
+/// [`agglomerative_budgeted`] with crash-safe checkpoint/resume.
+///
+/// The distance matrix is rebuilt on every (re)start — it is derived data —
+/// and the recorded merges are *replayed* through the identical
+/// Lance–Williams update sequence, which reproduces the matrix state
+/// bit-for-bit before new merges continue (see
+/// [`crate::linkage::linkage_resumable`]). A snapshot inconsistent with
+/// this instance falls back to a fresh run.
+pub fn agglomerative_resumable<O: DistanceOracle + Sync + ?Sized>(
+    oracle: &O,
+    params: AgglomerativeParams,
+    budget: &RunBudget,
+    resume: Option<&AgglomerativeSnapshot>,
+    ckpt: Option<&mut Checkpointer>,
+) -> AggResult<RunOutcome> {
     if params.threshold.is_nan() {
         return Err(crate::error::AggError::invalid_parameter(
             "threshold",
@@ -105,7 +124,8 @@ pub fn agglomerative_budgeted<O: DistanceOracle + Sync + ?Sized>(
             });
         }
     };
-    let (dendrogram, status, iterations) = linkage_budgeted(matrix, LinkageMethod::Average, budget);
+    let (dendrogram, status, iterations) =
+        linkage_resumable(matrix, LinkageMethod::Average, budget, resume, ckpt);
     let clustering = match params.num_clusters {
         Some(k) => dendrogram.cut_num_clusters(k.clamp(1, n)),
         None => dendrogram.cut_height(params.threshold),

@@ -36,6 +36,7 @@ use crate::error::{AggError, AggResult};
 use crate::instance::DistanceOracle;
 use crate::parallel;
 use crate::robust::{RunBudget, RunOutcome, RunStatus};
+use crate::snapshot::{AlgorithmSnapshot, Checkpointer, LocalSearchSnapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -141,29 +142,84 @@ pub fn local_search_budgeted<O: DistanceOracle + Sync + ?Sized>(
     params: LocalSearchParams,
     budget: &RunBudget,
 ) -> AggResult<RunOutcome> {
+    local_search_resumable(oracle, params, budget, None, None)
+}
+
+/// [`local_search_budgeted`] with crash-safe checkpoint/resume.
+///
+/// A valid `resume` snapshot replaces the configured init entirely — the
+/// descent re-enters the pass loop at the exact node where the snapshot was
+/// taken, with the budget meter pre-charged so an iteration cap bounds the
+/// *total* work across interrupts. A snapshot whose labels do not cover this
+/// instance is ignored (fresh run). When `ckpt` is given, state is persisted
+/// at its cadence after node visits and once more when the budget trips.
+///
+/// Resumed runs are **bit-identical** to uninterrupted ones: the snapshot
+/// carries the labels, the pass/node cursor, and the pass-level `moved`
+/// flag, which together determine every subsequent steepest-descent
+/// decision. (Cluster *ids* may differ after a resume when the interrupted
+/// run had empty trailing clusters, but [`Clustering::from_labels`]
+/// normalizes ids by first occurrence, and move evaluation never depends on
+/// id values — only on the relative order of non-empty clusters, which is
+/// preserved.)
+pub fn local_search_resumable<O: DistanceOracle + Sync + ?Sized>(
+    oracle: &O,
+    params: LocalSearchParams,
+    budget: &RunBudget,
+    resume: Option<&LocalSearchSnapshot>,
+    ckpt: Option<&mut Checkpointer>,
+) -> AggResult<RunOutcome> {
     let n = oracle.len();
-    let start = match &params.init {
-        LocalSearchInit::Singletons => Clustering::singletons(n),
-        LocalSearchInit::OneCluster => Clustering::one_cluster(n),
-        LocalSearchInit::Random { k, seed } => {
-            let k = (*k).max(1) as u32;
-            let mut rng = StdRng::seed_from_u64(*seed);
-            Clustering::from_labels((0..n).map(|_| rng.gen_range(0..k)).collect())
-        }
-        LocalSearchInit::Given(c) => {
-            if c.len() != n {
-                return Err(AggError::invalid_parameter(
-                    "init",
-                    format!(
-                        "given clustering covers {} objects, instance has {n}",
-                        c.len()
-                    ),
-                ));
+    let resume = resume.filter(|s| s.labels.len() == n && s.next_node as usize <= n);
+    let (start, rng_state) = if resume.is_some() {
+        // The snapshot supersedes the init; the labels inside it are the
+        // start. A placeholder keeps the code path uniform.
+        (Clustering::singletons(n), resume.map_or([0; 4], |s| s.rng))
+    } else {
+        match &params.init {
+            LocalSearchInit::Singletons => (Clustering::singletons(n), [0; 4]),
+            LocalSearchInit::OneCluster => (Clustering::one_cluster(n), [0; 4]),
+            LocalSearchInit::Random { k, seed } => {
+                let k = (*k).max(1) as u32;
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let labels = (0..n).map(|_| rng.gen_range(0..k)).collect();
+                (Clustering::from_labels(labels), rng.state())
             }
-            c.clone()
+            LocalSearchInit::Given(c) => {
+                if c.len() != n {
+                    return Err(AggError::invalid_parameter(
+                        "init",
+                        format!(
+                            "given clustering covers {} objects, instance has {n}",
+                            c.len()
+                        ),
+                    ));
+                }
+                (c.clone(), [0; 4])
+            }
         }
     };
-    local_search_from_budgeted(oracle, &start, params.max_passes, params.epsilon, budget)
+    if params.epsilon.is_nan() {
+        return Err(AggError::invalid_parameter("epsilon", "must not be NaN"));
+    }
+    if n <= 1 {
+        return Ok(RunOutcome::converged(start));
+    }
+    let (labels, status, iterations) = descend_resumable(
+        oracle,
+        &start,
+        params.max_passes,
+        params.epsilon,
+        budget,
+        resume,
+        ckpt,
+        rng_state,
+    );
+    Ok(RunOutcome {
+        clustering: Clustering::from_labels(labels),
+        status,
+        iterations,
+    })
 }
 
 /// Budget-aware [`local_search_from`] with **anytime semantics**: every
@@ -203,6 +259,46 @@ pub fn local_search_from_budgeted<O: DistanceOracle + Sync + ?Sized>(
     })
 }
 
+/// [`local_search_from_budgeted`] with crash-safe checkpoint/resume; the
+/// post-processing analogue of [`local_search_resumable`]. A valid `resume`
+/// snapshot supersedes `start`.
+pub fn local_search_from_resumable<O: DistanceOracle + Sync + ?Sized>(
+    oracle: &O,
+    start: &Clustering,
+    max_passes: usize,
+    epsilon: f64,
+    budget: &RunBudget,
+    resume: Option<&LocalSearchSnapshot>,
+    ckpt: Option<&mut Checkpointer>,
+) -> AggResult<RunOutcome> {
+    let n = oracle.len();
+    if start.len() != n {
+        return Err(AggError::invalid_parameter(
+            "start",
+            format!(
+                "clustering covers {} objects, instance has {n}",
+                start.len()
+            ),
+        ));
+    }
+    if epsilon.is_nan() {
+        return Err(AggError::invalid_parameter("epsilon", "must not be NaN"));
+    }
+    if n <= 1 {
+        return Ok(RunOutcome::converged(start.clone()));
+    }
+    let resume = resume.filter(|s| s.labels.len() == n && s.next_node as usize <= n);
+    let rng_state = resume.map_or([0; 4], |s| s.rng);
+    let (labels, status, iterations) = descend_resumable(
+        oracle, start, max_passes, epsilon, budget, resume, ckpt, rng_state,
+    );
+    Ok(RunOutcome {
+        clustering: Clustering::from_labels(labels),
+        status,
+        iterations,
+    })
+}
+
 /// The steepest-descent engine shared by the panicking and budgeted entry
 /// points. Callers guarantee `start.len() == oracle.len()` and `n >= 2`.
 fn descend<O: DistanceOracle + Sync + ?Sized>(
@@ -212,8 +308,40 @@ fn descend<O: DistanceOracle + Sync + ?Sized>(
     epsilon: f64,
     budget: &RunBudget,
 ) -> (Vec<u32>, RunStatus, u64) {
+    descend_resumable(
+        oracle, start, max_passes, epsilon, budget, None, None, [0; 4],
+    )
+}
+
+/// The descent engine with checkpoint/resume hooks. `resume`, when present,
+/// is pre-validated (`labels.len() == n`, `next_node <= n`) and overrides
+/// `start`; `rng_state` is stamped into snapshots so a resumed `Random`-init
+/// run stays fully determined by the file.
+#[allow(clippy::too_many_arguments)]
+fn descend_resumable<O: DistanceOracle + Sync + ?Sized>(
+    oracle: &O,
+    start: &Clustering,
+    max_passes: usize,
+    epsilon: f64,
+    budget: &RunBudget,
+    resume: Option<&LocalSearchSnapshot>,
+    mut ckpt: Option<&mut Checkpointer>,
+    rng_state: [u64; 4],
+) -> (Vec<u32>, RunStatus, u64) {
     let n = oracle.len();
-    let mut labels: Vec<u32> = start.labels().to_vec();
+    // Where to re-enter the loop: (labels, pass, first unvisited node of
+    // that pass, `moved` flag carried into it, completed budget iterations).
+    let (mut labels, first_pass, resume_node, resumed_moved, done): (Vec<u32>, _, _, _, u64) =
+        match resume {
+            Some(s) => (
+                s.labels.clone(),
+                s.pass as usize,
+                s.next_node as usize,
+                s.moved_in_pass,
+                s.iterations,
+            ),
+            None => (start.labels().to_vec(), 0, 0, false, 0),
+        };
     // Cluster sizes, indexed by label; empty slots may appear as nodes move
     // out and are reused only implicitly (fresh singletons get new ids).
     let mut sizes: Vec<usize> = {
@@ -234,10 +362,14 @@ fn descend<O: DistanceOracle + Sync + ?Sized>(
     };
 
     let mut m_sums: Vec<f64> = Vec::new();
-    let mut meter = budget.meter();
-    for _pass in 0..max_passes {
-        let mut moved = false;
-        let mut block_start = 0usize;
+    let mut meter = budget.meter_from(done);
+    for pass in first_pass..max_passes {
+        // The pass in progress when the snapshot was taken resumes its
+        // node cursor and its pass-level convergence flag.
+        let resuming = pass == first_pass && resume.is_some();
+        let skip_before = if resuming { resume_node } else { 0 };
+        let mut moved = resuming && resumed_moved;
+        let mut block_start = (skip_before.min(n.saturating_sub(1)) / block) * block;
         while block_start < n {
             let block_end = (block_start + block).min(n);
             if prefetch {
@@ -250,10 +382,26 @@ fn descend<O: DistanceOracle + Sync + ?Sized>(
                 });
             }
             for v in block_start..block_end {
+                if v < skip_before {
+                    continue;
+                }
                 // One budget iteration per node visit: each costs O(n)
                 // lookups, and the labels between visits always describe a
                 // valid clustering no costlier than the start.
                 if let Err(interrupt) = meter.tick() {
+                    if let Some(c) = ckpt.as_deref_mut() {
+                        // Final checkpoint at the interrupt point; `v` has
+                        // not been visited, and the failed tick is not
+                        // completed work.
+                        let _ = c.save_now(AlgorithmSnapshot::LocalSearch(LocalSearchSnapshot {
+                            labels: labels.clone(),
+                            pass: pass as u64,
+                            next_node: v as u64,
+                            moved_in_pass: moved,
+                            iterations: meter.iterations() - 1,
+                            rng: rng_state,
+                        }));
+                    }
                     return (labels, interrupt.status(), meter.iterations());
                 }
                 let row = if prefetch {
@@ -271,6 +419,18 @@ fn descend<O: DistanceOracle + Sync + ?Sized>(
                     &mut m_sums,
                 ) {
                     moved = true;
+                }
+                if let Some(c) = ckpt.as_deref_mut() {
+                    c.maybe_save(|| {
+                        AlgorithmSnapshot::LocalSearch(LocalSearchSnapshot {
+                            labels: labels.clone(),
+                            pass: pass as u64,
+                            next_node: (v + 1) as u64,
+                            moved_in_pass: moved,
+                            iterations: meter.iterations(),
+                            rng: rng_state,
+                        })
+                    });
                 }
             }
             block_start = block_end;
@@ -539,6 +699,83 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, AggError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn interrupt_and_resume_matches_uninterrupted() {
+        use crate::snapshot::{load_snapshot, SnapshotLoad};
+        use std::time::Duration;
+
+        let oracle = DenseOracle::from_fn(24, |u, v| ((u * 7 + v * 13) % 11) as f64 / 11.0);
+        let params = LocalSearchParams {
+            init: LocalSearchInit::Random { k: 4, seed: 42 },
+            ..Default::default()
+        };
+        let full = local_search_budgeted(&oracle, params.clone(), &RunBudget::unlimited()).unwrap();
+        assert_eq!(full.status, RunStatus::Converged);
+
+        let dir = std::env::temp_dir().join("aggclust_ls_resume_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("ckpt.bin");
+        for cap in [1u64, 2, 5, 11, 23, 24, 25, 47, 90] {
+            let tight = RunBudget::unlimited().with_max_iters(cap);
+            let mut ckpt = Checkpointer::new(&path, Duration::ZERO);
+            let partial =
+                local_search_resumable(&oracle, params.clone(), &tight, None, Some(&mut ckpt))
+                    .unwrap();
+            if partial.status == RunStatus::Converged {
+                assert_eq!(partial.clustering, full.clustering);
+                continue;
+            }
+            let snap = match load_snapshot(&path) {
+                SnapshotLoad::Loaded(s) => s,
+                other => panic!("cap {cap}: expected snapshot, got {other:?}"),
+            };
+            let AlgorithmSnapshot::LocalSearch(ls) = snap.state else {
+                panic!("cap {cap}: wrong snapshot variant");
+            };
+            assert_eq!(ls.iterations, cap, "snapshot records completed work");
+            let resumed = local_search_resumable(
+                &oracle,
+                params.clone(),
+                &RunBudget::unlimited(),
+                Some(&ls),
+                None,
+            )
+            .unwrap();
+            assert_eq!(
+                resumed.clustering, full.clustering,
+                "cap {cap}: resumed labels differ"
+            );
+            assert_eq!(
+                resumed.iterations, full.iterations,
+                "cap {cap}: resumed total work differs"
+            );
+            assert_eq!(resumed.status, RunStatus::Converged);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_snapshot_is_ignored() {
+        let oracle = figure1_oracle();
+        let stale = LocalSearchSnapshot {
+            labels: vec![0; 99],
+            pass: 1,
+            next_node: 3,
+            moved_in_pass: true,
+            iterations: 12,
+            rng: [0; 4],
+        };
+        let outcome = local_search_resumable(
+            &oracle,
+            LocalSearchParams::default(),
+            &RunBudget::unlimited(),
+            Some(&stale),
+            None,
+        )
+        .unwrap();
+        assert_eq!(outcome.clustering, c(&[0, 1, 0, 1, 2, 2]));
     }
 
     #[test]

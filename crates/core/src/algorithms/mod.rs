@@ -15,6 +15,7 @@ use crate::clustering::Clustering;
 use crate::error::AggResult;
 use crate::instance::DistanceOracle;
 use crate::robust::{RunBudget, RunOutcome};
+use crate::snapshot::{AlgorithmSnapshot, Checkpointer};
 
 pub use agglomerative::AgglomerativeParams;
 pub use annealing::AnnealingParams;
@@ -79,6 +80,43 @@ impl Algorithm {
             }
             Algorithm::Pivot(p) => pivot::pivot_budgeted(oracle, *p, budget),
             Algorithm::Annealing(p) => annealing::simulated_annealing_budgeted(oracle, p, budget),
+        }
+    }
+
+    /// Run the algorithm with crash-safe checkpoint/resume on top of the
+    /// budgeted semantics.
+    ///
+    /// AGGLOMERATIVE and LOCALSEARCH — the long-running algorithms — honor
+    /// both the `resume` snapshot and the `ckpt` cadence (the SAMPLING
+    /// meta-algorithm, which is not an [`Algorithm`] variant, resumes via
+    /// [`sampling::sampling_resumable`]); the rest are single-sweep
+    /// constructions that finish within one checkpoint interval anyway and
+    /// simply delegate to [`Algorithm::run_budgeted`]. A snapshot for the
+    /// wrong algorithm (or the wrong instance) is ignored: the run starts
+    /// fresh.
+    pub fn run_resumable<O: DistanceOracle + Sync>(
+        &self,
+        oracle: &O,
+        budget: &RunBudget,
+        resume: Option<&AlgorithmSnapshot>,
+        ckpt: Option<&mut Checkpointer>,
+    ) -> AggResult<RunOutcome> {
+        match self {
+            Algorithm::Agglomerative(p) => {
+                let snap = match resume {
+                    Some(AlgorithmSnapshot::Agglomerative(s)) => Some(s),
+                    _ => None,
+                };
+                agglomerative::agglomerative_resumable(oracle, *p, budget, snap, ckpt)
+            }
+            Algorithm::LocalSearch(p) => {
+                let snap = match resume {
+                    Some(AlgorithmSnapshot::LocalSearch(s)) => Some(s),
+                    _ => None,
+                };
+                local_search::local_search_resumable(oracle, p.clone(), budget, snap, ckpt)
+            }
+            _ => self.run_budgeted(oracle, budget),
         }
     }
 

@@ -19,7 +19,8 @@ use super::Algorithm;
 use crate::clustering::Clustering;
 use crate::error::AggResult;
 use crate::instance::DistanceOracle;
-use crate::robust::{RunBudget, RunOutcome};
+use crate::robust::{RunBudget, RunOutcome, RunStatus};
+use crate::snapshot::{AlgorithmSnapshot, Checkpointer, SamplingSnapshot};
 use rand::rngs::StdRng;
 use rand::seq::index::sample as index_sample;
 use rand::SeedableRng;
@@ -111,52 +112,135 @@ pub fn sampling_budgeted<O: DistanceOracle + Sync>(
     params: &SamplingParams,
     budget: &RunBudget,
 ) -> AggResult<RunOutcome> {
+    sampling_resumable(oracle, params, budget, None, None)
+}
+
+/// [`sampling_budgeted`] with crash-safe checkpoint/resume.
+///
+/// Only phase 3 — the per-node assignment loop, the one phase whose cost
+/// grows with `n` — checkpoints and resumes mid-flight; an interrupt during
+/// the sample clustering (phase 2) or singleton recluster (phase 3b) simply
+/// reruns that phase on resume. A valid snapshot skips phases 1–2 entirely
+/// (the sample and its labels are in the file) and re-enters the assignment
+/// loop at the recorded node with the meter pre-charged. A snapshot whose
+/// `n` or sample is inconsistent with this instance falls back to a fresh
+/// run.
+pub fn sampling_resumable<O: DistanceOracle + Sync>(
+    oracle: &O,
+    params: &SamplingParams,
+    budget: &RunBudget,
+    resume: Option<&SamplingSnapshot>,
+    mut ckpt: Option<&mut Checkpointer>,
+) -> AggResult<RunOutcome> {
     let n = oracle.len();
     if n == 0 {
         return Ok(RunOutcome::converged(Clustering::from_labels(Vec::new())));
     }
-    let s = params.size.resolve(n);
+    let resume = resume.filter(|snap| {
+        snap.n as usize == n
+            && !snap.sample.is_empty()
+            && snap.sample.windows(2).all(|w| w[0] < w[1])
+            && snap.sample.iter().all(|&v| (v as usize) < n)
+            && snap.sample.len() == snap.sample_labels.len()
+            && snap.labels.len() == n
+            && snap.next_node as usize <= n
+    });
 
-    // Phase 1: uniform sample without replacement (same RNG discipline as
-    // the unbudgeted path, so results match when nothing trips).
-    let mut rng = StdRng::seed_from_u64(params.seed);
-    let mut sample: Vec<usize> = index_sample(&mut rng, n, s).into_vec();
-    sample.sort_unstable();
+    let mut status;
+    let mut iterations: u64;
+    let sample: Vec<usize>;
+    let sample_labels: Vec<u32>;
+    let mut labels: Vec<u32>;
+    let start_node: usize;
+    let done: u64;
+    if let Some(snap) = resume {
+        // Phases 1–2 are fully captured by the snapshot: the sample, its
+        // clustering, and every assignment made before the interrupt.
+        sample = snap.sample.iter().map(|&v| v as usize).collect();
+        sample_labels = snap.sample_labels.clone();
+        labels = snap.labels.clone();
+        for (si, &v) in sample.iter().enumerate() {
+            labels[v] = sample_labels[si];
+        }
+        start_node = snap.next_node as usize;
+        done = snap.iterations;
+        status = RunStatus::Converged;
+        iterations = 0;
+    } else {
+        let s = params.size.resolve(n);
 
-    // Phase 2: aggregate the sample with the budgeted base algorithm.
-    let sub = oracle.restrict(&sample);
-    let base_outcome = params.base.run_budgeted(&sub, budget)?;
-    let mut status = base_outcome.status;
-    let mut iterations = base_outcome.iterations;
-    let sample_clustering = base_outcome.clustering;
-    let ell = sample_clustering.num_clusters();
+        // Phase 1: uniform sample without replacement (same RNG discipline
+        // as the unbudgeted path, so results match when nothing trips).
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut smp: Vec<usize> = index_sample(&mut rng, n, s).into_vec();
+        smp.sort_unstable();
 
+        // Phase 2: aggregate the sample with the budgeted base algorithm.
+        let sub = oracle.restrict(&smp);
+        let base_outcome = params.base.run_budgeted(&sub, budget)?;
+        status = base_outcome.status;
+        iterations = base_outcome.iterations;
+        sample_labels = (0..smp.len())
+            .map(|si| base_outcome.clustering.label(si))
+            .collect();
+        labels = vec![u32::MAX; n];
+        for (si, &v) in smp.iter().enumerate() {
+            labels[v] = sample_labels[si];
+        }
+        sample = smp;
+        start_node = 0;
+        done = 0;
+    }
+
+    let s = sample.len();
+    let ell = sample_labels
+        .iter()
+        .map(|&l| l as usize + 1)
+        .max()
+        .unwrap_or(0);
     let mut cluster_sizes = vec![0usize; ell];
-    for si in 0..sample.len() {
-        cluster_sizes[sample_clustering.label(si) as usize] += 1;
+    for &l in &sample_labels {
+        cluster_sizes[l as usize] += 1;
     }
 
     // Phase 3: assign every non-sampled node to the cheapest sample cluster
-    // or to a fresh singleton.
-    let mut labels = vec![u32::MAX; n];
-    for (si, &v) in sample.iter().enumerate() {
-        labels[v] = sample_clustering.label(si);
-    }
-    let mut next_label = ell as u32;
+    // or to a fresh singleton. Fresh singleton labels are handed out in
+    // node order, so the resumed `next_label` is recoverable from the
+    // assignments already made.
+    let mut next_label = labels
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .map(|&l| l + 1)
+        .max()
+        .unwrap_or(0)
+        .max(ell as u32);
     let mut in_sample = vec![false; n];
     for &v in &sample {
         in_sample[v] = true;
     }
-    let mut meter = budget.meter();
+    let mut meter = budget.meter_from(done);
     let mut m_sums = vec![0.0f64; ell];
     let mut tripped = false;
-    for v in 0..n {
+    for v in start_node..n {
         if in_sample[v] {
             continue;
         }
         if let Err(interrupt) = meter.tick() {
             status = status.combine(interrupt.status());
             tripped = true;
+            // Final checkpoint first — the snapshot keeps the unassigned
+            // markers so a resume redoes real assignment, not the
+            // singleton fallback below.
+            if let Some(c) = ckpt.as_deref_mut() {
+                let _ = c.save_now(AlgorithmSnapshot::Sampling(SamplingSnapshot {
+                    n: n as u64,
+                    sample: sample.iter().map(|&x| x as u64).collect(),
+                    sample_labels: sample_labels.clone(),
+                    labels: labels.clone(),
+                    next_node: v as u64,
+                    iterations: meter.iterations() - 1,
+                }));
+            }
             // Unassigned nodes become fresh singletons — complete and
             // valid, if suboptimal.
             for slot in labels.iter_mut().filter(|slot| **slot == u32::MAX) {
@@ -169,7 +253,7 @@ pub fn sampling_budgeted<O: DistanceOracle + Sync>(
         let mut t_sum = 0.0;
         for (si, &u) in sample.iter().enumerate() {
             let x = oracle.dist(v, u);
-            m_sums[sample_clustering.label(si) as usize] += x;
+            m_sums[sample_labels[si] as usize] += x;
             t_sum += x;
         }
         let mut best = f64::INFINITY;
@@ -187,6 +271,18 @@ pub fn sampling_budgeted<O: DistanceOracle + Sync>(
             next_label += 1;
         } else {
             labels[v] = best_i as u32;
+        }
+        if let Some(c) = ckpt.as_deref_mut() {
+            c.maybe_save(|| {
+                AlgorithmSnapshot::Sampling(SamplingSnapshot {
+                    n: n as u64,
+                    sample: sample.iter().map(|&x| x as u64).collect(),
+                    sample_labels: sample_labels.clone(),
+                    labels: labels.clone(),
+                    next_node: (v + 1) as u64,
+                    iterations: meter.iterations(),
+                })
+            });
         }
     }
     iterations = iterations.saturating_add(meter.iterations());
@@ -480,6 +576,80 @@ mod tests {
         let outcome =
             sampling_budgeted(&oracle, &params, &crate::robust::RunBudget::unlimited()).unwrap();
         assert!(outcome.status.is_converged());
+        assert_eq!(outcome.clustering, sampling(&oracle, &params));
+    }
+
+    #[test]
+    fn interrupt_and_resume_matches_uninterrupted() {
+        use crate::snapshot::{load_snapshot, SnapshotLoad};
+
+        let (_, oracle) = blocks_instance();
+        let params = SamplingParams::new(
+            20,
+            Algorithm::Agglomerative(AgglomerativeParams::default()),
+            42,
+        );
+        let full = sampling(&oracle, &params);
+
+        let dir = std::env::temp_dir().join("aggclust_sampling_resume_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("ckpt.bin");
+        // Caps past phase 2's convergence (19 merges on the sample of 20)
+        // that trip mid-assignment over the 40 non-sample nodes.
+        for cap in [20u64, 25, 40, 59] {
+            let tight = crate::robust::RunBudget::unlimited().with_max_iters(cap);
+            let mut ckpt = Checkpointer::new(&path, Duration::ZERO);
+            let partial =
+                sampling_resumable(&oracle, &params, &tight, None, Some(&mut ckpt)).unwrap();
+            if partial.status.is_converged() {
+                assert_eq!(partial.clustering, full);
+                continue;
+            }
+            let snap = match load_snapshot(&path) {
+                SnapshotLoad::Loaded(s) => s,
+                other => panic!("cap {cap}: expected snapshot, got {other:?}"),
+            };
+            let AlgorithmSnapshot::Sampling(sm) = snap.state else {
+                panic!("cap {cap}: wrong snapshot variant");
+            };
+            let resumed = sampling_resumable(
+                &oracle,
+                &params,
+                &crate::robust::RunBudget::unlimited(),
+                Some(&sm),
+                None,
+            )
+            .unwrap();
+            assert_eq!(resumed.clustering, full, "cap {cap}: resumed labels differ");
+            assert!(resumed.status.is_converged());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_snapshot_is_ignored() {
+        let (_, oracle) = blocks_instance();
+        let params = SamplingParams::new(
+            20,
+            Algorithm::Agglomerative(AgglomerativeParams::default()),
+            42,
+        );
+        let stale = SamplingSnapshot {
+            n: 999,
+            sample: vec![0, 5],
+            sample_labels: vec![0, 1],
+            labels: vec![u32::MAX; 999],
+            next_node: 7,
+            iterations: 3,
+        };
+        let outcome = sampling_resumable(
+            &oracle,
+            &params,
+            &crate::robust::RunBudget::unlimited(),
+            Some(&stale),
+            None,
+        )
+        .unwrap();
         assert_eq!(outcome.clustering, sampling(&oracle, &params));
     }
 

@@ -24,16 +24,19 @@
 //! stops being reasonable.
 
 use crate::algorithms::local_search::local_search_from;
-use crate::algorithms::local_search::local_search_from_budgeted;
-use crate::algorithms::sampling::{sampling, sampling_budgeted, SamplingParams};
+use crate::algorithms::local_search::local_search_from_resumable;
+use crate::algorithms::sampling::{sampling, sampling_resumable, SamplingParams};
 use crate::algorithms::{AgglomerativeParams, Algorithm, BallsParams};
 use crate::clustering::{Clustering, PartialClustering};
 use crate::cost::{correlation_cost, lower_bound};
-use crate::distance::total_disagreement;
+use crate::distance::{disagreement_distance_gauged, total_disagreement};
 use crate::error::AggResult;
 use crate::exact::{branch_and_bound_budgeted, MAX_BNB_N};
-use crate::instance::{ClusteringsOracle, CorrelationInstance, MissingPolicy};
-use crate::robust::{RunBudget, RunStatus};
+use crate::instance::{ClusteringsOracle, CorrelationInstance, DistanceOracle, MissingPolicy};
+use crate::robust::{Interrupt, RunBudget, RunStatus};
+use crate::snapshot::{AlgorithmSnapshot, Checkpointer, LocalSearchSnapshot, Snapshot};
+use std::path::PathBuf;
+use std::time::Duration;
 
 /// Outcome of a consensus run.
 #[derive(Clone, Debug)]
@@ -74,6 +77,9 @@ pub struct ConsensusBuilder {
     seed: u64,
     budget: RunBudget,
     prefer_exact: bool,
+    checkpoint_path: Option<PathBuf>,
+    checkpoint_every: Duration,
+    resume_from: Option<Snapshot>,
 }
 
 impl Default for ConsensusBuilder {
@@ -87,6 +93,9 @@ impl Default for ConsensusBuilder {
             seed: 0,
             budget: RunBudget::unlimited(),
             prefer_exact: false,
+            checkpoint_path: None,
+            checkpoint_every: Duration::from_millis(250),
+            resume_from: None,
         }
     }
 }
@@ -149,6 +158,29 @@ impl ConsensusBuilder {
     /// the budgeted `try_aggregate` entry points. Default: off.
     pub fn prefer_exact(mut self, prefer_exact: bool) -> Self {
         self.prefer_exact = prefer_exact;
+        self
+    }
+
+    /// Periodically persist in-flight algorithm state to `path` (atomic,
+    /// checksummed writes — see [`crate::snapshot`]), no more often than
+    /// `every`, plus a final save whenever the budget or cancel token trips
+    /// mid-run. Only honored by the budgeted `try_aggregate` entry points,
+    /// and only by the long-running stages (AGGLOMERATIVE merging,
+    /// LOCALSEARCH passes, SAMPLING assignment); checkpoint failures are
+    /// recorded, never fatal. Default: off.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>, every: Duration) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Resume from a snapshot previously loaded with
+    /// [`crate::snapshot::load_snapshot`]. A snapshot that does not match
+    /// this run's instance or configuration is silently ignored (the run
+    /// starts fresh); load-time corruption is the *caller's* signal to warn.
+    /// Only honored by the budgeted `try_aggregate` entry points.
+    pub fn resume_from(mut self, snapshot: Snapshot) -> Self {
+        self.resume_from = Some(snapshot);
         self
     }
 
@@ -221,7 +253,13 @@ impl ConsensusBuilder {
             inputs.iter().map(PartialClustering::from_total).collect();
         let mut result = self.try_aggregate_partial(partial)?;
         if !result.sampled && result.cost.is_finite() {
-            result.disagreements = total_disagreement(inputs, &result.clustering);
+            // Contingency tables are charged to the budget's gauge so
+            // `--mem-budget` diagnostics see transient usage too.
+            let gauge = self.budget.mem_gauge();
+            result.disagreements = inputs
+                .iter()
+                .map(|c| disagreement_distance_gauged(c, &result.clustering, Some(gauge)))
+                .sum();
         }
         Ok(result)
     }
@@ -230,12 +268,21 @@ impl ConsensusBuilder {
     ///
     /// Graceful-degradation chain:
     /// 1. `n` over the sampling threshold → SAMPLING (budgeted).
-    /// 2. Dense matrix build trips the budget → singleton clustering plus a
-    ///    warning (no time left to do anything smarter).
-    /// 3. `prefer_exact` on a too-large instance → warning, then the BALLS
+    /// 2. Dense matrix refused by the **memory cap** → the `O(n·m)` lazy
+    ///    oracle (same answer, no quadratic memory) — except AGGLOMERATIVE,
+    ///    which needs its own matrix and instead degrades to SAMPLING with
+    ///    the sample clamped to fit the cap. Each step leaves a warning.
+    /// 3. Dense matrix build trips the time budget → singleton clustering
+    ///    plus a warning (no time left to do anything smarter).
+    /// 4. `prefer_exact` on a too-large instance → warning, then the BALLS
     ///    3-approximation instead of an error.
-    /// 4. Budget trips mid-refinement → the partially refined consensus is
+    /// 5. Budget trips mid-refinement → the partially refined consensus is
     ///    returned with a warning rather than discarded.
+    ///
+    /// With [`ConsensusBuilder::checkpoint`] configured, the long-running
+    /// stages persist their state (stage 0 = main algorithm, stage 1 =
+    /// refinement) and a tripped main stage skips refinement so the final
+    /// stage-0 snapshot survives for [`ConsensusBuilder::resume_from`].
     pub fn try_aggregate_partial(
         &self,
         inputs: Vec<PartialClustering>,
@@ -243,31 +290,77 @@ impl ConsensusBuilder {
         let m = inputs.len();
         let instance = CorrelationInstance::try_from_partial(inputs, self.missing_policy)?;
         let n = instance.len();
+        let mut ckpt = self
+            .checkpoint_path
+            .as_ref()
+            .map(|p| Checkpointer::new(p, self.checkpoint_every));
+
+        // Split the resume snapshot by pipeline stage. A stage-1 snapshot
+        // holds the refinement pass's own labels, so the main stage does
+        // not need to re-run at all.
+        let (resume_main, resume_refine) = match &self.resume_from {
+            Some(s) if s.stage == 0 => (Some(&s.state), None),
+            Some(s) if s.stage == 1 => match &s.state {
+                AlgorithmSnapshot::LocalSearch(ls) if ls.labels.len() == n => (None, Some(ls)),
+                _ => (None, None),
+            },
+            _ => (None, None),
+        };
 
         if n > self.sampling_threshold {
             let params = SamplingParams::new(self.sample_size, self.algorithm.clone(), self.seed);
-            let outcome = sampling_budgeted(&instance.lazy_oracle(), &params, &self.budget)?;
-            let mut warnings = Vec::new();
-            if !outcome.status.is_converged() {
-                warnings.push(format!(
-                    "sampling run stopped early ({:?}); unvisited objects were left as singletons",
-                    outcome.status
-                ));
-            }
-            return Ok(ConsensusResult {
-                cost: f64::NAN,
-                disagreements: 0,
-                lower_bound: None,
-                sampled: true,
-                status: outcome.status,
-                warnings,
-                clustering: outcome.clustering,
-            });
+            return self.run_sampling(
+                &instance.lazy_oracle(),
+                &params,
+                Vec::new(),
+                &mut ckpt,
+                resume_main,
+            );
         }
 
         let mut warnings = Vec::new();
         let dense = match instance.try_dense_oracle(&self.budget) {
             Ok(dense) => dense,
+            Err(Interrupt::MemoryExceeded { requested, limit }) => {
+                if matches!(self.algorithm, Algorithm::Agglomerative(_)) && !self.prefer_exact {
+                    // AGGLOMERATIVE is the one algorithm that cannot run
+                    // from a lazy oracle (it mutates a condensed matrix):
+                    // degrade to SAMPLING, clamping the sample so *its*
+                    // dense matrix fits what is left of the cap.
+                    let headroom = limit.saturating_sub(self.budget.mem_gauge().used_bytes());
+                    let s = self
+                        .sample_size
+                        .min(largest_sample_within(headroom))
+                        .clamp(2, n.max(2));
+                    warnings.push(format!(
+                        "memory budget: dense distance matrix needs {requested} bytes \
+                         (cap {limit}); degrading to SAMPLING with sample size {s}"
+                    ));
+                    let params = SamplingParams::new(s, self.algorithm.clone(), self.seed);
+                    return self.run_sampling(
+                        &instance.lazy_oracle(),
+                        &params,
+                        warnings,
+                        &mut ckpt,
+                        resume_main,
+                    );
+                }
+                warnings.push(format!(
+                    "memory budget: dense distance matrix needs {requested} bytes \
+                     (cap {limit}); using the O(n·m) lazy oracle instead \
+                     (slower, no quadratic memory)"
+                ));
+                let lazy = instance.lazy_oracle();
+                return self.finish_with_oracle(
+                    &lazy,
+                    n,
+                    m,
+                    warnings,
+                    &mut ckpt,
+                    resume_main,
+                    resume_refine,
+                );
+            }
             Err(interrupt) => {
                 // Budget died before we even had distances: the only valid
                 // anytime answer is the trivial clustering.
@@ -287,10 +380,75 @@ impl ConsensusBuilder {
                 });
             }
         };
+        self.finish_with_oracle(
+            &dense,
+            n,
+            m,
+            warnings,
+            &mut ckpt,
+            resume_main,
+            resume_refine,
+        )
+    }
 
-        let outcome = if self.prefer_exact {
+    /// The SAMPLING leg shared by the size-threshold and memory-degradation
+    /// paths: run (or resume) budgeted sampling and package the result.
+    fn run_sampling<O: DistanceOracle + Sync>(
+        &self,
+        oracle: &O,
+        params: &SamplingParams,
+        mut warnings: Vec<String>,
+        ckpt: &mut Option<Checkpointer>,
+        resume_main: Option<&AlgorithmSnapshot>,
+    ) -> AggResult<ConsensusResult> {
+        let resume_sampling = match resume_main {
+            Some(AlgorithmSnapshot::Sampling(s)) => Some(s),
+            _ => None,
+        };
+        if let Some(c) = ckpt.as_mut() {
+            c.set_stage(0);
+        }
+        let outcome =
+            sampling_resumable(oracle, params, &self.budget, resume_sampling, ckpt.as_mut())?;
+        if !outcome.status.is_converged() {
+            warnings.push(format!(
+                "sampling run stopped early ({:?}); unvisited objects were left as singletons",
+                outcome.status
+            ));
+        }
+        Ok(ConsensusResult {
+            cost: f64::NAN,
+            disagreements: 0,
+            lower_bound: None,
+            sampled: true,
+            status: outcome.status,
+            warnings,
+            clustering: outcome.clustering,
+        })
+    }
+
+    /// The main-algorithm + refinement tail, generic over the oracle so the
+    /// memory-degraded lazy path shares every line with the dense path.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_with_oracle<O: DistanceOracle + Sync>(
+        &self,
+        oracle: &O,
+        n: usize,
+        m: usize,
+        mut warnings: Vec<String>,
+        ckpt: &mut Option<Checkpointer>,
+        resume_main: Option<&AlgorithmSnapshot>,
+        resume_refine: Option<&LocalSearchSnapshot>,
+    ) -> AggResult<ConsensusResult> {
+        // A refinement-stage snapshot already contains the labels the main
+        // stage produced (and every refinement move since); re-running the
+        // main stage would discard resumed work.
+        let skip_main = self.refine && resume_refine.is_some();
+        let (mut clustering, mut status) = if skip_main {
+            (Clustering::singletons(n), RunStatus::Converged)
+        } else if self.prefer_exact {
             if n <= MAX_BNB_N {
-                let (exact, status) = branch_and_bound_budgeted(&dense, &self.budget)?;
+                let (exact, status) = branch_and_bound_budgeted(oracle, &self.budget)?;
                 if !status.is_converged() {
                     warnings.push(
                         "exact search stopped early; the result is the best \
@@ -298,26 +456,51 @@ impl ConsensusBuilder {
                             .to_string(),
                     );
                 }
-                crate::robust::RunOutcome {
-                    clustering: exact.clustering,
-                    status,
-                    iterations: exact.partitions_examined,
-                }
+                (exact.clustering, status)
             } else {
                 warnings.push(format!(
                     "instance too large for exact search (n = {n} > {MAX_BNB_N}); \
                      falling back to the BALLS 3-approximation"
                 ));
-                Algorithm::Balls(BallsParams::default()).run_budgeted(&dense, &self.budget)?
+                let outcome =
+                    Algorithm::Balls(BallsParams::default()).run_budgeted(oracle, &self.budget)?;
+                (outcome.clustering, outcome.status)
             }
         } else {
-            self.algorithm.run_budgeted(&dense, &self.budget)?
+            if let Some(c) = ckpt.as_mut() {
+                c.set_stage(0);
+            }
+            let outcome =
+                self.algorithm
+                    .run_resumable(oracle, &self.budget, resume_main, ckpt.as_mut())?;
+            (outcome.clustering, outcome.status)
         };
-        let mut status = outcome.status;
-        let mut clustering = outcome.clustering;
 
-        if self.refine {
-            let refined = local_search_from_budgeted(&dense, &clustering, 200, 1e-9, &self.budget)?;
+        // When checkpointing, a tripped main stage keeps its final stage-0
+        // snapshot: running refinement now would overwrite it with a
+        // stage-1 snapshot of the *partial* main result, and a later resume
+        // could then never finish the main stage.
+        let refine_now = self.refine && (status.is_converged() || ckpt.is_none());
+        if self.refine && !refine_now {
+            warnings.push(
+                "main stage stopped early; skipping refinement so the checkpoint \
+                 stays resumable"
+                    .to_string(),
+            );
+        }
+        if refine_now {
+            if let Some(c) = ckpt.as_mut() {
+                c.set_stage(1);
+            }
+            let refined = local_search_from_resumable(
+                oracle,
+                &clustering,
+                200,
+                1e-9,
+                &self.budget,
+                resume_refine,
+                ckpt.as_mut(),
+            )?;
             if !refined.status.is_converged() {
                 warnings.push(
                     "budget exhausted during LOCALSEARCH refinement; \
@@ -329,10 +512,10 @@ impl ConsensusBuilder {
             clustering = refined.clustering;
         }
 
-        let cost = correlation_cost(&dense, &clustering);
+        let cost = correlation_cost(oracle, &clustering);
         Ok(ConsensusResult {
             disagreements: (cost * m as f64).round() as u64,
-            lower_bound: Some(lower_bound(&dense)),
+            lower_bound: Some(lower_bound(oracle)),
             sampled: false,
             status,
             warnings,
@@ -340,6 +523,27 @@ impl ConsensusBuilder {
             clustering,
         })
     }
+}
+
+/// Largest sample size whose condensed distance matrix (`8·s(s−1)/2` bytes)
+/// fits in `bytes`.
+fn largest_sample_within(bytes: u64) -> usize {
+    // Solve 4·s·(s−1) ≤ bytes: s ≤ (1 + √(1 + bytes))/2, then correct the
+    // float estimate exactly (checked arithmetic: `bytes` can approach
+    // u64::MAX when no cap is set, where 4·s² would overflow).
+    let fits = |s: u64| {
+        s.checked_mul(s.saturating_sub(1))
+            .and_then(|p| p.checked_mul(4))
+            .is_some_and(|b| b <= bytes)
+    };
+    let mut s = ((1.0 + (1.0 + bytes as f64).sqrt()) / 2.0).floor() as u64;
+    while s > 0 && !fits(s) {
+        s -= 1;
+    }
+    while fits(s + 1) {
+        s += 1;
+    }
+    usize::try_from(s).unwrap_or(usize::MAX)
 }
 
 /// One-call consensus with the default pipeline.
@@ -485,6 +689,134 @@ mod tests {
         assert_eq!(result.clustering, Clustering::singletons(6));
         assert_eq!(result.status, RunStatus::Cancelled);
         assert!(result.warnings[0].contains("distance matrix"));
+    }
+
+    #[test]
+    fn memory_cap_degrades_localsearch_to_the_lazy_oracle() {
+        // 40 objects: dense matrix = 40·39/2·8 = 6240 bytes. A 6000-byte
+        // cap refuses it; LOCALSEARCH is oracle-generic so the run degrades
+        // to the lazy oracle and still produces the same labels.
+        let truth: Vec<u32> = (0..40).map(|v| v / 10).collect();
+        let inputs = vec![c(&truth); 3];
+        let reference = ConsensusBuilder::new()
+            .algorithm(Algorithm::LocalSearch(Default::default()))
+            .try_aggregate(&inputs)
+            .unwrap();
+        let capped = ConsensusBuilder::new()
+            .algorithm(Algorithm::LocalSearch(Default::default()))
+            .budget(RunBudget::unlimited().with_mem_limit_bytes(6_000))
+            .try_aggregate(&inputs)
+            .unwrap();
+        assert_eq!(capped.clustering, reference.clustering);
+        assert!(capped.status.is_converged());
+        assert!(!capped.sampled);
+        assert!(
+            capped.warnings.iter().any(|w| w.contains("lazy oracle")),
+            "{:?}",
+            capped.warnings
+        );
+        // All tracked memory is released by the end of the run.
+        assert_eq!(capped.cost, reference.cost);
+    }
+
+    #[test]
+    fn memory_cap_degrades_agglomerative_to_sampling() {
+        // AGGLOMERATIVE cannot run from a lazy oracle; under a cap that
+        // refuses the full matrix it must switch to SAMPLING with a sample
+        // whose matrix fits, and still cover every object.
+        let truth: Vec<u32> = (0..40).map(|v| v / 10).collect();
+        let inputs = vec![c(&truth); 3];
+        let capped = ConsensusBuilder::new()
+            .budget(RunBudget::unlimited().with_mem_limit_bytes(2_000))
+            .try_aggregate(&inputs)
+            .unwrap();
+        assert!(capped.sampled);
+        assert_eq!(capped.clustering.len(), 40);
+        assert!(capped.status.is_converged());
+        assert!(
+            capped
+                .warnings
+                .iter()
+                .any(|w| w.contains("degrading to SAMPLING")),
+            "{:?}",
+            capped.warnings
+        );
+        // 2000 bytes → largest sample s with 4s(s−1) ≤ 2000 is 22; the
+        // sample matrix must have been admitted under the cap.
+        assert!(capped.warnings[0].contains("sample size 22"));
+    }
+
+    #[test]
+    fn largest_sample_within_is_exact() {
+        assert_eq!(largest_sample_within(0), 1);
+        assert_eq!(largest_sample_within(7), 1);
+        assert_eq!(largest_sample_within(8), 2);
+        assert_eq!(largest_sample_within(2_000), 22);
+        // Never panics or overflows at the extremes.
+        assert!(largest_sample_within(u64::MAX) > 1_000_000);
+    }
+
+    #[test]
+    fn consensus_checkpoint_resume_matches_uninterrupted() {
+        use crate::robust::CancelToken;
+        use crate::snapshot::{load_snapshot, SnapshotLoad};
+
+        let truth: Vec<u32> = (0..30).map(|v| v % 5).collect();
+        let mut inputs = vec![c(&truth); 3];
+        // Add disagreement so refinement has real work.
+        let mut noisy = truth.clone();
+        for l in noisy.iter_mut().step_by(7) {
+            *l = (*l + 1) % 5;
+        }
+        inputs.push(c(&noisy));
+
+        let reference = ConsensusBuilder::new().try_aggregate(&inputs).unwrap();
+
+        let dir = std::env::temp_dir().join("aggclust_consensus_resume_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("ckpt.bin");
+        // Interrupt at a range of iteration caps, resume unlimited; the
+        // final labels must always match the uninterrupted pipeline.
+        for cap in [1u64, 5, 20, 29, 30, 45, 70] {
+            std::fs::remove_file(&path).ok();
+            let partial = ConsensusBuilder::new()
+                .budget(RunBudget::unlimited().with_max_iters(cap))
+                .checkpoint(&path, Duration::ZERO)
+                .try_aggregate(&inputs)
+                .unwrap();
+            if partial.status.is_converged() {
+                assert_eq!(partial.clustering, reference.clustering);
+                continue;
+            }
+            let snap = match load_snapshot(&path) {
+                SnapshotLoad::Loaded(s) => s,
+                other => panic!("cap {cap}: expected snapshot, got {other:?}"),
+            };
+            let resumed = ConsensusBuilder::new()
+                .checkpoint(&path, Duration::ZERO)
+                .resume_from(snap)
+                .try_aggregate(&inputs)
+                .unwrap();
+            assert_eq!(
+                resumed.clustering, reference.clustering,
+                "cap {cap}: resumed consensus differs"
+            );
+            assert!(resumed.status.is_converged(), "cap {cap}");
+            assert_eq!(resumed.cost, reference.cost, "cap {cap}");
+        }
+
+        // Cancellation mid-run behaves the same way: checkpoint, resume,
+        // identical output.
+        std::fs::remove_file(&path).ok();
+        let token = CancelToken::new();
+        token.cancel();
+        let cancelled = ConsensusBuilder::new()
+            .budget(RunBudget::unlimited().with_cancel_token(token))
+            .checkpoint(&path, Duration::ZERO)
+            .try_aggregate(&inputs)
+            .unwrap();
+        assert_eq!(cancelled.status, RunStatus::Cancelled);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

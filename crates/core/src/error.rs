@@ -66,6 +66,18 @@ pub enum AggError {
         /// Which phase was cancelled.
         context: String,
     },
+    /// The [`crate::robust::ResourceBudget`] memory cap refused an
+    /// allocation and no smaller representation could take its place
+    /// (the consensus pipeline degrades instead of raising this; it
+    /// surfaces from paths with no fallback, e.g. `eval`'s dense matrix).
+    MemoryExceeded {
+        /// The operation that was refused.
+        what: String,
+        /// Bytes the refused allocation asked for.
+        requested: u64,
+        /// The configured memory ceiling in bytes.
+        limit: u64,
+    },
     /// Input text could not be parsed.
     Parse {
         /// 1-based line number in the source text.
@@ -116,6 +128,14 @@ impl fmt::Display for AggError {
                 write!(f, "run budget exceeded during {context}")
             }
             AggError::Cancelled { context } => write!(f, "cancelled during {context}"),
+            AggError::MemoryExceeded {
+                what,
+                requested,
+                limit,
+            } => write!(
+                f,
+                "memory budget exceeded: {what} needs {requested} bytes, limit is {limit}"
+            ),
             AggError::Parse {
                 line,
                 column,

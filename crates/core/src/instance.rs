@@ -15,9 +15,11 @@
 //!   vectors (`O(m)` lookups, `O(nm)` memory), which is what makes
 //!   [`crate::algorithms::sampling`] scale to millions of objects.
 
+use std::sync::Arc;
+
 use crate::clustering::{Clustering, PartialClustering};
 use crate::error::{AggError, AggResult};
-use crate::robust::{Interrupt, RunBudget};
+use crate::robust::{Interrupt, MemCharge, RunBudget};
 
 /// How a clustering with missing labels contributes to pairwise distances
 /// (paper §2, "Missing values").
@@ -34,6 +36,37 @@ pub enum MissingPolicy {
     /// minimize the *expected* number of disagreements, so the clustering
     /// contributes `1 − p` to the pair's distance.
     Coin(f64),
+}
+
+impl MissingPolicy {
+    /// Validating constructor for [`MissingPolicy::Coin`]: NaN and
+    /// probabilities outside `[0, 1]` come back as typed errors instead of
+    /// silently producing out-of-range distances downstream.
+    pub fn try_coin(p: f64) -> AggResult<Self> {
+        let policy = MissingPolicy::Coin(p);
+        policy.validate()?;
+        Ok(policy)
+    }
+
+    /// Check the policy's parameter domain. The single source of truth for
+    /// every `try_` constructor that accepts a policy.
+    pub fn validate(self) -> AggResult<()> {
+        if let MissingPolicy::Coin(p) = self {
+            if p.is_nan() {
+                return Err(AggError::invalid_parameter(
+                    "coin probability",
+                    "must not be NaN",
+                ));
+            }
+            if !(0.0..=1.0).contains(&p) {
+                return Err(AggError::invalid_parameter(
+                    "coin probability",
+                    format!("{p} out of [0,1]"),
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Default for MissingPolicy {
@@ -102,6 +135,9 @@ pub struct DenseOracle {
     n: usize,
     data: Vec<f64>,
     m: Option<usize>,
+    // Keeps the matrix's bytes on the owning budget's MemGauge for as long
+    // as the oracle lives; None for ungoverned constructions.
+    charge: Option<Arc<MemCharge>>,
 }
 
 impl DenseOracle {
@@ -118,7 +154,12 @@ impl DenseOracle {
                 data.push(d);
             }
         }
-        DenseOracle { n, data, m: None }
+        DenseOracle {
+            n,
+            data,
+            m: None,
+            charge: None,
+        }
     }
 
     /// Build from a pure distance function, filling the `n(n−1)/2` triangle
@@ -130,7 +171,12 @@ impl DenseOracle {
             debug_assert!((0.0..=1.0).contains(&d), "distance {d} out of [0,1]");
             d
         });
-        DenseOracle { n, data, m: None }
+        DenseOracle {
+            n,
+            data,
+            m: None,
+            charge: None,
+        }
     }
 
     /// Validating variant of [`DenseOracle::from_fn`]: every distance is
@@ -151,7 +197,12 @@ impl DenseOracle {
                 data.push(d);
             }
         }
-        Ok(DenseOracle { n, data, m: None })
+        Ok(DenseOracle {
+            n,
+            data,
+            m: None,
+            charge: None,
+        })
     }
 
     /// Validating variant of [`DenseOracle::from_clusterings`]: empty input
@@ -270,6 +321,13 @@ impl DenseOracle {
         self
     }
 
+    /// Bytes this oracle holds against a budget's
+    /// [`crate::robust::MemGauge`], when it was built through a governed
+    /// path ([`CorrelationInstance::try_dense_oracle`]).
+    pub fn mem_charge_bytes(&self) -> Option<u64> {
+        self.charge.as_ref().map(|c| c.bytes())
+    }
+
     /// Mutable access to one entry (test/bench construction helper).
     ///
     /// # Panics
@@ -362,14 +420,7 @@ impl ClusteringsOracle {
                 bad.len()
             )));
         }
-        if let MissingPolicy::Coin(p) = policy {
-            if !(0.0..=1.0).contains(&p) {
-                return Err(AggError::invalid_parameter(
-                    "coin probability",
-                    format!("{p} out of [0,1]"),
-                ));
-            }
-        }
+        policy.validate()?;
         Ok(ClusteringsOracle {
             clusterings,
             n,
@@ -503,14 +554,7 @@ impl CorrelationInstance {
                 bad.len()
             )));
         }
-        if let MissingPolicy::Coin(p) = policy {
-            if !(0.0..=1.0).contains(&p) {
-                return Err(AggError::invalid_parameter(
-                    "coin probability",
-                    format!("{p} out of [0,1]"),
-                ));
-            }
-        }
+        policy.validate()?;
         if n > 0 && inputs.iter().all(|c| c.num_missing() == c.len()) {
             return Err(AggError::degenerate(
                 "every label is missing in every input clustering",
@@ -549,16 +593,28 @@ impl CorrelationInstance {
         ClusteringsOracle::new(self.inputs.clone(), self.policy)
     }
 
-    /// Budgeted variant of [`CorrelationInstance::dense_oracle`]: the `O(n² m)`
-    /// matrix build polls `budget` between row chunks and reports the interrupt
-    /// instead of blowing through a deadline on a large instance.
+    /// The bytes [`CorrelationInstance::try_dense_oracle`] would need for
+    /// this instance's condensed `n(n−1)/2` matrix.
+    pub fn dense_bytes(&self) -> u64 {
+        (self.n as u64) * (self.n.saturating_sub(1) as u64) / 2 * 8
+    }
+
+    /// Budgeted variant of [`CorrelationInstance::dense_oracle`]: the
+    /// `O(n²)` allocation is reserved against the budget's memory cap
+    /// first — [`Interrupt::MemoryExceeded`] if it does not fit, letting
+    /// the caller degrade to the `O(nm)` lazy oracle — and the `O(n² m)`
+    /// fill then polls `budget` between row chunks and reports the
+    /// interrupt instead of blowing through a deadline on a large instance.
+    /// The returned oracle holds its memory charge for as long as it lives.
     pub fn try_dense_oracle(&self, budget: &RunBudget) -> Result<DenseOracle, Interrupt> {
+        let charge = budget.try_reserve(self.dense_bytes())?;
         let lazy = self.lazy_oracle();
         let data = crate::parallel::try_fill_condensed(self.n, |u, v| lazy.dist(u, v), budget)?;
         Ok(DenseOracle {
             n: self.n,
             data,
             m: Some(self.inputs.len()),
+            charge: Some(Arc::new(charge)),
         })
     }
 }
@@ -848,5 +904,55 @@ mod tests {
         token.cancel();
         let budget = RunBudget::unlimited().with_cancel_token(token);
         assert!(instance.try_dense_oracle(&budget).is_err());
+    }
+
+    #[test]
+    fn try_coin_validates_nan_and_range() {
+        assert!(MissingPolicy::try_coin(0.0).is_ok());
+        assert!(MissingPolicy::try_coin(1.0).is_ok());
+        for bad in [f64::NAN, -0.1, 1.1, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                matches!(
+                    MissingPolicy::try_coin(bad),
+                    Err(AggError::InvalidParameter { .. })
+                ),
+                "coin {bad} should be rejected"
+            );
+        }
+        let inputs = vec![PartialClustering::from_total(&c(&[0, 1]))];
+        assert!(matches!(
+            CorrelationInstance::try_from_partial(inputs.clone(), MissingPolicy::Coin(f64::NAN)),
+            Err(AggError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            ClusteringsOracle::try_new(inputs, MissingPolicy::Coin(f64::NAN)),
+            Err(AggError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn try_dense_oracle_refuses_over_the_memory_cap() {
+        let instance = CorrelationInstance::from_clusterings(&figure1());
+        // 6 objects → 15 pairs → 120 bytes; cap below that refuses.
+        assert_eq!(instance.dense_bytes(), 120);
+        let tight = RunBudget::unlimited().with_mem_limit_bytes(119);
+        match instance.try_dense_oracle(&tight) {
+            Err(Interrupt::MemoryExceeded { requested, limit }) => {
+                assert_eq!(requested, 120);
+                assert_eq!(limit, 119);
+            }
+            other => panic!("expected MemoryExceeded, got {other:?}"),
+        }
+        // Nothing stays charged after a refusal.
+        assert_eq!(tight.mem_gauge().used_bytes(), 0);
+
+        // A cap with room admits the matrix and holds the charge while the
+        // oracle lives.
+        let roomy = RunBudget::unlimited().with_mem_limit_bytes(200);
+        let built = instance.try_dense_oracle(&roomy).expect("fits");
+        assert_eq!(built.mem_charge_bytes(), Some(120));
+        assert_eq!(roomy.mem_gauge().used_bytes(), 120);
+        drop(built);
+        assert_eq!(roomy.mem_gauge().used_bytes(), 0);
     }
 }

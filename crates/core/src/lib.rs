@@ -70,9 +70,13 @@ pub mod instance;
 pub mod linkage;
 pub mod parallel;
 pub mod robust;
+pub mod snapshot;
 
 pub use clustering::{Clustering, PartialClustering};
 pub use consensus::{aggregate, ConsensusBuilder, ConsensusResult};
 pub use error::{AggError, AggResult};
 pub use instance::{CorrelationInstance, DenseOracle, DistanceOracle, MissingPolicy};
-pub use robust::{CancelToken, RunBudget, RunOutcome, RunStatus};
+pub use robust::{
+    CancelToken, MemCharge, MemGauge, ResourceBudget, RunBudget, RunOutcome, RunStatus,
+};
+pub use snapshot::{Checkpointer, Snapshot, SnapshotLoad};

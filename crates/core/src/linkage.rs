@@ -12,10 +12,13 @@
 //! `O(n³)` greedy procedure for every *reducible* linkage — which all four
 //! Lance–Williams linkages used here are.
 
+use std::sync::Arc;
+
 use crate::clustering::Clustering;
 use crate::instance::DistanceOracle;
 use crate::parallel;
-use crate::robust::{RunBudget, RunStatus};
+use crate::robust::{MemCharge, RunBudget, RunStatus};
+use crate::snapshot::{AgglomerativeSnapshot, AlgorithmSnapshot, Checkpointer, MergeRecord};
 
 /// Minimum matrix size before the nearest-neighbor lookups inside the
 /// chain loop are chunked across worker threads; the per-step scan is
@@ -63,6 +66,9 @@ impl LinkageMethod {
 pub struct CondensedMatrix {
     n: usize,
     data: Vec<f64>,
+    // Keeps the matrix's bytes on the owning budget's MemGauge for as long
+    // as the matrix lives; None for ungoverned constructions.
+    charge: Option<Arc<MemCharge>>,
 }
 
 impl CondensedMatrix {
@@ -76,7 +82,11 @@ impl CondensedMatrix {
                 data.push(f(u, v));
             }
         }
-        CondensedMatrix { n, data }
+        CondensedMatrix {
+            n,
+            data,
+            charge: None,
+        }
     }
 
     /// Build from a pure distance function, filling the triangle in
@@ -86,6 +96,7 @@ impl CondensedMatrix {
         CondensedMatrix {
             n,
             data: parallel::fill_condensed(n, f),
+            charge: None,
         }
     }
 
@@ -94,16 +105,32 @@ impl CondensedMatrix {
         CondensedMatrix::from_fn_sync(oracle.len(), |u, v| oracle.dist(u, v))
     }
 
-    /// Budgeted [`CondensedMatrix::from_oracle`]: the parallel fill polls
-    /// the budget between row chunks and aborts early on a trip, since a
-    /// half-filled matrix is useless.
+    /// Budgeted [`CondensedMatrix::from_oracle`]: the `n(n−1)/2 × 8`-byte
+    /// allocation is first reserved against the budget's memory cap —
+    /// [`crate::robust::Interrupt::MemoryExceeded`] if it does not fit —
+    /// and the parallel fill then polls the budget between row chunks and
+    /// aborts early on a trip, since a half-filled matrix is useless. The
+    /// matrix holds its memory charge for as long as it lives.
     pub fn try_from_oracle<O: DistanceOracle + Sync + ?Sized>(
         oracle: &O,
         budget: &RunBudget,
     ) -> Result<Self, crate::robust::Interrupt> {
         let n = oracle.len();
+        let bytes = (n as u64) * (n.saturating_sub(1) as u64) / 2 * 8;
+        let charge = budget.try_reserve(bytes)?;
         let data = parallel::try_fill_condensed(n, |u, v| oracle.dist(u, v), budget)?;
-        Ok(CondensedMatrix { n, data })
+        Ok(CondensedMatrix {
+            n,
+            data,
+            charge: Some(Arc::new(charge)),
+        })
+    }
+
+    /// Bytes this matrix holds against a budget's
+    /// [`crate::robust::MemGauge`], when built through the governed
+    /// [`CondensedMatrix::try_from_oracle`] path.
+    pub fn mem_charge_bytes(&self) -> Option<u64> {
+        self.charge.as_ref().map(|c| c.bytes())
     }
 
     /// Number of points.
@@ -314,9 +341,76 @@ pub fn linkage(dist: CondensedMatrix, method: LinkageMethod) -> Dendrogram {
 /// built so far — its cut methods still produce valid (finer) clusterings —
 /// along with how the run ended and the iterations consumed.
 pub fn linkage_budgeted(
+    dist: CondensedMatrix,
+    method: LinkageMethod,
+    budget: &RunBudget,
+) -> (Dendrogram, RunStatus, u64) {
+    linkage_resumable(dist, method, budget, None, None)
+}
+
+/// Map a snapshot's merge list (over *node ids*) onto the `(x, y)` row
+/// pairs the replay must merge, validating every structural invariant on
+/// the way. `None` means the snapshot cannot belong to this instance (or is
+/// internally inconsistent) and the caller must start fresh — critically,
+/// this runs **before** the distance matrix is mutated, so a rejected
+/// snapshot leaves the matrix intact for the fresh run.
+fn replay_plan(snap: &AgglomerativeSnapshot, n: usize) -> Option<Vec<(usize, usize)>> {
+    if snap.n as usize != n || n == 0 || snap.merges.len() >= n {
+        return None;
+    }
+    // node_row[id] = the matrix row currently holding dendrogram node `id`.
+    let mut node_row: Vec<usize> = (0..n).collect();
+    let mut consumed: Vec<bool> = vec![false; n + snap.merges.len()];
+    let mut active: Vec<bool> = vec![true; n];
+    let mut plan = Vec::with_capacity(snap.merges.len());
+    for (i, m) in snap.merges.iter().enumerate() {
+        let (a, b) = (m.a as usize, m.b as usize);
+        // A merge may only reference nodes that already exist and have not
+        // been merged away.
+        if a >= n + i || b >= n + i || a == b || consumed[a] || consumed[b] {
+            return None;
+        }
+        let (x, y) = (node_row[a], node_row[b]);
+        if x == y || !active[x] || !active[y] {
+            return None;
+        }
+        consumed[a] = true;
+        consumed[b] = true;
+        active[x] = false;
+        node_row.push(y); // node n + i lives in row y
+        plan.push((x, y));
+    }
+    // The saved NN-chain must reference live, distinct rows.
+    let mut on_chain = vec![false; n];
+    for &c in &snap.chain {
+        let c = usize::try_from(c).ok().filter(|&c| c < n)?;
+        if !active[c] || on_chain[c] {
+            return None;
+        }
+        on_chain[c] = true;
+    }
+    Some(plan)
+}
+
+/// Resumable [`linkage_budgeted`].
+///
+/// With `resume`, the saved merge list is replayed through the same
+/// Lance–Williams updates (deterministic, so the matrix state after replay
+/// is bit-identical to the state when the snapshot was taken), the saved
+/// NN-chain is restored verbatim — restarting with an empty chain would
+/// change merge *discovery order*, and [`Dendrogram::cut_num_clusters`]
+/// breaks height ties by discovery index — and the meter continues from the
+/// snapshot's iteration count so an iteration cap bounds total work across
+/// the interrupt. A snapshot that fails validation is ignored (fresh run).
+///
+/// With `ckpt`, a checkpoint becomes eligible after every merge and a final
+/// one is forced when the budget interrupts the run.
+pub fn linkage_resumable(
     mut dist: CondensedMatrix,
     method: LinkageMethod,
     budget: &RunBudget,
+    resume: Option<&AgglomerativeSnapshot>,
+    mut ckpt: Option<&mut Checkpointer>,
 ) -> (Dendrogram, RunStatus, u64) {
     let n = dist.n;
     if n == 0 {
@@ -329,15 +423,61 @@ pub fn linkage_budgeted(
             0,
         );
     }
-    let mut meter = budget.meter();
     let mut size: Vec<f64> = vec![1.0; n];
     let mut node_id: Vec<usize> = (0..n).collect();
     let mut active: Vec<bool> = vec![true; n];
     let mut chain: Vec<usize> = Vec::with_capacity(n);
     let mut merges: Vec<Merge> = Vec::with_capacity(n.saturating_sub(1));
 
-    for _ in 0..n.saturating_sub(1) {
+    if let Some(plan) = resume.and_then(|snap| replay_plan(snap, n).map(|p| (snap, p))) {
+        let (snap, plan) = plan;
+        for (i, &(x, y)) in plan.iter().enumerate() {
+            let (sa, sb) = (size[x], size[y]);
+            let d_ab = dist.get(x, y);
+            for z in 0..n {
+                if z != x && z != y && active[z] {
+                    let d_new =
+                        method.update(dist.get(x, z), dist.get(y, z), d_ab, sa, sb, size[z]);
+                    dist.set(y, z, d_new);
+                }
+            }
+            active[x] = false;
+            size[y] = sa + sb;
+            merges.push(Merge {
+                a: node_id[x],
+                b: node_id[y],
+                height: d_ab,
+                size: size[y] as usize,
+            });
+            node_id[y] = n + i;
+        }
+        chain = snap.chain.iter().map(|&c| c as usize).collect();
+    }
+
+    let snapshot_state = |merges: &[Merge], chain: &[usize]| {
+        AlgorithmSnapshot::Agglomerative(AgglomerativeSnapshot {
+            n: n as u64,
+            merges: merges
+                .iter()
+                .map(|m| MergeRecord {
+                    a: m.a as u64,
+                    b: m.b as u64,
+                    height: m.height,
+                    size: m.size as u64,
+                })
+                .collect(),
+            chain: chain.iter().map(|&c| c as u64).collect(),
+            // Completed units of work: one tick per merge performed.
+            iterations: merges.len() as u64,
+        })
+    };
+
+    let mut meter = budget.meter_from(merges.len() as u64);
+    for _ in merges.len()..n.saturating_sub(1) {
         if let Err(interrupt) = meter.tick() {
+            if let Some(ckpt) = ckpt.as_deref_mut() {
+                let _ = ckpt.save_now(snapshot_state(&merges, &chain));
+            }
             return (
                 Dendrogram { n, merges },
                 interrupt.status(),
@@ -418,6 +558,10 @@ pub fn linkage_budgeted(
             size: size[y] as usize,
         });
         node_id[y] = new_node;
+
+        if let Some(ckpt) = ckpt.as_deref_mut() {
+            ckpt.maybe_save(|| snapshot_state(&merges, &chain));
+        }
     }
 
     (
@@ -640,6 +784,121 @@ mod tests {
         );
         assert_eq!(status, RunStatus::Converged);
         assert_eq!(plain.merges(), budgeted.merges());
+    }
+
+    #[test]
+    fn interrupt_and_resume_reproduce_the_full_dendrogram_exactly() {
+        use crate::snapshot::{load_snapshot, SnapshotLoad};
+        use std::time::Duration;
+
+        let pts = [0.0, 0.9, 2.0, 5.5, 6.0, 9.0, 12.5, 13.0];
+        let full = linkage(line_matrix(&pts), LinkageMethod::Average);
+
+        let dir = std::env::temp_dir().join("aggclust_linkage_resume_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        for cap in 1..pts.len() as u64 - 1 {
+            let path = dir.join(format!("ckpt_{cap}.bin"));
+            let mut ckpt = Checkpointer::new(&path, Duration::ZERO);
+            let budget = RunBudget::unlimited().with_max_iters(cap);
+            let (partial, status, _) = linkage_resumable(
+                line_matrix(&pts),
+                LinkageMethod::Average,
+                &budget,
+                None,
+                Some(&mut ckpt),
+            );
+            assert_eq!(status, RunStatus::BudgetExceeded);
+            assert_eq!(partial.merges().len(), cap as usize);
+            let snap = match load_snapshot(&path) {
+                SnapshotLoad::Loaded(s) => s,
+                other => panic!("no snapshot after interrupt: {other:?}"),
+            };
+            let agg = match snap.state {
+                crate::snapshot::AlgorithmSnapshot::Agglomerative(a) => a,
+                other => panic!("wrong snapshot kind: {other:?}"),
+            };
+            assert_eq!(agg.merges.len(), cap as usize);
+            // Resume on a freshly built matrix with the same global cap the
+            // reference run had (unlimited): bit-identical merge list.
+            let (resumed, status, iters) = linkage_resumable(
+                line_matrix(&pts),
+                LinkageMethod::Average,
+                &RunBudget::unlimited(),
+                Some(&agg),
+                None,
+            );
+            assert_eq!(status, RunStatus::Converged);
+            assert_eq!(iters, pts.len() as u64 - 1, "global iteration count");
+            assert_eq!(resumed.merges(), full.merges(), "cap {cap}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_snapshot_falls_back_to_a_fresh_run() {
+        let pts = [0.0, 1.0, 2.0, 10.0, 11.0];
+        let full = linkage(line_matrix(&pts), LinkageMethod::Average);
+        // Snapshot from a *different* instance size: rejected, fresh run.
+        let stale = AgglomerativeSnapshot {
+            n: 99,
+            merges: vec![],
+            chain: vec![],
+            iterations: 0,
+        };
+        let (resumed, status, _) = linkage_resumable(
+            line_matrix(&pts),
+            LinkageMethod::Average,
+            &RunBudget::unlimited(),
+            Some(&stale),
+            None,
+        );
+        assert_eq!(status, RunStatus::Converged);
+        assert_eq!(resumed.merges(), full.merges());
+        // Structurally impossible merge list: also rejected.
+        let garbage = AgglomerativeSnapshot {
+            n: pts.len() as u64,
+            merges: vec![MergeRecord {
+                a: 3,
+                b: 3,
+                height: 0.0,
+                size: 2,
+            }],
+            chain: vec![],
+            iterations: 1,
+        };
+        assert!(replay_plan(&garbage, pts.len()).is_none());
+        // Chain referencing a dead row: rejected.
+        let bad_chain = AgglomerativeSnapshot {
+            n: pts.len() as u64,
+            merges: vec![MergeRecord {
+                a: 0,
+                b: 1,
+                height: 1.0,
+                size: 2,
+            }],
+            chain: vec![0], // row 0 was deactivated by the merge above
+            iterations: 1,
+        };
+        assert!(replay_plan(&bad_chain, pts.len()).is_none());
+    }
+
+    #[test]
+    fn try_from_oracle_refuses_over_the_memory_cap() {
+        use crate::instance::DenseOracle;
+        let oracle = DenseOracle::from_fn(10, |_, _| 0.5);
+        // 45 pairs → 360 bytes.
+        let tight = RunBudget::unlimited().with_mem_limit_bytes(359);
+        assert!(matches!(
+            CondensedMatrix::try_from_oracle(&oracle, &tight),
+            Err(crate::robust::Interrupt::MemoryExceeded { .. })
+        ));
+        assert_eq!(tight.mem_gauge().used_bytes(), 0);
+        let roomy = RunBudget::unlimited().with_mem_limit_bytes(360);
+        let matrix = CondensedMatrix::try_from_oracle(&oracle, &roomy).expect("fits");
+        assert_eq!(matrix.mem_charge_bytes(), Some(360));
+        assert_eq!(roomy.mem_gauge().used_bytes(), 360);
+        drop(matrix);
+        assert_eq!(roomy.mem_gauge().used_bytes(), 0);
     }
 
     #[test]

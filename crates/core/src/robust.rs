@@ -1,12 +1,22 @@
-//! Run budgets, cooperative cancellation, and anytime-result plumbing.
+//! Resource budgets, cooperative cancellation, and anytime-result plumbing.
 //!
-//! A [`RunBudget`] bundles the three ways a caller can bound an algorithm
-//! run: a wall-clock deadline, an iteration cap, and a [`CancelToken`]
-//! another thread can flip. Every `*_budgeted` algorithm entry point takes
-//! one and checks it at `O(n)`-work granularity (per node visit, merge,
-//! pivot, or center round) through a [`BudgetMeter`], so a trip is noticed
-//! within one linear-time unit of work — cheap enough that `Instant::now()`
-//! overhead is negligible relative to the work between checks.
+//! A [`ResourceBudget`] (aliased as [`RunBudget`] for the original name)
+//! bundles the four ways a caller can bound an algorithm run: a wall-clock
+//! deadline, an iteration cap, a [`CancelToken`] another thread can flip,
+//! and a tracked memory ceiling. Every `*_budgeted` algorithm entry point
+//! takes one and checks the time/iteration/cancel limits at `O(n)`-work
+//! granularity (per node visit, merge, pivot, or center round) through a
+//! [`BudgetMeter`], so a trip is noticed within one linear-time unit of
+//! work — cheap enough that `Instant::now()` overhead is negligible
+//! relative to the work between checks.
+//!
+//! The memory ceiling is enforced at allocation sites rather than check
+//! sites: code about to make a large allocation (the condensed distance
+//! matrix, label vectors, contingency tables) calls
+//! [`ResourceBudget::try_reserve`] first, which either registers the bytes
+//! with the budget's [`MemGauge`] and returns an RAII [`MemCharge`], or
+//! refuses with [`Interrupt::MemoryExceeded`] so the caller can degrade to
+//! a smaller representation instead of risking the OOM killer.
 //!
 //! When the budget trips, the anytime algorithms (LOCALSEARCH, annealing,
 //! AGGLOMERATIVE, and the rest of the roster) do **not** error: they return
@@ -15,7 +25,7 @@
 //! [`Interrupt`] type carries the trip reason from the check site to the
 //! wrap-up code.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -57,6 +67,15 @@ pub enum Interrupt {
     IterationCap,
     /// The [`CancelToken`] fired.
     Cancelled,
+    /// A [`ResourceBudget::try_reserve`] request would have pushed tracked
+    /// memory past the cap. Callers typically degrade to a smaller
+    /// representation rather than surfacing this as an anytime stop.
+    MemoryExceeded {
+        /// Bytes the refused allocation asked for.
+        requested: u64,
+        /// The configured memory ceiling in bytes.
+        limit: u64,
+    },
 }
 
 impl Interrupt {
@@ -64,7 +83,9 @@ impl Interrupt {
     /// interrupt.
     pub fn status(self) -> RunStatus {
         match self {
-            Interrupt::Deadline | Interrupt::IterationCap => RunStatus::BudgetExceeded,
+            Interrupt::Deadline | Interrupt::IterationCap | Interrupt::MemoryExceeded { .. } => {
+                RunStatus::BudgetExceeded
+            }
             Interrupt::Cancelled => RunStatus::Cancelled,
         }
     }
@@ -132,6 +153,66 @@ impl RunOutcome {
     }
 }
 
+/// Tracked bytes for the handful of allocations large enough to matter
+/// (condensed distance matrix, label vectors, contingency tables).
+///
+/// Clones share one counter, so a [`ResourceBudget`] cloned into worker
+/// threads keeps a single account. The gauge only *counts*; the cap lives
+/// on the budget and is enforced by [`ResourceBudget::try_reserve`].
+#[derive(Clone, Debug, Default)]
+pub struct MemGauge {
+    used: Arc<AtomicU64>,
+}
+
+impl MemGauge {
+    /// A fresh gauge with nothing charged.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes currently charged across all live [`MemCharge`]s.
+    pub fn used_bytes(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Record `bytes` against the gauge; the returned [`MemCharge`] releases
+    /// them when dropped. This never refuses — cap enforcement is
+    /// [`ResourceBudget::try_reserve`]'s job.
+    pub fn charge(&self, bytes: u64) -> MemCharge {
+        self.used.fetch_add(bytes, Ordering::Relaxed);
+        MemCharge {
+            gauge: self.clone(),
+            bytes,
+        }
+    }
+}
+
+/// RAII receipt for bytes charged to a [`MemGauge`]; dropping it releases
+/// the charge. Stored alongside the allocation it accounts for (e.g. inside
+/// a governed distance matrix) so the books balance automatically.
+#[derive(Debug)]
+pub struct MemCharge {
+    gauge: MemGauge,
+    bytes: u64,
+}
+
+impl MemCharge {
+    /// Bytes this charge holds against the gauge.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for MemCharge {
+    fn drop(&mut self) {
+        self.gauge.used.fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
+/// Backwards-compatible name for [`ResourceBudget`] from before the memory
+/// cap existed; every `*_budgeted` signature still reads `&RunBudget`.
+pub type RunBudget = ResourceBudget;
+
 /// Execution limits for one algorithm run. The default is unlimited.
 ///
 /// ```
@@ -140,17 +221,20 @@ impl RunOutcome {
 ///
 /// let budget = RunBudget::unlimited()
 ///     .with_deadline(Duration::from_millis(50))
-///     .with_max_iters(1_000_000);
+///     .with_max_iters(1_000_000)
+///     .with_mem_limit_mb(512);
 /// assert!(!budget.is_unlimited());
 /// ```
 #[derive(Clone, Debug, Default)]
-pub struct RunBudget {
+pub struct ResourceBudget {
     deadline: Option<Instant>,
     max_iters: Option<u64>,
     cancel: Option<CancelToken>,
+    mem_limit: Option<u64>,
+    gauge: MemGauge,
 }
 
-impl RunBudget {
+impl ResourceBudget {
     /// No limits: every check passes.
     pub fn unlimited() -> Self {
         Self::default()
@@ -180,9 +264,57 @@ impl RunBudget {
         self
     }
 
-    /// `true` when no deadline, cap, or token is set — checks are then
-    /// branch-only and effectively free.
+    /// Cap tracked memory at `bytes`; [`ResourceBudget::try_reserve`]
+    /// refuses any request that would push the gauge past it.
+    pub fn with_mem_limit_bytes(mut self, bytes: u64) -> Self {
+        self.mem_limit = Some(bytes);
+        self
+    }
+
+    /// Cap tracked memory at `mb` mebibytes.
+    pub fn with_mem_limit_mb(self, mb: u64) -> Self {
+        self.with_mem_limit_bytes(mb.saturating_mul(1024 * 1024))
+    }
+
+    /// The configured memory ceiling in bytes, if any.
+    pub fn mem_limit_bytes(&self) -> Option<u64> {
+        self.mem_limit
+    }
+
+    /// The gauge this budget charges tracked allocations against.
+    pub fn mem_gauge(&self) -> &MemGauge {
+        &self.gauge
+    }
+
+    /// Ask permission for a large allocation of `bytes`.
+    ///
+    /// With no memory cap this always succeeds (the bytes are still
+    /// counted, so diagnostics see real usage). With a cap it refuses —
+    /// returning [`Interrupt::MemoryExceeded`] and charging nothing — when
+    /// the request would push the gauge past the ceiling; the caller is
+    /// expected to degrade to a smaller representation.
+    pub fn try_reserve(&self, bytes: u64) -> Result<MemCharge, Interrupt> {
+        if let Some(limit) = self.mem_limit {
+            if self.gauge.used_bytes().saturating_add(bytes) > limit {
+                return Err(Interrupt::MemoryExceeded {
+                    requested: bytes,
+                    limit,
+                });
+            }
+        }
+        Ok(self.gauge.charge(bytes))
+    }
+
+    /// `true` when no deadline, cap, token, or memory limit is set — checks
+    /// are then branch-only and effectively free.
     pub fn is_unlimited(&self) -> bool {
+        self.no_run_limits() && self.mem_limit.is_none()
+    }
+
+    /// `true` when no *per-iteration* limit (deadline, iteration cap, or
+    /// cancel token) is set. The memory cap is excluded: it is enforced at
+    /// allocation sites, so metering can stay on the free fast path.
+    pub fn no_run_limits(&self) -> bool {
         self.deadline.is_none() && self.max_iters.is_none() && self.cancel.is_none()
     }
 
@@ -205,9 +337,18 @@ impl RunBudget {
 
     /// Start metering a run against this budget.
     pub fn meter(&self) -> BudgetMeter<'_> {
+        self.meter_from(0)
+    }
+
+    /// Start metering with `start_iterations` units already on the clock.
+    ///
+    /// Used when resuming from a checkpoint: the iteration cap then bounds
+    /// the *total* work across the interrupted run and its resumption, so a
+    /// resumed run is bit-identical to the same run left uninterrupted.
+    pub fn meter_from(&self, start_iterations: u64) -> BudgetMeter<'_> {
         BudgetMeter {
             budget: self,
-            iterations: 0,
+            iterations: start_iterations,
         }
     }
 }
@@ -232,7 +373,7 @@ impl BudgetMeter<'_> {
     /// Record `n` units of work and check every limit.
     pub fn tick_n(&mut self, n: u64) -> Result<(), Interrupt> {
         self.iterations = self.iterations.saturating_add(n);
-        if self.budget.is_unlimited() {
+        if self.budget.no_run_limits() {
             return Ok(());
         }
         if let Some(cap) = self.budget.max_iters {
@@ -326,5 +467,64 @@ mod tests {
         let mut meter = budget.meter();
         assert!(meter.tick_n(100).is_ok());
         assert_eq!(meter.tick_n(1), Err(Interrupt::IterationCap));
+    }
+
+    #[test]
+    fn meter_from_counts_total_work_across_a_resume() {
+        let budget = RunBudget::unlimited().with_max_iters(10);
+        let mut meter = budget.meter_from(7);
+        assert!(meter.tick_n(3).is_ok());
+        assert_eq!(meter.iterations(), 10);
+        assert_eq!(meter.tick(), Err(Interrupt::IterationCap));
+    }
+
+    #[test]
+    fn mem_charges_are_raii_and_shared_across_clones() {
+        let budget = RunBudget::unlimited().with_mem_limit_bytes(100);
+        assert!(!budget.is_unlimited());
+        let shared = budget.clone();
+        let a = budget.try_reserve(60).expect("fits");
+        assert_eq!(a.bytes(), 60);
+        assert_eq!(shared.mem_gauge().used_bytes(), 60);
+        // 60 + 50 > 100: refused, nothing charged.
+        match shared.try_reserve(50) {
+            Err(Interrupt::MemoryExceeded { requested, limit }) => {
+                assert_eq!(requested, 50);
+                assert_eq!(limit, 100);
+            }
+            other => panic!("expected MemoryExceeded, got {other:?}"),
+        }
+        assert_eq!(budget.mem_gauge().used_bytes(), 60);
+        drop(a);
+        assert_eq!(budget.mem_gauge().used_bytes(), 0);
+        assert!(budget.try_reserve(100).is_ok());
+    }
+
+    #[test]
+    fn uncapped_budget_still_counts_reservations() {
+        let budget = RunBudget::unlimited();
+        assert!(budget.is_unlimited());
+        let charge = budget.try_reserve(1 << 40).expect("no cap, never refuses");
+        assert_eq!(budget.mem_gauge().used_bytes(), 1 << 40);
+        drop(charge);
+        assert_eq!(budget.mem_gauge().used_bytes(), 0);
+    }
+
+    #[test]
+    fn memory_cap_alone_does_not_trip_the_meter() {
+        let budget = RunBudget::unlimited().with_mem_limit_mb(1);
+        assert_eq!(budget.mem_limit_bytes(), Some(1024 * 1024));
+        let mut meter = budget.meter();
+        for _ in 0..1000 {
+            assert!(meter.tick().is_ok());
+        }
+        assert_eq!(
+            Interrupt::MemoryExceeded {
+                requested: 1,
+                limit: 1
+            }
+            .status(),
+            RunStatus::BudgetExceeded
+        );
     }
 }

@@ -218,6 +218,27 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for checkpointing a generator
+        /// mid-stream. Restore it with [`StdRng::from_state`].
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a [`StdRng::state`] snapshot so it
+        /// continues the exact same stream. An all-zero state (a xoshiro
+        /// fixed point, never produced by a live generator) is nudged the
+        /// same way as [`SeedableRng::from_seed`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return StdRng {
+                    s: [0x9e37_79b9_7f4a_7c15, 1, 2, 3],
+                };
+            }
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         type Seed = [u8; 32];
 

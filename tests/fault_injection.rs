@@ -209,6 +209,168 @@ fn adversarial_all_disagreeing_inputs_still_aggregate() {
 }
 
 // ---------------------------------------------------------------------------
+// Snapshot corruption: checkpoints must never panic or load garbage labels
+// ---------------------------------------------------------------------------
+
+use aggclust_core::snapshot::{
+    decode, encode, load_snapshot, save_snapshot, AlgorithmSnapshot, LocalSearchSnapshot, Snapshot,
+    SnapshotLoad,
+};
+
+fn sample_snapshot() -> Snapshot {
+    Snapshot {
+        stage: 0,
+        state: AlgorithmSnapshot::LocalSearch(LocalSearchSnapshot {
+            labels: (0..64u32).map(|v| v % 7).collect(),
+            pass: 3,
+            next_node: 17,
+            moved_in_pass: true,
+            iterations: 209,
+            rng: [1, 2, 3, 4],
+        }),
+    }
+}
+
+#[test]
+fn truncated_checkpoints_are_detected_at_every_length() {
+    let bytes = encode(&sample_snapshot());
+    for len in 0..bytes.len() {
+        assert!(
+            decode(&bytes[..len]).is_err(),
+            "truncation to {len} of {} bytes went undetected",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn bit_flipped_checkpoints_never_load_garbage() {
+    // Every byte of the envelope and payload is load-bearing: magic and
+    // version by their own checks, payload length by the size check, the
+    // payload by the CRC, the CRC by itself. A single bit flip anywhere
+    // must therefore be rejected — silently loading mutated labels would
+    // poison the resumed run.
+    let bytes = encode(&sample_snapshot());
+    for i in 0..bytes.len() {
+        for bit in [0u32, 3, 7] {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 1 << bit;
+            assert!(
+                decode(&corrupted).is_err(),
+                "flip at byte {i} bit {bit} was accepted"
+            );
+        }
+    }
+}
+
+#[test]
+fn stale_version_headers_are_rejected_before_the_checksum() {
+    let mut bytes = encode(&sample_snapshot());
+    // The version word sits after the 8-byte magic.
+    for stale in [0u32, 2, 7, u32::MAX] {
+        bytes[8..12].copy_from_slice(&stale.to_le_bytes());
+        let reason = decode(&bytes).unwrap_err();
+        assert!(
+            reason.contains("version"),
+            "stale version {stale} produced unrelated error {reason:?}"
+        );
+    }
+}
+
+#[test]
+fn corrupt_checkpoint_on_disk_recovers_to_a_fresh_run() {
+    let dir = std::env::temp_dir().join("aggclust_fault_snapshot_test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("ckpt.bin");
+    save_snapshot(&path, &sample_snapshot()).expect("save");
+
+    // Sanity: the pristine file loads.
+    assert!(matches!(load_snapshot(&path), SnapshotLoad::Loaded(_)));
+
+    let pristine = std::fs::read(&path).expect("read");
+    let corruptions: Vec<Vec<u8>> = vec![
+        pristine[..pristine.len() / 2].to_vec(), // truncated
+        {
+            let mut b = pristine.clone();
+            let mid = b.len() / 2;
+            b[mid] ^= 0x40; // bit-flipped payload
+            b
+        },
+        {
+            let mut b = pristine.clone();
+            b[8..12].copy_from_slice(&99u32.to_le_bytes()); // stale version
+            b
+        },
+        b"not a checkpoint at all".to_vec(),
+        Vec::new(), // zero-length file
+    ];
+    let inputs = adversarial_disagreeing(20, 4);
+    let reference = ConsensusBuilder::new().try_aggregate(&inputs).unwrap();
+    for (i, corrupted) in corruptions.iter().enumerate() {
+        std::fs::write(&path, corrupted).expect("write");
+        let loaded = load_snapshot(&path);
+        assert!(
+            matches!(loaded, SnapshotLoad::Corrupt(_)),
+            "corruption case {i} loaded as {loaded:?}"
+        );
+        // The documented recovery — fall back to a fresh run — produces
+        // exactly what an unresumed aggregation produces.
+        let fresh = ConsensusBuilder::new().try_aggregate(&inputs).unwrap();
+        assert_eq!(fresh.clustering, reference.clustering, "case {i}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn valid_snapshot_for_the_wrong_instance_is_ignored_not_loaded() {
+    // A perfectly well-formed checkpoint whose labels describe a different
+    // instance (wrong n) must not steer the resumed run: the consensus
+    // pipeline validates and falls back to a fresh start.
+    let inputs = adversarial_disagreeing(20, 4);
+    let reference = ConsensusBuilder::new().try_aggregate(&inputs).unwrap();
+    let resumed = ConsensusBuilder::new()
+        .resume_from(sample_snapshot()) // labels for n = 64, not 20
+        .try_aggregate(&inputs)
+        .unwrap();
+    assert_eq!(resumed.clustering, reference.clustering);
+    assert_eq!(resumed.cost, reference.cost);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_snapshot_decoder(
+        bytes in prop::collection::vec(any::<u8>(), 0..512)
+    ) {
+        // decode() is total: any byte soup is Ok or Err(reason), never a
+        // panic and never an unbounded allocation (lengths are validated
+        // against the remaining payload before any Vec is reserved).
+        let _ = decode(&bytes);
+    }
+
+    #[test]
+    fn flipping_bits_in_a_real_checkpoint_never_panics(
+        seed in 0u64..500, flips in 1usize..12
+    ) {
+        let bytes = encode(&sample_snapshot());
+        let mut corrupted = bytes.clone();
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        for _ in 0..flips {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let i = (state as usize) % corrupted.len();
+            corrupted[i] ^= 1 << ((state >> 32) % 8);
+        }
+        match decode(&corrupted) {
+            Ok(loaded) => prop_assert_eq!(loaded, sample_snapshot()),
+            Err(reason) => prop_assert!(!reason.is_empty()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Deadlines and cancellation: anytime semantics under time pressure
 // ---------------------------------------------------------------------------
 
