@@ -3,6 +3,12 @@
 # hatches. Fallible paths return typed `AggError`s; documented invariant
 # violations use `assert!` (which this lint permits on purpose).
 #
+# Also forbids bare `eprintln!`: diagnostics flow through the telemetry
+# layer (`info!`/`warn!` + the stderr sink), so a direct `eprintln!` is
+# only allowed on the error-reporting path itself and must carry a
+# `lint:allow-eprintln` marker (on the call's opening line or on any line
+# up to the statement's closing `;`).
+#
 # Scope: crates/*/src — test modules (everything at and after the first
 # `#[cfg(test)]` in a file) are exempt, and the offline dependency shims
 # under crates/shims/ are exempt (they mirror external crates' APIs).
@@ -15,9 +21,22 @@ for file in crates/*/src/**/*.rs; do
   [ -f "$file" ] || continue
   hits=$(awk '
     /#\[cfg\(test\)\]/ { exit }
+    # A multi-line eprintln! is pending until its closing ";" — acquitted
+    # the moment a lint:allow-eprintln marker shows up.
+    pending {
+      if ($0 ~ /lint:allow-eprintln/) { pending = 0; next }
+      if ($0 ~ /;/) { print loc; pending = 0 }
+      next
+    }
     /\.unwrap\(|\.expect\(|panic!/ {
       # Permit doc comments that merely mention the forbidden calls.
       if ($0 !~ /^[[:space:]]*\/\//) print FILENAME ":" FNR ": " $0
+    }
+    /eprintln!/ {
+      if ($0 ~ /^[[:space:]]*\/\//) next
+      if ($0 ~ /lint:allow-eprintln/) next
+      if ($0 ~ /;/) { print FILENAME ":" FNR ": " $0 }
+      else { pending = 1; loc = FILENAME ":" FNR ": " $0 }
     }
   ' "$file")
   if [ -n "$hits" ]; then
@@ -28,7 +47,9 @@ done
 
 if [ "$status" -ne 0 ]; then
   echo
-  echo "panic-lint: forbidden .unwrap()/.expect()/panic! in non-test sources." >&2
-  echo "Return a typed AggError instead, or use unwrap_or/map_or fallbacks." >&2
+  echo "panic-lint: forbidden .unwrap()/.expect()/panic!/bare eprintln! in non-test sources." >&2
+  echo "Return a typed AggError instead of panicking, or use unwrap_or/map_or fallbacks." >&2
+  echo "Route diagnostics through telemetry (info!/warn!); true error-path prints" >&2
+  echo "need a 'lint:allow-eprintln' marker before the statement ends." >&2
 fi
 exit "$status"

@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# Observability acceptance checks (ISSUE 4):
+#
+#   1. Run an n = 2000 aggregation with --trace-out/--metrics-out and
+#      validate both machine-readable outputs against their schemas:
+#      every trace line is a JSON object of type event/span_start/span_end
+#      with the documented keys, span ends pair with starts, and the run
+#      report is {"schema":"aggclust-run-report-v1","metrics":{...}} with
+#      every counter a non-negative integer.
+#   2. Check the paper's Figure 5 scaling claim on the counters themselves:
+#      at n = 5000, SAMPLING's distance-oracle evaluations stay O(n·s)
+#      (≤ 5% of n²) while BALLS pays the full Θ(n²).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN=target/release/aggclust
+if [ ! -x "$BIN" ]; then
+    cargo build --release -q -p aggclust-cli
+fi
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+# Planted 9-block structure with deterministic disagreements (same family
+# as ci/kill-resume.sh) at two sizes.
+gen_input() {
+    awk -v n="$1" 'BEGIN {
+      for (v = 0; v < n; v++) {
+        base = v % 9
+        b = (base + (v % 5 == 0)) % 9
+        c = (base + (v % 7 == 0)) % 9
+        printf "%d,%d,%d\n", base, b, c
+      }
+    }'
+}
+gen_input 2000 > "$WORK/in2000.csv"
+gen_input 5000 > "$WORK/in5000.csv"
+
+echo "== n = 2000 run with --trace-out / --metrics-out =="
+"$BIN" aggregate --input "$WORK/in2000.csv" --algorithm local-search \
+    --trace-out "$WORK/trace.jsonl" --metrics-out "$WORK/report.json" \
+    --output /dev/null --log-level error
+
+echo "== trace + report schema validation =="
+python3 - "$WORK/trace.jsonl" "$WORK/report.json" <<'EOF'
+import json
+import sys
+
+trace_path, report_path = sys.argv[1], sys.argv[2]
+
+LEVELS = {"error", "warn", "info", "debug", "trace"}
+open_spans = {}
+counts = {"event": 0, "span_start": 0, "span_end": 0}
+
+def is_uint(x):
+    return isinstance(x, int) and not isinstance(x, bool) and x >= 0
+
+with open(trace_path) as f:
+    for lineno, line in enumerate(f, 1):
+        rec = json.loads(line)
+        kind = rec.get("type")
+        assert kind in counts, f"line {lineno}: unknown type {kind!r}"
+        counts[kind] += 1
+        assert is_uint(rec.get("ts_ns")), f"line {lineno}: bad ts_ns"
+        assert isinstance(rec.get("fields"), dict), f"line {lineno}: bad fields"
+        if kind == "event":
+            assert rec.get("level") in LEVELS, f"line {lineno}: bad level"
+            assert isinstance(rec.get("message"), str), f"line {lineno}: bad message"
+        else:
+            assert isinstance(rec.get("span"), str), f"line {lineno}: bad span"
+            assert is_uint(rec.get("id")), f"line {lineno}: bad id"
+            if kind == "span_start":
+                assert rec["id"] not in open_spans, f"line {lineno}: id reused"
+                open_spans[rec["id"]] = rec["span"]
+            else:
+                assert open_spans.pop(rec["id"], None) == rec["span"], \
+                    f"line {lineno}: span_end without matching start"
+                assert is_uint(rec.get("elapsed_ns")), f"line {lineno}: bad elapsed_ns"
+
+assert counts["span_start"] > 0, "no spans were traced"
+assert counts["span_end"] == counts["span_start"], "unbalanced spans"
+assert not open_spans, f"spans never closed: {open_spans}"
+spans = counts["span_start"]
+
+report = json.load(open(report_path))
+assert report.get("schema") == "aggclust-run-report-v1", "bad report schema tag"
+metrics = report["metrics"]
+REQUIRED = [
+    "oracle_dense_evals", "oracle_lazy_evals",
+    "ls_passes", "ls_nodes_visited", "ls_moves",
+    "linkage_merges", "linkage_chain_rebuilds",
+    "balls_formed", "furthest_centers", "pivot_rounds", "exact_nodes",
+    "sampling_runs", "sampling_sampled", "sampling_assigned",
+    "sampling_reclustered",
+    "checkpoint_saves", "checkpoint_retries", "checkpoint_failures",
+    "checkpoint_corruptions",
+    "interrupts_deadline", "interrupts_iteration_cap",
+    "interrupts_cancelled", "interrupts_memory",
+    "mem_high_water_bytes",
+]
+for key in REQUIRED:
+    assert is_uint(metrics.get(key)), f"report: bad counter {key!r}"
+for key in ("ls_delta_hist", "checkpoint_bytes_hist"):
+    hist = metrics.get(key)
+    assert isinstance(hist, list) and len(hist) == 9 and all(map(is_uint, hist)), \
+        f"report: bad histogram {key!r}"
+assert isinstance(metrics.get("ls_improvement"), (int, float)), "bad ls_improvement"
+assert metrics["ls_nodes_visited"] > 0, "LOCALSEARCH counters did not fire"
+assert metrics["oracle_dense_evals"] > 0, "oracle counters did not fire"
+print(f"trace OK: {counts['event']} events, {spans} balanced spans; "
+      f"report OK: {len(REQUIRED) + 3} metrics validated")
+EOF
+
+echo "== n = 5000 scaling contrast: SAMPLING O(n*s) vs BALLS Theta(n^2) =="
+"$BIN" aggregate --input "$WORK/in5000.csv" --sample 200 --no-refine \
+    --metrics-out "$WORK/sampling.json" --output /dev/null --log-level error
+"$BIN" aggregate --input "$WORK/in5000.csv" --algorithm balls --no-refine \
+    --metrics-out "$WORK/balls.json" --output /dev/null --log-level error
+python3 - "$WORK/sampling.json" "$WORK/balls.json" <<'EOF'
+import json
+import sys
+
+def total_evals(path):
+    m = json.load(open(path))["metrics"]
+    return m["oracle_dense_evals"] + m["oracle_lazy_evals"]
+
+n = 5000
+sampling, balls = total_evals(sys.argv[1]), total_evals(sys.argv[2])
+print(f"SAMPLING: {sampling} oracle evals ({100 * sampling / n**2:.2f}% of n^2)")
+print(f"BALLS:    {balls} oracle evals ({100 * balls / n**2:.2f}% of n^2)")
+assert sampling <= 0.05 * n**2, \
+    f"SAMPLING oracle evals {sampling} exceed 5% of n^2 = {0.05 * n**2:.0f}"
+assert balls >= 0.5 * n**2, \
+    f"BALLS oracle evals {balls} below n^2/2 — is the counter wired?"
+print("OK: the Figure 5 scaling claim holds on the counters")
+EOF

@@ -52,7 +52,7 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
         match self.get(name) {
             Some(v) => v.parse().unwrap_or_else(|_| {
-                eprintln!("error: could not parse --{name} value {v:?}");
+                eprintln!("error: could not parse --{name} value {v:?}"); // lint:allow-eprintln
                 std::process::exit(2);
             }),
             None => default,
@@ -66,21 +66,21 @@ impl Args {
         let mut budget = aggclust_core::RunBudget::unlimited();
         if let Some(ms) = self.get("deadline-ms") {
             let ms: u64 = ms.parse().unwrap_or_else(|_| {
-                eprintln!("error: could not parse --deadline-ms value {ms:?}");
+                eprintln!("error: could not parse --deadline-ms value {ms:?}"); // lint:allow-eprintln
                 std::process::exit(2);
             });
             budget = budget.with_deadline_ms(ms);
         }
         if let Some(iters) = self.get("max-iters") {
             let iters: u64 = iters.parse().unwrap_or_else(|_| {
-                eprintln!("error: could not parse --max-iters value {iters:?}");
+                eprintln!("error: could not parse --max-iters value {iters:?}"); // lint:allow-eprintln
                 std::process::exit(2);
             });
             budget = budget.with_max_iters(iters);
         }
         if let Some(mb) = self.get("mem-budget-mb") {
             let mb: u64 = mb.parse().unwrap_or_else(|_| {
-                eprintln!("error: could not parse --mem-budget-mb value {mb:?}");
+                eprintln!("error: could not parse --mem-budget-mb value {mb:?}"); // lint:allow-eprintln
                 std::process::exit(2);
             });
             budget = budget.with_mem_limit_mb(mb);

@@ -32,6 +32,7 @@ use aggclust_metrics::classification_error;
 
 fn main() {
     let args = Args::from_env();
+    let _telemetry = aggclust_bench::obs::init_from_args(&args);
     let seed = args.get_or("seed", 1u64);
     let rows = args.get_or("rows", 2000usize);
 

@@ -24,13 +24,14 @@ use aggclust_metrics::classification_error;
 
 fn main() {
     let args = Args::from_env();
+    let _telemetry = aggclust_bench::obs::init_from_args(&args);
     let seed = args.get_or("seed", 1u64);
     let rows = args.get_or("rows", 32561usize);
     let sample = args.get_or("sample", 4000usize);
 
     let dataset = match args.get("uci") {
         Some(path) => aggclust_data::uci::load_census(path).unwrap_or_else(|e| {
-            eprintln!("error: failed to load UCI census from {path}: {e}");
+            eprintln!("error: failed to load UCI census from {path}: {e}"); // lint:allow-eprintln
             std::process::exit(3);
         }),
         None => census_like_scaled(rows, seed).0,

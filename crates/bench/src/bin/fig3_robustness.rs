@@ -27,6 +27,7 @@ use aggclust_metrics::pair_counting::adjusted_rand_index;
 
 fn main() {
     let args = Args::from_env();
+    let _telemetry = aggclust_bench::obs::init_from_args(&args);
     // Default seed chosen so every vanilla algorithm exhibits its
     // characteristic failure (vary with --seed; the qualitative story —
     // aggregate ≥ best input — holds across seeds).
@@ -88,7 +89,7 @@ fn main() {
         if args.flag("verbose") {
             let mut sizes = c.cluster_sizes();
             sizes.sort_unstable_by(|a, b| b.cmp(a));
-            eprintln!("{name}: cluster sizes {sizes:?}");
+            aggclust_core::obs::info!(format!("{name}: cluster sizes {sizes:?}"));
         }
         let ari = adjusted_rand_index(c, &truth);
         best_input_ari = best_input_ari.max(ari);

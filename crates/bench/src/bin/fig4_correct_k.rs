@@ -27,6 +27,7 @@ const MAIN_CLUSTER_FRACTION: f64 = 0.08;
 
 fn main() {
     let args = Args::from_env();
+    let _telemetry = aggclust_bench::obs::init_from_args(&args);
     let seed = args.get_or("seed", 9u64);
 
     println!("Figure 4 — identifying the correct clusters and the outliers\n");

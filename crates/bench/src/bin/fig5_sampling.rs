@@ -33,6 +33,7 @@ use aggclust_metrics::classification_error;
 
 fn main() {
     let args = Args::from_env();
+    let _telemetry = aggclust_bench::obs::init_from_args(&args);
     let part = args.get("part").unwrap_or("all").to_string();
     let seed = args.get_or("seed", 1u64);
 
@@ -112,7 +113,7 @@ fn scale_part(args: &Args, seed: u64) {
     }
     if let Some(n) = args.get("scale-rows") {
         sizes = vec![n.parse().unwrap_or_else(|_| {
-            eprintln!("error: could not parse --scale-rows value {n:?}");
+            eprintln!("error: could not parse --scale-rows value {n:?}"); // lint:allow-eprintln
             std::process::exit(2);
         })];
     }
@@ -182,7 +183,7 @@ fn scale_part(args: &Args, seed: u64) {
             details.clustering.num_clusters().to_string(),
             fmt_f(ari, 3),
         ]);
-        eprintln!("[n = {n} done]");
+        aggclust_core::obs::info!(format!("[n = {n} done]"));
     }
     print!("{}", table.render());
     println!(

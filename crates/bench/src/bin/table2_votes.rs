@@ -20,11 +20,12 @@ use aggclust_data::presets::votes_like;
 
 fn main() {
     let args = Args::from_env();
+    let _telemetry = aggclust_bench::obs::init_from_args(&args);
     let seed = args.get_or("seed", 1u64);
 
     let dataset = match args.get("uci") {
         Some(path) => aggclust_data::uci::load_votes(path).unwrap_or_else(|e| {
-            eprintln!("error: failed to load UCI votes from {path}: {e}");
+            eprintln!("error: failed to load UCI votes from {path}: {e}"); // lint:allow-eprintln
             std::process::exit(3);
         }),
         None => votes_like(seed).0,

@@ -21,11 +21,12 @@ use aggclust_metrics::confusion_matrix;
 
 fn main() {
     let args = Args::from_env();
+    let _telemetry = aggclust_bench::obs::init_from_args(&args);
     let seed = args.get_or("seed", 1u64);
 
     let dataset = match args.get("uci") {
         Some(path) => aggclust_data::uci::load_mushrooms(path).unwrap_or_else(|e| {
-            eprintln!("error: failed to load UCI mushrooms from {path}: {e}");
+            eprintln!("error: failed to load UCI mushrooms from {path}: {e}"); // lint:allow-eprintln
             std::process::exit(3);
         }),
         None => mushrooms_like(seed).0,
@@ -46,7 +47,7 @@ fn main() {
     );
 
     let (exp, prep_secs) = timed(|| CategoricalExperiment::prepare(dataset));
-    eprintln!("[prepared dense oracle in {prep_secs:.1}s]");
+    aggclust_core::obs::info!(format!("[prepared dense oracle in {prep_secs:.1}s]"));
 
     let mut table = Table::new(&["algorithm", "k", "E_C(%)", "E_D", "time(s)"]);
     let push = |table: &mut Table, row: &aggclust_bench::roster::RosterRow| {
@@ -81,7 +82,7 @@ fn main() {
             agglomerative_clustering = Some(row.clustering.clone());
         }
         push(&mut table, &row);
-        eprintln!("[{} done in {:.1}s]", row.name, row.seconds);
+        aggclust_core::obs::info!(format!("[{} done in {:.1}s]", row.name, row.seconds));
     }
 
     if !args.flag("skip-comparators") {
@@ -89,13 +90,13 @@ fn main() {
             let (r, secs) = timed(|| rock(&exp.dataset, RockParams::new(0.8, k)));
             let row = exp.evaluate(&format!("ROCK (k={k}, t=0.8)"), r, secs);
             push(&mut table, &row);
-            eprintln!("[ROCK k={k} done in {secs:.1}s]");
+            aggclust_core::obs::info!(format!("[ROCK k={k} done in {secs:.1}s]"));
         }
         for k in [2usize, 7, 9] {
             let (r, secs) = timed(|| limbo(&exp.dataset, LimboParams::new(0.3, k)));
             let row = exp.evaluate(&format!("LIMBO (k={k}, phi=0.3)"), r, secs);
             push(&mut table, &row);
-            eprintln!("[LIMBO k={k} done in {secs:.1}s]");
+            aggclust_core::obs::info!(format!("[LIMBO k={k} done in {secs:.1}s]"));
         }
     }
 

@@ -11,6 +11,7 @@
 #![warn(clippy::all)]
 
 pub mod args;
+pub mod obs;
 pub mod plot;
 pub mod roster;
 pub mod table;

@@ -19,10 +19,12 @@ use aggclust_core::algorithms::{
 use aggclust_core::clustering::PartialClustering;
 use aggclust_core::consensus::ConsensusBuilder;
 use aggclust_core::instance::MissingPolicy;
+use aggclust_core::obs;
 use aggclust_core::snapshot::{load_snapshot, retry_with_backoff, SnapshotLoad};
 use aggclust_core::{AggError, CancelToken, RunStatus};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 const HELP: &str = "\
@@ -46,6 +48,13 @@ COMMON OPTIONS:
     --missing POLICY      coin (default, p = 0.5) | coin:P | ignore
     --threads N           worker threads for the O(n^2) kernels
                           (overrides RAYON_NUM_THREADS; default: auto)
+    --log-level LEVEL     stderr verbosity: error | warn | info (default) |
+                          debug | trace; the AGGCLUST_LOG environment
+                          variable sets the default, the flag wins
+    --trace-out PATH      write a machine-readable JSONL trace (one JSON
+                          object per span/event) alongside the run
+    --metrics-out PATH    write a JSON run report of the algorithm counters
+                          (oracle evaluations, moves, merges, checkpoints)
 
 AGGREGATE OPTIONS:
     --algorithm NAME      agglomerative (default) | balls | furthest |
@@ -162,6 +171,13 @@ fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
     let command = argv.next().unwrap_or_else(|| "help".to_string());
     let args = Args::parse(argv);
+    let metrics_out = match setup_telemetry(&args) {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("error: {}", e.message()); // lint:allow-eprintln
+            return ExitCode::from(e.exit_code());
+        }
+    };
     let run = || match command.as_str() {
         "aggregate" => cmd_aggregate(&args),
         "eval" => cmd_eval(&args),
@@ -184,12 +200,67 @@ fn main() -> ExitCode {
         Some(t) => aggclust_core::parallel::with_num_threads(t, run),
         None => run(),
     };
+    // The report covers the whole process (one run per invocation), so it
+    // is written even when the run tripped its budget — the counters then
+    // describe the partial work, which is exactly what a post-mortem wants.
+    if let Some(path) = &metrics_out {
+        write_metrics_report(path);
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {}", e.message());
+            eprintln!("error: {}", e.message()); // lint:allow-eprintln
             ExitCode::from(e.exit_code())
         }
+    }
+}
+
+/// Install the stderr logger (and the optional JSONL trace sink) and switch
+/// the metrics registry on when a machine-readable output was requested.
+/// Returns the `--metrics-out` path, if any.
+fn setup_telemetry(args: &Args) -> Result<Option<PathBuf>, CliError> {
+    let level = match args.get("log-level") {
+        Some(spec) => obs::Level::parse(spec).ok_or_else(|| {
+            CliError::Usage(format!(
+                "--log-level must be error, warn, info, debug or trace, got {spec:?}"
+            ))
+        })?,
+        None => obs::Level::from_env().unwrap_or(obs::Level::Info),
+    };
+    let stderr_sink: Arc<dyn obs::Collector> = Arc::new(obs::StderrSink::new(level));
+    match args.get("trace-out") {
+        Some(path) => {
+            let trace = obs::JsonlSink::to_file(Path::new(path), obs::Level::Trace)
+                .map_err(|e| CliError::Io(format!("creating trace file {path}: {e}")))?;
+            let mut tee = obs::TeeCollector::new();
+            tee.push(stderr_sink);
+            tee.push(Arc::new(trace));
+            obs::install_collector(Arc::new(tee));
+        }
+        None => obs::install_collector(stderr_sink),
+    }
+    let metrics_out = args.get("metrics-out").map(PathBuf::from);
+    if metrics_out.is_some() || args.get("trace-out").is_some() {
+        obs::set_metrics_enabled(true);
+    }
+    Ok(metrics_out)
+}
+
+/// Write the final run report: every counter, gauge, and histogram in the
+/// metrics registry as one stable JSON object. Failures are reported but
+/// never change the exit code — the labels are the contract, the report is
+/// advisory.
+fn write_metrics_report(path: &Path) {
+    let snapshot = obs::MetricsSnapshot::capture();
+    let json = format!(
+        "{{\"schema\":\"aggclust-run-report-v1\",\"metrics\":{}}}\n",
+        snapshot.to_json()
+    );
+    if let Err(e) = std::fs::write(path, json) {
+        obs::warn!(format!(
+            "could not write metrics report {}: {e}",
+            path.display()
+        ));
     }
 }
 
@@ -322,20 +393,20 @@ fn cmd_aggregate(args: &Args) -> Result<(), CliError> {
         if args.flag("resume") {
             match load_snapshot(path) {
                 SnapshotLoad::Loaded(snapshot) => {
-                    eprintln!("resuming from checkpoint {}", path.display());
+                    obs::info!(format!("resuming from checkpoint {}", path.display()));
                     builder = builder.resume_from(snapshot);
                 }
                 SnapshotLoad::Missing => {
-                    eprintln!(
-                        "warning: no checkpoint at {}; starting fresh",
+                    obs::warn!(format!(
+                        "no checkpoint at {}; starting fresh",
                         path.display()
-                    );
+                    ));
                 }
                 SnapshotLoad::Corrupt(reason) => {
-                    eprintln!(
-                        "warning: checkpoint {} is unusable ({reason}); starting fresh",
+                    obs::warn!(format!(
+                        "checkpoint {} is unusable ({reason}); starting fresh",
                         path.display()
-                    );
+                    ));
                 }
             }
         }
@@ -345,10 +416,11 @@ fn cmd_aggregate(args: &Args) -> Result<(), CliError> {
         ));
     }
     let result = builder.try_aggregate_partial(inputs)?;
-    for warning in &result.warnings {
-        eprintln!("warning: {warning}");
-    }
-    eprintln!(
+    // Degradation warnings surface through the telemetry layer: the core
+    // emits each `Warning` as a warn-level event the moment it is recorded,
+    // and the stderr sink renders it as the same `warning: ...` line this
+    // loop used to print.
+    obs::info!(format!(
         "aggregated {} objects into {} clusters{}",
         n,
         result.clustering.num_clusters(),
@@ -365,13 +437,13 @@ fn cmd_aggregate(args: &Args) -> Result<(), CliError> {
                 result.lower_bound.unwrap_or(f64::NAN)
             )
         }
-    );
+    ));
     let rendered = csv::render_labels(&result.clustering);
     match args.get("output") {
         Some(path) => {
             std::fs::write(path, rendered)
                 .map_err(|e| CliError::Io(format!("writing {path}: {e}")))?;
-            eprintln!("labels written to {path}");
+            obs::info!(format!("labels written to {path}"));
         }
         None => print!("{rendered}"),
     }
@@ -381,10 +453,10 @@ fn cmd_aggregate(args: &Args) -> Result<(), CliError> {
             if let Some(path) = &checkpoint_path {
                 if let Err(e) = std::fs::remove_file(path) {
                     if e.kind() != std::io::ErrorKind::NotFound {
-                        eprintln!(
-                            "warning: could not remove checkpoint {}: {e}",
+                        obs::warn!(format!(
+                            "could not remove checkpoint {}: {e}",
                             path.display()
-                        );
+                        ));
                     }
                 }
             }

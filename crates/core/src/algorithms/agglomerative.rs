@@ -109,6 +109,7 @@ pub fn agglomerative_resumable<O: DistanceOracle + Sync + ?Sized>(
         ));
     }
     let n = oracle.len();
+    let _span = crate::span!("agglomerative", n = n, resuming = resume.is_some());
     if n == 0 {
         return Ok(RunOutcome::converged(Clustering::from_labels(Vec::new())));
     }

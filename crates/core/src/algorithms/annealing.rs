@@ -141,6 +141,7 @@ fn anneal_loop<O: DistanceOracle + Sync + ?Sized>(
     meter: &mut BudgetMeter<'_>,
 ) -> AnnealState {
     let n = oracle.len();
+    let _span = crate::span!("annealing", n = n, sweeps = params.sweeps);
     let mut rng = StdRng::seed_from_u64(params.seed);
 
     // State: labels + sizes; fresh singleton labels appended at the end.

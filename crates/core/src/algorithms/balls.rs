@@ -19,6 +19,7 @@ use crate::error::{AggError, AggResult};
 use crate::instance::DistanceOracle;
 use crate::parallel;
 use crate::robust::{RunBudget, RunOutcome, RunStatus};
+use crate::telemetry;
 
 /// Minimum number of candidate vertices in a ball scan before the distance
 /// lookups are farmed out to worker threads; below this the serial loop is
@@ -130,6 +131,7 @@ fn run<O: DistanceOracle + Sync + ?Sized>(
     budget: &RunBudget,
 ) -> (Vec<u32>, RunStatus, u64) {
     let n = oracle.len();
+    let _span = crate::span!("balls", n = n, alpha = params.alpha);
     if n == 0 {
         return (Vec::new(), RunStatus::Converged, 0);
     }
@@ -235,6 +237,9 @@ fn run<O: DistanceOracle + Sync + ?Sized>(
         if !ball.is_empty() && total / ball.len() as f64 <= params.alpha {
             for &v in &ball {
                 labels[v] = label;
+            }
+            if telemetry::metrics_enabled() {
+                telemetry::metrics().balls_formed.incr();
             }
         }
         // Otherwise u stays a singleton and the ball members remain

@@ -35,6 +35,7 @@ pub struct BestClusteringResult {
 /// Panics if `inputs` is empty.
 pub fn best_clustering(inputs: &[Clustering]) -> BestClusteringResult {
     assert!(!inputs.is_empty(), "need at least one input clustering");
+    let _span = crate::span!("best_clustering", m = inputs.len());
     let mut best_index = 0;
     let mut best_cost = u64::MAX;
     for (i, c) in inputs.iter().enumerate() {

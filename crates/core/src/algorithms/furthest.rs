@@ -19,6 +19,7 @@ use crate::error::AggResult;
 use crate::instance::DistanceOracle;
 use crate::parallel;
 use crate::robust::{RunBudget, RunOutcome, RunStatus};
+use crate::telemetry;
 
 /// Parameters for [`furthest`].
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
@@ -84,6 +85,7 @@ fn run<O: DistanceOracle + Sync + ?Sized>(
     budget: &RunBudget,
 ) -> (Clustering, RunStatus, u64) {
     let n = oracle.len();
+    let _span = crate::span!("furthest", n = n, fixed_k = params.num_clusters.is_some());
     if n == 0 {
         return (Clustering::from_labels(Vec::new()), RunStatus::Converged, 0);
     }
@@ -115,6 +117,7 @@ fn run<O: DistanceOracle + Sync + ?Sized>(
     // exists; the fallback only avoids a panic path.
     let (ca, cb, _) = parallel::max_pair(n, |u, v| oracle.dist(u, v)).unwrap_or((0, 1, 0.0));
     let mut centers: Vec<usize> = vec![ca, cb];
+    telemetry::metrics().furthest_centers.add_if_enabled(2);
     // min_dist[v] = distance from v to its nearest center (for picking the
     // next center in O(n) per round).
     let mut min_dist: Vec<f64> = vec![0.0; n];
@@ -176,6 +179,7 @@ fn run<O: DistanceOracle + Sync + ?Sized>(
             break;
         }
         centers.push(next);
+        telemetry::metrics().furthest_centers.incr_if_enabled();
         parallel::update_slice(&mut min_dist, |v, slot| {
             let d = oracle.dist(v, next);
             if d < *slot {

@@ -37,6 +37,7 @@ use crate::instance::DistanceOracle;
 use crate::parallel;
 use crate::robust::{RunBudget, RunOutcome, RunStatus};
 use crate::snapshot::{AlgorithmSnapshot, Checkpointer, LocalSearchSnapshot};
+use crate::telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -329,6 +330,12 @@ fn descend_resumable<O: DistanceOracle + Sync + ?Sized>(
     rng_state: [u64; 4],
 ) -> (Vec<u32>, RunStatus, u64) {
     let n = oracle.len();
+    let _span = crate::span!(
+        "local_search",
+        n = n,
+        max_passes = max_passes,
+        resuming = resume.is_some()
+    );
     // Where to re-enter the loop: (labels, pass, first unvisited node of
     // that pass, `moved` flag carried into it, completed budget iterations).
     let (mut labels, first_pass, resume_node, resumed_moved, done): (Vec<u32>, _, _, _, u64) =
@@ -435,6 +442,11 @@ fn descend_resumable<O: DistanceOracle + Sync + ?Sized>(
             }
             block_start = block_end;
         }
+        // Completed passes only, so an interrupt-at-k + resume run counts
+        // each pass exactly once — matching the uninterrupted run.
+        if telemetry::metrics_enabled() {
+            telemetry::metrics().ls_passes.incr();
+        }
         if !moved {
             break;
         }
@@ -459,6 +471,9 @@ fn visit_node<O: DistanceOracle + ?Sized>(
 ) -> bool {
     let n = labels.len();
     let k = sizes.len();
+    if telemetry::metrics_enabled() {
+        telemetry::metrics().ls_nodes_visited.incr();
+    }
     m_sums.clear();
     m_sums.resize(k, 0.0);
     let mut t_v = 0.0;
@@ -521,6 +536,16 @@ fn visit_node<O: DistanceOracle + ?Sized>(
         };
         sizes[target] += 1;
         labels[v] = target as u32;
+        if telemetry::metrics_enabled() {
+            let m = telemetry::metrics();
+            m.ls_moves.incr();
+            // The move's strict cost improvement; accumulated serially (the
+            // descent visits nodes one at a time), so the sum's rounding
+            // order is fixed and the total is bit-reproducible.
+            let delta = cur_cost - best_cost;
+            m.ls_improvement.add(delta);
+            m.ls_delta_hist.observe(delta);
+        }
         true
     } else {
         false

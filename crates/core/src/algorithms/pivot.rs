@@ -17,6 +17,7 @@ use crate::clustering::Clustering;
 use crate::error::AggResult;
 use crate::instance::DistanceOracle;
 use crate::robust::{BudgetMeter, Interrupt, RunBudget, RunOutcome, RunStatus};
+use crate::telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -97,6 +98,12 @@ fn run<O: DistanceOracle + Sync + ?Sized>(
     budget: &RunBudget,
 ) -> (Clustering, RunStatus, u64) {
     let n = oracle.len();
+    let _span = crate::span!(
+        "pivot",
+        n = n,
+        repetitions = params.repetitions.max(1),
+        randomized = params.rounding == PivotRounding::Randomized
+    );
     if n == 0 {
         return (Clustering::from_labels(Vec::new()), RunStatus::Converged, 0);
     }
@@ -151,6 +158,7 @@ fn pivot_once<O: DistanceOracle + Sync + ?Sized>(
             tripped = Some(interrupt);
             break;
         }
+        telemetry::metrics().pivot_rounds.incr_if_enabled();
         let label = next;
         next += 1;
         labels[u] = label;

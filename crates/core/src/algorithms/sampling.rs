@@ -21,6 +21,7 @@ use crate::error::AggResult;
 use crate::instance::DistanceOracle;
 use crate::robust::{RunBudget, RunOutcome, RunStatus};
 use crate::snapshot::{AlgorithmSnapshot, Checkpointer, SamplingSnapshot};
+use crate::telemetry;
 use rand::rngs::StdRng;
 use rand::seq::index::sample as index_sample;
 use rand::SeedableRng;
@@ -133,6 +134,12 @@ pub fn sampling_resumable<O: DistanceOracle + Sync>(
     mut ckpt: Option<&mut Checkpointer>,
 ) -> AggResult<RunOutcome> {
     let n = oracle.len();
+    let _span = crate::span!(
+        "sampling",
+        n = n,
+        base = params.base.name(),
+        resuming = resume.is_some()
+    );
     if n == 0 {
         return Ok(RunOutcome::converged(Clustering::from_labels(Vec::new())));
     }
@@ -168,6 +175,14 @@ pub fn sampling_resumable<O: DistanceOracle + Sync>(
         iterations = 0;
     } else {
         let s = params.size.resolve(n);
+        // Fresh starts only: a resumed run restores the sample from the
+        // snapshot, so interrupt-at-k + resume counts each run/sample once —
+        // matching the uninterrupted run.
+        if telemetry::metrics_enabled() {
+            let m = telemetry::metrics();
+            m.sampling_runs.incr();
+            m.sampling_sampled.add(s as u64);
+        }
 
         // Phase 1: uniform sample without replacement (same RNG discipline
         // as the unbudgeted path, so results match when nothing trips).
@@ -272,6 +287,9 @@ pub fn sampling_resumable<O: DistanceOracle + Sync>(
         } else {
             labels[v] = best_i as u32;
         }
+        // Real assignments only — the singleton fallback after a budget trip
+        // is not counted, so resumed totals match uninterrupted ones.
+        telemetry::metrics().sampling_assigned.incr_if_enabled();
         if let Some(c) = ckpt.as_deref_mut() {
             c.maybe_save(|| {
                 AlgorithmSnapshot::Sampling(SamplingSnapshot {
@@ -297,6 +315,9 @@ pub fn sampling_resumable<O: DistanceOracle + Sync>(
         let singleton_nodes: Vec<usize> =
             (0..n).filter(|&v| sizes[labels[v] as usize] == 1).collect();
         if singleton_nodes.len() >= 2 {
+            telemetry::metrics()
+                .sampling_reclustered
+                .add_if_enabled(singleton_nodes.len() as u64);
             let sub = oracle.restrict(&singleton_nodes);
             let re = params.base.run_budgeted(&sub, budget)?;
             status = status.combine(re.status);
@@ -322,6 +343,7 @@ pub fn sampling_with_details<O: DistanceOracle + Sync>(
 ) -> SamplingDetails {
     let n = oracle.len();
     let s = params.size.resolve(n);
+    let _span = crate::span!("sampling", n = n, base = params.base.name(), s = s);
     if n == 0 {
         return SamplingDetails {
             clustering: Clustering::from_labels(Vec::new()),
@@ -332,6 +354,12 @@ pub fn sampling_with_details<O: DistanceOracle + Sync>(
             assign_time: Duration::ZERO,
             recluster_time: Duration::ZERO,
         };
+    }
+
+    if telemetry::metrics_enabled() {
+        let m = telemetry::metrics();
+        m.sampling_runs.incr();
+        m.sampling_sampled.add(s as u64);
     }
 
     // Phase 1: uniform sample without replacement.
@@ -394,6 +422,7 @@ pub fn sampling_with_details<O: DistanceOracle + Sync>(
         } else {
             labels[v] = best_i as u32;
         }
+        telemetry::metrics().sampling_assigned.incr_if_enabled();
     }
     let assign_time = t1.elapsed();
 
@@ -411,6 +440,9 @@ pub fn sampling_with_details<O: DistanceOracle + Sync>(
     // again on this subset of nodes").
     let t2 = Instant::now();
     if params.recluster_singletons && singleton_nodes.len() >= 2 {
+        telemetry::metrics()
+            .sampling_reclustered
+            .add_if_enabled(singleton_nodes.len() as u64);
         let sub = oracle.restrict(&singleton_nodes);
         let re = params.base.run(&sub);
         for (i, &v) in singleton_nodes.iter().enumerate() {

@@ -35,8 +35,133 @@ use crate::exact::{branch_and_bound_budgeted, MAX_BNB_N};
 use crate::instance::{ClusteringsOracle, CorrelationInstance, DistanceOracle, MissingPolicy};
 use crate::robust::{Interrupt, RunBudget, RunStatus};
 use crate::snapshot::{AlgorithmSnapshot, Checkpointer, LocalSearchSnapshot, Snapshot};
+use std::fmt;
 use std::path::PathBuf;
 use std::time::Duration;
+
+/// A graceful-degradation step taken during a consensus run, as a typed
+/// value machine consumers can match on. `Display` reproduces the exact
+/// human-readable strings that `ConsensusResult::warnings` carried when it
+/// was a `Vec<String>`, so CLI output is byte-identical.
+///
+/// Each warning is also emitted as a [`crate::warn!`] telemetry event the
+/// moment it is recorded.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Warning {
+    /// The dense distance matrix was refused by the memory cap and the run
+    /// degraded to SAMPLING with a sample whose matrix fits.
+    MemoryDegradedToSampling {
+        /// Bytes the dense matrix would have needed.
+        requested: u64,
+        /// The configured memory cap in bytes.
+        limit: u64,
+        /// The clamped sample size actually used.
+        sample_size: usize,
+    },
+    /// The dense distance matrix was refused by the memory cap and the run
+    /// fell back to the `O(n·m)` lazy oracle.
+    MemoryDegradedToLazyOracle {
+        /// Bytes the dense matrix would have needed.
+        requested: u64,
+        /// The configured memory cap in bytes.
+        limit: u64,
+    },
+    /// The budget tripped while the distance matrix was being built; the
+    /// only valid anytime answer was the all-singletons clustering.
+    MatrixBuildInterrupted,
+    /// The SAMPLING run stopped early; unvisited objects were left as
+    /// singletons.
+    SamplingStoppedEarly {
+        /// How the sampling run ended.
+        status: RunStatus,
+    },
+    /// The exact branch-and-bound search stopped early; the result is the
+    /// best incumbent, not a proven optimum.
+    ExactSearchStoppedEarly,
+    /// The instance exceeded [`MAX_BNB_N`]; the run fell back to the BALLS
+    /// 3-approximation instead of erroring.
+    ExactSearchTooLarge {
+        /// The instance size that was rejected.
+        n: usize,
+    },
+    /// The main stage stopped early under checkpointing, so refinement was
+    /// skipped to keep the stage-0 snapshot resumable.
+    RefinementSkippedForResume,
+    /// The budget tripped during the LOCALSEARCH refinement pass; the
+    /// partially refined consensus was returned.
+    RefinementInterrupted,
+}
+
+impl Warning {
+    /// Stable machine-readable tag for this warning kind (used as the
+    /// telemetry event field; `Display` carries the prose).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Warning::MemoryDegradedToSampling { .. } => "memory_degraded_to_sampling",
+            Warning::MemoryDegradedToLazyOracle { .. } => "memory_degraded_to_lazy_oracle",
+            Warning::MatrixBuildInterrupted => "matrix_build_interrupted",
+            Warning::SamplingStoppedEarly { .. } => "sampling_stopped_early",
+            Warning::ExactSearchStoppedEarly => "exact_search_stopped_early",
+            Warning::ExactSearchTooLarge { .. } => "exact_search_too_large",
+            Warning::RefinementSkippedForResume => "refinement_skipped_for_resume",
+            Warning::RefinementInterrupted => "refinement_interrupted",
+        }
+    }
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Warning::MemoryDegradedToSampling {
+                requested,
+                limit,
+                sample_size,
+            } => write!(
+                f,
+                "memory budget: dense distance matrix needs {requested} bytes \
+                 (cap {limit}); degrading to SAMPLING with sample size {sample_size}"
+            ),
+            Warning::MemoryDegradedToLazyOracle { requested, limit } => write!(
+                f,
+                "memory budget: dense distance matrix needs {requested} bytes \
+                 (cap {limit}); using the O(n·m) lazy oracle instead \
+                 (slower, no quadratic memory)"
+            ),
+            Warning::MatrixBuildInterrupted => f.write_str(
+                "budget exhausted while building the distance matrix; \
+                 returning the all-singletons clustering",
+            ),
+            Warning::SamplingStoppedEarly { status } => write!(
+                f,
+                "sampling run stopped early ({status:?}); unvisited objects were left as singletons"
+            ),
+            Warning::ExactSearchStoppedEarly => f.write_str(
+                "exact search stopped early; the result is the best \
+                 incumbent found, not a proven optimum",
+            ),
+            Warning::ExactSearchTooLarge { n } => write!(
+                f,
+                "instance too large for exact search (n = {n} > {MAX_BNB_N}); \
+                 falling back to the BALLS 3-approximation"
+            ),
+            Warning::RefinementSkippedForResume => f.write_str(
+                "main stage stopped early; skipping refinement so the checkpoint \
+                 stays resumable",
+            ),
+            Warning::RefinementInterrupted => f.write_str(
+                "budget exhausted during LOCALSEARCH refinement; \
+                 returning the partially refined consensus",
+            ),
+        }
+    }
+}
+
+/// Record a degradation step: emit it as a telemetry event, then keep it in
+/// the result's warning list.
+fn push_warning(warnings: &mut Vec<Warning>, warning: Warning) {
+    crate::warn!(&warning.to_string(), kind = warning.kind());
+    warnings.push(warning);
+}
 
 /// Outcome of a consensus run.
 #[derive(Clone, Debug)]
@@ -61,9 +186,10 @@ pub struct ConsensusResult {
     /// budgeted [`ConsensusBuilder::try_aggregate`] path reports
     /// `BudgetExceeded`/`Cancelled` when the result is best-so-far.
     pub status: RunStatus,
-    /// Human-readable notes about graceful degradation steps taken (exact
-    /// solver skipped, refinement interrupted, …). Empty on a clean run.
-    pub warnings: Vec<String>,
+    /// Graceful-degradation steps taken (exact solver skipped, refinement
+    /// interrupted, …), as typed [`Warning`] values whose `Display` gives
+    /// the human-readable note. Empty on a clean run.
+    pub warnings: Vec<Warning>,
 }
 
 /// Builder for consensus clustering runs. All settings optional.
@@ -205,6 +331,13 @@ impl ConsensusBuilder {
         assert!(!inputs.is_empty(), "need at least one input clustering");
         let m = inputs.len();
         let n = inputs[0].len();
+        let _span = crate::span!(
+            "consensus",
+            n = n,
+            m = m,
+            algorithm = self.algorithm.name(),
+            refine = self.refine
+        );
         let oracle = ClusteringsOracle::new(inputs.clone(), self.missing_policy);
 
         if n > self.sampling_threshold {
@@ -290,6 +423,13 @@ impl ConsensusBuilder {
         let m = inputs.len();
         let instance = CorrelationInstance::try_from_partial(inputs, self.missing_policy)?;
         let n = instance.len();
+        let _span = crate::span!(
+            "consensus",
+            n = n,
+            m = m,
+            algorithm = self.algorithm.name(),
+            refine = self.refine
+        );
         let mut ckpt = self
             .checkpoint_path
             .as_ref()
@@ -332,10 +472,14 @@ impl ConsensusBuilder {
                         .sample_size
                         .min(largest_sample_within(headroom))
                         .clamp(2, n.max(2));
-                    warnings.push(format!(
-                        "memory budget: dense distance matrix needs {requested} bytes \
-                         (cap {limit}); degrading to SAMPLING with sample size {s}"
-                    ));
+                    push_warning(
+                        &mut warnings,
+                        Warning::MemoryDegradedToSampling {
+                            requested,
+                            limit,
+                            sample_size: s,
+                        },
+                    );
                     let params = SamplingParams::new(s, self.algorithm.clone(), self.seed);
                     return self.run_sampling(
                         &instance.lazy_oracle(),
@@ -345,11 +489,10 @@ impl ConsensusBuilder {
                         resume_main,
                     );
                 }
-                warnings.push(format!(
-                    "memory budget: dense distance matrix needs {requested} bytes \
-                     (cap {limit}); using the O(n·m) lazy oracle instead \
-                     (slower, no quadratic memory)"
-                ));
+                push_warning(
+                    &mut warnings,
+                    Warning::MemoryDegradedToLazyOracle { requested, limit },
+                );
                 let lazy = instance.lazy_oracle();
                 return self.finish_with_oracle(
                     &lazy,
@@ -364,11 +507,7 @@ impl ConsensusBuilder {
             Err(interrupt) => {
                 // Budget died before we even had distances: the only valid
                 // anytime answer is the trivial clustering.
-                warnings.push(
-                    "budget exhausted while building the distance matrix; \
-                     returning the all-singletons clustering"
-                        .to_string(),
-                );
+                push_warning(&mut warnings, Warning::MatrixBuildInterrupted);
                 return Ok(ConsensusResult {
                     clustering: Clustering::singletons(n),
                     cost: f64::NAN,
@@ -397,7 +536,7 @@ impl ConsensusBuilder {
         &self,
         oracle: &O,
         params: &SamplingParams,
-        mut warnings: Vec<String>,
+        mut warnings: Vec<Warning>,
         ckpt: &mut Option<Checkpointer>,
         resume_main: Option<&AlgorithmSnapshot>,
     ) -> AggResult<ConsensusResult> {
@@ -411,10 +550,12 @@ impl ConsensusBuilder {
         let outcome =
             sampling_resumable(oracle, params, &self.budget, resume_sampling, ckpt.as_mut())?;
         if !outcome.status.is_converged() {
-            warnings.push(format!(
-                "sampling run stopped early ({:?}); unvisited objects were left as singletons",
-                outcome.status
-            ));
+            push_warning(
+                &mut warnings,
+                Warning::SamplingStoppedEarly {
+                    status: outcome.status,
+                },
+            );
         }
         Ok(ConsensusResult {
             cost: f64::NAN,
@@ -435,7 +576,7 @@ impl ConsensusBuilder {
         oracle: &O,
         n: usize,
         m: usize,
-        mut warnings: Vec<String>,
+        mut warnings: Vec<Warning>,
         ckpt: &mut Option<Checkpointer>,
         resume_main: Option<&AlgorithmSnapshot>,
         resume_refine: Option<&LocalSearchSnapshot>,
@@ -450,18 +591,11 @@ impl ConsensusBuilder {
             if n <= MAX_BNB_N {
                 let (exact, status) = branch_and_bound_budgeted(oracle, &self.budget)?;
                 if !status.is_converged() {
-                    warnings.push(
-                        "exact search stopped early; the result is the best \
-                         incumbent found, not a proven optimum"
-                            .to_string(),
-                    );
+                    push_warning(&mut warnings, Warning::ExactSearchStoppedEarly);
                 }
                 (exact.clustering, status)
             } else {
-                warnings.push(format!(
-                    "instance too large for exact search (n = {n} > {MAX_BNB_N}); \
-                     falling back to the BALLS 3-approximation"
-                ));
+                push_warning(&mut warnings, Warning::ExactSearchTooLarge { n });
                 let outcome =
                     Algorithm::Balls(BallsParams::default()).run_budgeted(oracle, &self.budget)?;
                 (outcome.clustering, outcome.status)
@@ -482,11 +616,7 @@ impl ConsensusBuilder {
         // could then never finish the main stage.
         let refine_now = self.refine && (status.is_converged() || ckpt.is_none());
         if self.refine && !refine_now {
-            warnings.push(
-                "main stage stopped early; skipping refinement so the checkpoint \
-                 stays resumable"
-                    .to_string(),
-            );
+            push_warning(&mut warnings, Warning::RefinementSkippedForResume);
         }
         if refine_now {
             if let Some(c) = ckpt.as_mut() {
@@ -502,11 +632,7 @@ impl ConsensusBuilder {
                 ckpt.as_mut(),
             )?;
             if !refined.status.is_converged() {
-                warnings.push(
-                    "budget exhausted during LOCALSEARCH refinement; \
-                     returning the partially refined consensus"
-                        .to_string(),
-                );
+                push_warning(&mut warnings, Warning::RefinementInterrupted);
             }
             status = status.combine(refined.status);
             clustering = refined.clustering;
@@ -674,7 +800,13 @@ mod tests {
             .unwrap();
         assert_eq!(result.clustering, c(&truth));
         assert_eq!(result.warnings.len(), 1);
-        assert!(result.warnings[0].contains("too large for exact search"));
+        assert!(result.warnings[0]
+            .to_string()
+            .contains("too large for exact search"));
+        assert!(matches!(
+            result.warnings[0],
+            Warning::ExactSearchTooLarge { n: 30 }
+        ));
         assert!(result.status.is_converged());
     }
 
@@ -688,7 +820,7 @@ mod tests {
             .unwrap();
         assert_eq!(result.clustering, Clustering::singletons(6));
         assert_eq!(result.status, RunStatus::Cancelled);
-        assert!(result.warnings[0].contains("distance matrix"));
+        assert!(result.warnings[0].to_string().contains("distance matrix"));
     }
 
     #[test]
@@ -711,7 +843,10 @@ mod tests {
         assert!(capped.status.is_converged());
         assert!(!capped.sampled);
         assert!(
-            capped.warnings.iter().any(|w| w.contains("lazy oracle")),
+            capped
+                .warnings
+                .iter()
+                .any(|w| w.to_string().contains("lazy oracle")),
             "{:?}",
             capped.warnings
         );
@@ -737,13 +872,20 @@ mod tests {
             capped
                 .warnings
                 .iter()
-                .any(|w| w.contains("degrading to SAMPLING")),
+                .any(|w| w.to_string().contains("degrading to SAMPLING")),
             "{:?}",
             capped.warnings
         );
         // 2000 bytes → largest sample s with 4s(s−1) ≤ 2000 is 22; the
         // sample matrix must have been admitted under the cap.
-        assert!(capped.warnings[0].contains("sample size 22"));
+        assert!(capped.warnings[0].to_string().contains("sample size 22"));
+        assert!(matches!(
+            capped.warnings[0],
+            Warning::MemoryDegradedToSampling {
+                sample_size: 22,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -817,6 +959,66 @@ mod tests {
             .unwrap();
         assert_eq!(cancelled.status, RunStatus::Cancelled);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn warning_display_matches_the_legacy_strings_exactly() {
+        // These strings were public output when `warnings` was a
+        // `Vec<String>`; the typed enum must render them byte-for-byte.
+        let cases = [
+            (
+                Warning::MemoryDegradedToSampling {
+                    requested: 6240,
+                    limit: 2000,
+                    sample_size: 22,
+                },
+                "memory budget: dense distance matrix needs 6240 bytes (cap 2000); \
+                 degrading to SAMPLING with sample size 22",
+            ),
+            (
+                Warning::MemoryDegradedToLazyOracle {
+                    requested: 6240,
+                    limit: 6000,
+                },
+                "memory budget: dense distance matrix needs 6240 bytes (cap 6000); \
+                 using the O(n·m) lazy oracle instead (slower, no quadratic memory)",
+            ),
+            (
+                Warning::MatrixBuildInterrupted,
+                "budget exhausted while building the distance matrix; \
+                 returning the all-singletons clustering",
+            ),
+            (
+                Warning::SamplingStoppedEarly {
+                    status: RunStatus::BudgetExceeded,
+                },
+                "sampling run stopped early (BudgetExceeded); \
+                 unvisited objects were left as singletons",
+            ),
+            (
+                Warning::ExactSearchStoppedEarly,
+                "exact search stopped early; the result is the best incumbent found, \
+                 not a proven optimum",
+            ),
+            (
+                Warning::ExactSearchTooLarge { n: 30 },
+                "instance too large for exact search (n = 30 > 24); \
+                 falling back to the BALLS 3-approximation",
+            ),
+            (
+                Warning::RefinementSkippedForResume,
+                "main stage stopped early; skipping refinement so the checkpoint \
+                 stays resumable",
+            ),
+            (
+                Warning::RefinementInterrupted,
+                "budget exhausted during LOCALSEARCH refinement; \
+                 returning the partially refined consensus",
+            ),
+        ];
+        for (warning, expected) in cases {
+            assert_eq!(warning.to_string(), expected, "{}", warning.kind());
+        }
     }
 
     #[test]

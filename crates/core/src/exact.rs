@@ -184,6 +184,7 @@ pub fn branch_and_bound_budgeted<O: DistanceOracle + Sync + ?Sized>(
             max: MAX_BNB_N,
         });
     }
+    let _span = crate::span!("exact", n = n);
     if n == 0 {
         return Ok((
             ExactResult {
@@ -287,6 +288,10 @@ pub fn branch_and_bound_budgeted<O: DistanceOracle + Sync + ?Sized>(
         Ok(()) => RunStatus::Converged,
         Err(interrupt) => interrupt.status(),
     };
+    // Bulk-add after the search: one atomic op instead of one per node.
+    crate::telemetry::metrics()
+        .exact_nodes
+        .add_if_enabled(expanded);
 
     Ok((
         ExactResult {

@@ -358,6 +358,9 @@ impl DistanceOracle for DenseOracle {
 
     #[inline]
     fn dist(&self, u: usize, v: usize) -> f64 {
+        // Gated dense-hit counter: a relaxed load and an untaken branch
+        // when metrics are off, keeping the O(1) lookup hot path intact.
+        crate::telemetry::count_dense_evals(1);
         if u == v {
             return 0.0;
         }
@@ -457,6 +460,9 @@ impl DistanceOracle for ClusteringsOracle {
     }
 
     fn dist(&self, u: usize, v: usize) -> f64 {
+        // Each lazy lookup is an O(m) recomputation — the quantity the
+        // SAMPLING scaling claim is measured in.
+        crate::telemetry::count_lazy_evals(1);
         if u == v {
             return 0.0;
         }

@@ -71,12 +71,29 @@ pub mod linkage;
 pub mod parallel;
 pub mod robust;
 pub mod snapshot;
+pub mod telemetry;
+
+/// Thin observability facade: one import (`use aggclust_core::obs;` or
+/// `use aggclust_core::obs::*;`) brings in the span/event macros, the
+/// [`telemetry::Collector`] plumbing, the metrics registry, and the
+/// mockable [`telemetry::Clock`]. Downstream crates (cli, bench) use this
+/// instead of reaching into [`telemetry`] piecemeal.
+pub mod obs {
+    pub use crate::telemetry::{
+        clear_collector, collector_active, dispatch_event, install_collector, metrics,
+        metrics_enabled, set_metrics_enabled, Clock, Collector, Counter, Event, JsonlSink, Level,
+        MaxGauge, MemoryCollector, MetricsSnapshot, SpanData, SpanGuard, StderrSink, TeeCollector,
+        Value,
+    };
+    pub use crate::{debug, error_event, event, info, span, trace, warn};
+}
 
 pub use clustering::{Clustering, PartialClustering};
-pub use consensus::{aggregate, ConsensusBuilder, ConsensusResult};
+pub use consensus::{aggregate, ConsensusBuilder, ConsensusResult, Warning};
 pub use error::{AggError, AggResult};
 pub use instance::{CorrelationInstance, DenseOracle, DistanceOracle, MissingPolicy};
 pub use robust::{
     CancelToken, MemCharge, MemGauge, ResourceBudget, RunBudget, RunOutcome, RunStatus,
 };
 pub use snapshot::{Checkpointer, Snapshot, SnapshotLoad};
+pub use telemetry::{Clock, Collector, Level, MetricsSnapshot};

@@ -19,6 +19,7 @@ use crate::instance::DistanceOracle;
 use crate::parallel;
 use crate::robust::{MemCharge, RunBudget, RunStatus};
 use crate::snapshot::{AgglomerativeSnapshot, AlgorithmSnapshot, Checkpointer, MergeRecord};
+use crate::telemetry;
 
 /// Minimum matrix size before the nearest-neighbor lookups inside the
 /// chain loop are chunked across worker threads; the per-step scan is
@@ -413,6 +414,12 @@ pub fn linkage_resumable(
     mut ckpt: Option<&mut Checkpointer>,
 ) -> (Dendrogram, RunStatus, u64) {
     let n = dist.n;
+    let _span = crate::span!(
+        "linkage",
+        n = n,
+        method = format!("{method:?}"),
+        resuming = resume.is_some()
+    );
     if n == 0 {
         return (
             Dendrogram {
@@ -485,6 +492,9 @@ pub fn linkage_resumable(
             );
         }
         if chain.is_empty() {
+            if telemetry::metrics_enabled() {
+                telemetry::metrics().linkage_chain_rebuilds.incr();
+            }
             // While merges remain, an active cluster always exists; the
             // fallback index is unreachable and only avoids a panic path.
             let first = active.iter().position(|&a| a).unwrap_or(0);
@@ -558,6 +568,12 @@ pub fn linkage_resumable(
             size: size[y] as usize,
         });
         node_id[y] = new_node;
+        // Fresh merges only: snapshot replay above repeats Lance–Williams
+        // updates, not merge decisions, so a resumed run's merge counter
+        // matches the uninterrupted run's.
+        if telemetry::metrics_enabled() {
+            telemetry::metrics().linkage_merges.incr();
+        }
 
         if let Some(ckpt) = ckpt.as_deref_mut() {
             ckpt.maybe_save(|| snapshot_state(&merges, &chain));

@@ -27,9 +27,10 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::clustering::Clustering;
+use crate::telemetry::{self, Clock};
 
 /// A shareable flag for cooperative cancellation. Clone it, hand the clone
 /// to the running thread's [`RunBudget`], and call [`CancelToken::cancel`]
@@ -81,7 +82,12 @@ pub enum Interrupt {
 impl Interrupt {
     /// The [`RunStatus`] an anytime result should carry after this
     /// interrupt.
+    ///
+    /// This is the single point where a trip is converted into an anytime
+    /// status, so it doubles as the telemetry hook counting interrupts by
+    /// kind (see [`crate::telemetry::Metrics`]).
     pub fn status(self) -> RunStatus {
+        telemetry::count_interrupt(self);
         match self {
             Interrupt::Deadline | Interrupt::IterationCap | Interrupt::MemoryExceeded { .. } => {
                 RunStatus::BudgetExceeded
@@ -177,9 +183,11 @@ impl MemGauge {
 
     /// Record `bytes` against the gauge; the returned [`MemCharge`] releases
     /// them when dropped. This never refuses — cap enforcement is
-    /// [`ResourceBudget::try_reserve`]'s job.
+    /// [`ResourceBudget::try_reserve`]'s job. The post-charge level feeds
+    /// the telemetry high-water gauge.
     pub fn charge(&self, bytes: u64) -> MemCharge {
-        self.used.fetch_add(bytes, Ordering::Relaxed);
+        let before = self.used.fetch_add(bytes, Ordering::Relaxed);
+        telemetry::observe_mem_bytes(before.saturating_add(bytes));
         MemCharge {
             gauge: self.clone(),
             bytes,
@@ -227,11 +235,14 @@ pub type RunBudget = ResourceBudget;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct ResourceBudget {
-    deadline: Option<Instant>,
+    // Absolute deadline in nanoseconds on `clock` (not an `Instant`, so a
+    // mock clock can drive deadline tests without real sleeps).
+    deadline_ns: Option<u64>,
     max_iters: Option<u64>,
     cancel: Option<CancelToken>,
     mem_limit: Option<u64>,
     gauge: MemGauge,
+    clock: Clock,
 }
 
 impl ResourceBudget {
@@ -240,9 +251,24 @@ impl ResourceBudget {
         Self::default()
     }
 
-    /// Stop after `duration` of wall-clock time from now.
+    /// Read time from `clock` instead of the OS monotonic clock. Set this
+    /// **before** [`ResourceBudget::with_deadline`]: the deadline is fixed
+    /// on whichever clock the budget holds when it is computed.
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// The clock this budget measures its deadline on.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Stop after `duration` of wall-clock time from now (as told by the
+    /// budget's [`Clock`]).
     pub fn with_deadline(mut self, duration: Duration) -> Self {
-        self.deadline = Some(Instant::now() + duration);
+        let d = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+        self.deadline_ns = Some(self.clock.now_ns().saturating_add(d));
         self
     }
 
@@ -315,7 +341,7 @@ impl ResourceBudget {
     /// cancel token) is set. The memory cap is excluded: it is enforced at
     /// allocation sites, so metering can stay on the free fast path.
     pub fn no_run_limits(&self) -> bool {
-        self.deadline.is_none() && self.max_iters.is_none() && self.cancel.is_none()
+        self.deadline_ns.is_none() && self.max_iters.is_none() && self.cancel.is_none()
     }
 
     /// Check the deadline and the cancel token (but not the iteration cap,
@@ -327,8 +353,8 @@ impl ResourceBudget {
                 return Err(Interrupt::Cancelled);
             }
         }
-        if let Some(deadline) = self.deadline {
-            if Instant::now() >= deadline {
+        if let Some(deadline_ns) = self.deadline_ns {
+            if self.clock.now_ns() >= deadline_ns {
                 return Err(Interrupt::Deadline);
             }
         }
@@ -418,6 +444,21 @@ mod tests {
     fn expired_deadline_trips_immediately() {
         let budget = RunBudget::unlimited().with_deadline(Duration::ZERO);
         let mut meter = budget.meter();
+        assert_eq!(meter.tick(), Err(Interrupt::Deadline));
+        assert_eq!(budget.poll(), Err(Interrupt::Deadline));
+    }
+
+    #[test]
+    fn mock_clock_drives_the_deadline_without_sleeping() {
+        let clock = Clock::mock();
+        let budget = RunBudget::unlimited()
+            .with_clock(clock.clone())
+            .with_deadline(Duration::from_millis(10));
+        let mut meter = budget.meter();
+        assert!(meter.tick().is_ok());
+        clock.advance(Duration::from_millis(9));
+        assert!(meter.tick().is_ok());
+        clock.advance(Duration::from_millis(1));
         assert_eq!(meter.tick(), Err(Interrupt::Deadline));
         assert_eq!(budget.poll(), Err(Interrupt::Deadline));
     }

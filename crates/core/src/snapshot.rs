@@ -37,7 +37,9 @@
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use crate::telemetry::{self, Clock};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -517,6 +519,11 @@ pub fn decode(bytes: &[u8]) -> Result<Snapshot, String> {
 /// the previous snapshot or the new one, never a torn file.
 pub fn save_snapshot(path: &Path, snapshot: &Snapshot) -> std::io::Result<()> {
     let bytes = encode(snapshot);
+    if telemetry::metrics_enabled() {
+        telemetry::metrics()
+            .checkpoint_bytes_hist
+            .observe(bytes.len() as f64);
+    }
     let tmp: PathBuf = {
         let mut os = path.as_os_str().to_os_string();
         os.push(".tmp");
@@ -545,11 +552,21 @@ pub fn load_snapshot(path: &Path) -> SnapshotLoad {
     let bytes = match std::fs::read(path) {
         Ok(bytes) => bytes,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return SnapshotLoad::Missing,
-        Err(e) => return SnapshotLoad::Corrupt(format!("unreadable: {e}")),
+        Err(e) => {
+            telemetry::metrics()
+                .checkpoint_corruptions
+                .incr_if_enabled();
+            return SnapshotLoad::Corrupt(format!("unreadable: {e}"));
+        }
     };
     match decode(&bytes) {
         Ok(snapshot) => SnapshotLoad::Loaded(snapshot),
-        Err(reason) => SnapshotLoad::Corrupt(reason),
+        Err(reason) => {
+            telemetry::metrics()
+                .checkpoint_corruptions
+                .incr_if_enabled();
+            SnapshotLoad::Corrupt(reason)
+        }
     }
 }
 
@@ -592,16 +609,20 @@ pub fn retry_with_backoff<T, E>(
 ///
 /// Algorithms call [`Checkpointer::maybe_save`] once per unit of work; the
 /// closure building the snapshot is only evaluated when the cadence is due,
-/// so the steady-state cost is one `Instant::now()` per call. Failed writes
+/// so the steady-state cost is one clock read per call. Failed writes
 /// retry with jittered exponential backoff ([`SAVE_ATTEMPTS`] total
 /// attempts) and are then recorded in [`Checkpointer::last_error`] rather
 /// than aborting the run — a checkpointing failure must never take down the
 /// computation it protects.
+///
+/// Cadence runs on a [`telemetry::Clock`], so tests can drive it with a
+/// mock clock instead of real sleeps (see [`Checkpointer::with_clock`]).
 #[derive(Debug)]
 pub struct Checkpointer {
     path: PathBuf,
     every: Duration,
-    last: Instant,
+    clock: Clock,
+    last_ns: u64,
     stage: u32,
     rng: StdRng,
     saves: u64,
@@ -612,15 +633,26 @@ impl Checkpointer {
     /// Checkpoint to `path` no more often than `every`. The first save
     /// becomes due `every` after construction.
     pub fn new(path: impl Into<PathBuf>, every: Duration) -> Self {
+        let clock = Clock::system();
+        let last_ns = clock.now_ns();
         Checkpointer {
             path: path.into(),
             every,
-            last: Instant::now(),
+            clock,
+            last_ns,
             stage: 0,
             rng: StdRng::seed_from_u64(0xc4ec_4b01),
             saves: 0,
             last_error: None,
         }
+    }
+
+    /// Replace the cadence clock (builder style). The cadence restarts at
+    /// the new clock's current reading.
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.last_ns = clock.now_ns();
+        self.clock = clock;
+        self
     }
 
     /// The snapshot file path.
@@ -652,7 +684,8 @@ impl Checkpointer {
     /// Save a checkpoint if the cadence is due. `make` is evaluated only
     /// when a save actually happens. Returns `true` on a successful save.
     pub fn maybe_save(&mut self, make: impl FnOnce() -> AlgorithmSnapshot) -> bool {
-        if self.last.elapsed() < self.every {
+        let elapsed_ns = self.clock.now_ns().saturating_sub(self.last_ns);
+        if elapsed_ns < self.every.as_nanos() as u64 {
             return false;
         }
         self.save_now(make()).is_ok()
@@ -668,18 +701,32 @@ impl Checkpointer {
             state,
         };
         let jitter_seed = self.rng.gen::<u64>();
+        let mut attempts = 0u64;
         let result = retry_with_backoff(SAVE_ATTEMPTS, BACKOFF_BASE, jitter_seed, || {
+            attempts += 1;
             save_snapshot(&self.path, &snapshot)
         });
-        self.last = Instant::now();
+        self.last_ns = self.clock.now_ns();
+        if telemetry::metrics_enabled() {
+            telemetry::metrics()
+                .checkpoint_retries
+                .add(attempts.saturating_sub(1));
+        }
         match result {
             Ok(()) => {
                 self.saves += 1;
                 self.last_error = None;
+                telemetry::metrics().checkpoint_saves.incr_if_enabled();
                 Ok(())
             }
             Err(e) => {
                 self.last_error = Some(e.to_string());
+                telemetry::metrics().checkpoint_failures.incr_if_enabled();
+                crate::warn!(
+                    "checkpoint save failed",
+                    path = self.path.display().to_string(),
+                    error = e.to_string()
+                );
                 Err(e)
             }
         }
@@ -858,6 +905,27 @@ mod tests {
         assert!(eager.maybe_save(|| sample_snapshot().state));
         assert_eq!(eager.saves(), 1);
         assert!(eager.last_error().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mock_clock_drives_the_cadence_without_sleeping() {
+        let dir = std::env::temp_dir().join("aggclust_snapshot_test_mock_clock");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("ckpt.bin");
+        let clock = Clock::mock();
+        let mut ckpt = Checkpointer::new(&path, Duration::from_secs(60)).with_clock(clock.clone());
+        assert!(!ckpt.maybe_save(|| unreachable!("cadence not due")));
+        clock.advance(Duration::from_secs(59));
+        assert!(!ckpt.maybe_save(|| unreachable!("cadence still not due")));
+        clock.advance(Duration::from_secs(1));
+        assert!(ckpt.maybe_save(|| sample_snapshot().state));
+        assert_eq!(ckpt.saves(), 1);
+        // The save restarts the cadence from the mock clock's reading.
+        assert!(!ckpt.maybe_save(|| unreachable!("cadence restarted")));
+        clock.advance(Duration::from_secs(60));
+        assert!(ckpt.maybe_save(|| sample_snapshot().state));
+        assert_eq!(ckpt.saves(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

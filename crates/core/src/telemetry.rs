@@ -1,0 +1,1573 @@
+//! Zero-dependency telemetry: structured spans, leveled events, and a
+//! metrics registry of atomic counters.
+//!
+//! The build is offline, so this module plays the role the `tracing` +
+//! `metrics` crates would normally play, with the same shape:
+//!
+//! * **Spans and events** — [`crate::span!`] opens a named, field-carrying
+//!   span whose guard reports its wall-clock duration when dropped;
+//!   [`crate::event!`] (and the [`crate::info!`] / [`crate::warn!`] /
+//!   [`crate::debug!`] / [`crate::trace!`] shorthands) emit leveled
+//!   one-shot events. Both are recorded by a pluggable [`Collector`]
+//!   installed process-wide with [`install_collector`]. When no collector
+//!   is installed the macros cost one relaxed atomic load and a branch —
+//!   span fields are not even evaluated.
+//! * **Metrics** — a fixed registry ([`Metrics`], reachable through
+//!   [`metrics`]) of atomic counters, max-gauges, float sums, and
+//!   fixed-bucket histograms that the hot paths increment when
+//!   [`set_metrics_enabled`] has been flipped on. Counter totals are
+//!   deterministic: the deterministic kernels perform the same multiset of
+//!   counted operations at any `--threads` setting, and integer atomic
+//!   adds commute, so totals are bit-identical across thread counts.
+//! * **Sinks** — [`StderrSink`] (a leveled human logger, filterable via
+//!   the `AGGCLUST_LOG` environment variable or CLI `--log-level`),
+//!   [`JsonlSink`] (one JSON object per span/event for `--trace-out`),
+//!   and [`TeeCollector`] to fan out to several sinks at once.
+//!   [`MetricsSnapshot::to_json`] renders the registry as the
+//!   machine-readable run report behind `--metrics-out`.
+//! * **Clock** — [`Clock`] is the monotonic time source used by
+//!   [`crate::robust::ResourceBudget`] deadlines and
+//!   [`crate::snapshot::Checkpointer`] cadence; [`Clock::mock`] gives
+//!   tests a manually advanced clock so deadline behavior can be tested
+//!   without real sleeps.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Levels
+// ---------------------------------------------------------------------------
+
+/// Severity of an [`Event`] (and the filter threshold of the sinks),
+/// ordered `Error < Warn < Info < Debug < Trace`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Unrecoverable or surprising failures.
+    Error,
+    /// Degradations and anytime stops the caller should know about.
+    Warn,
+    /// Run milestones (algorithm start/finish, checkpoint saved).
+    Info,
+    /// Per-phase details (pass finished, sample drawn).
+    Debug,
+    /// Per-unit details (span opens); very chatty.
+    Trace,
+}
+
+impl Level {
+    /// Parse a level name (case-insensitive); `None` for unknown names.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            "off" | "none" => None,
+            _ => None,
+        }
+    }
+
+    /// The level requested by the `AGGCLUST_LOG` environment variable, if
+    /// set to a recognized name.
+    pub fn from_env() -> Option<Level> {
+        std::env::var("AGGCLUST_LOG")
+            .ok()
+            .and_then(|s| Level::parse(&s))
+    }
+
+    /// Lower-case display name (`"warn"`, `"info"`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Field values
+// ---------------------------------------------------------------------------
+
+/// A structured field value attached to a span or event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Str(String),
+}
+
+impl Value {
+    /// Render as a JSON value (strings escaped, non-finite floats as
+    /// `null`).
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::U64(x) => x.to_string(),
+            Value::I64(x) => x.to_string(),
+            Value::F64(x) => json_f64(*x),
+            Value::Bool(x) => x.to_string(),
+            Value::Str(s) => json_string(s),
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::U64(x) => write!(f, "{x}"),
+            Value::I64(x) => write!(f, "{x}"),
+            Value::F64(x) => write!(f, "{x}"),
+            Value::Bool(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(x: u64) -> Self {
+        Value::U64(x)
+    }
+}
+impl From<usize> for Value {
+    fn from(x: usize) -> Self {
+        Value::U64(x as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(x: u32) -> Self {
+        Value::U64(u64::from(x))
+    }
+}
+impl From<i64> for Value {
+    fn from(x: i64) -> Self {
+        Value::I64(x)
+    }
+}
+impl From<i32> for Value {
+    fn from(x: i32) -> Self {
+        Value::I64(i64::from(x))
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::F64(x)
+    }
+}
+impl From<bool> for Value {
+    fn from(x: bool) -> Self {
+        Value::Bool(x)
+    }
+}
+impl From<&str> for Value {
+    fn from(x: &str) -> Self {
+        Value::Str(x.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(x: String) -> Self {
+        Value::Str(x)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events and spans
+// ---------------------------------------------------------------------------
+
+/// A one-shot leveled event dispatched to the installed [`Collector`].
+#[derive(Debug)]
+pub struct Event<'a> {
+    /// Severity.
+    pub level: Level,
+    /// Short static message / event name.
+    pub message: &'a str,
+    /// Structured key–value fields.
+    pub fields: &'a [(&'static str, Value)],
+}
+
+/// The data describing an open span: a name, an id unique within the
+/// process, and structured fields captured at entry.
+#[derive(Debug)]
+pub struct SpanData {
+    /// Span name (e.g. `"balls"`, `"consensus"`).
+    pub name: &'static str,
+    /// Process-unique id, for correlating start/end trace records.
+    pub id: u64,
+    /// Fields captured when the span was entered.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+/// Receives spans and events. Implementations must be cheap and
+/// non-blocking-ish: they run inline on the instrumented thread.
+pub trait Collector: Send + Sync {
+    /// `true` if events at `level` should be built and dispatched.
+    fn enabled(&self, level: Level) -> bool;
+    /// A one-shot event.
+    fn event(&self, event: &Event<'_>);
+    /// A span was entered.
+    fn span_start(&self, span: &SpanData);
+    /// A span closed after `elapsed`.
+    fn span_end(&self, span: &SpanData, elapsed: Duration);
+}
+
+static COLLECTOR_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn collector_slot() -> &'static RwLock<Option<Arc<dyn Collector>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<dyn Collector>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Install `collector` as the process-wide sink for spans and events,
+/// replacing any previous one.
+pub fn install_collector(collector: Arc<dyn Collector>) {
+    if let Ok(mut slot) = collector_slot().write() {
+        *slot = Some(collector);
+        COLLECTOR_ACTIVE.store(true, Ordering::Release);
+    }
+}
+
+/// Remove the installed collector; spans and events become free again.
+pub fn clear_collector() {
+    COLLECTOR_ACTIVE.store(false, Ordering::Release);
+    if let Ok(mut slot) = collector_slot().write() {
+        *slot = None;
+    }
+}
+
+/// `true` when a collector is installed — the macros' fast-path gate.
+#[inline]
+pub fn collector_active() -> bool {
+    COLLECTOR_ACTIVE.load(Ordering::Relaxed)
+}
+
+fn with_collector(f: impl FnOnce(&Arc<dyn Collector>)) {
+    if let Ok(slot) = collector_slot().read() {
+        if let Some(collector) = slot.as_ref() {
+            f(collector);
+        }
+    }
+}
+
+/// Dispatch an event to the installed collector (macro plumbing; prefer
+/// [`crate::event!`]).
+pub fn dispatch_event(level: Level, message: &str, fields: &[(&'static str, Value)]) {
+    with_collector(|c| {
+        if c.enabled(level) {
+            c.event(&Event {
+                level,
+                message,
+                fields,
+            });
+        }
+    });
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// RAII guard for an open span; created by [`crate::span!`]. Reports the
+/// span's duration to the collector when dropped. Inert (holds nothing,
+/// does nothing) when no collector was installed at entry.
+#[derive(Debug)]
+pub struct SpanGuard {
+    inner: Option<(SpanData, Instant)>,
+}
+
+impl SpanGuard {
+    /// Enter a span (macro plumbing; prefer [`crate::span!`]). The field
+    /// closure is only evaluated when a collector is installed.
+    pub fn enter(
+        name: &'static str,
+        fields: impl FnOnce() -> Vec<(&'static str, Value)>,
+    ) -> SpanGuard {
+        if !collector_active() {
+            return SpanGuard { inner: None };
+        }
+        let data = SpanData {
+            name,
+            id: NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed),
+            fields: fields(),
+        };
+        with_collector(|c| c.span_start(&data));
+        SpanGuard {
+            inner: Some((data, Instant::now())),
+        }
+    }
+
+    /// The span's process-unique id, or `None` for an inert guard.
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|(d, _)| d.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((data, start)) = self.inner.take() {
+            let elapsed = start.elapsed();
+            with_collector(|c| c.span_end(&data, elapsed));
+        }
+    }
+}
+
+/// Open a structured span: `let _g = span!("balls", n = n);`. The guard
+/// reports the span's duration when dropped; bind it to a named variable
+/// (not `_`) so it lives to the end of the scope.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        $crate::telemetry::SpanGuard::enter($name, || ::std::vec![
+            $((stringify!($key), $crate::telemetry::Value::from($val)),)*
+        ])
+    };
+}
+
+/// Emit a leveled structured event:
+/// `event!(Level::Info, "checkpoint saved", bytes = n);`.
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $msg:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::telemetry::collector_active() {
+            $crate::telemetry::dispatch_event(
+                $level,
+                &$msg,
+                &[$((stringify!($key), $crate::telemetry::Value::from($val)),)*],
+            );
+        }
+    };
+}
+
+/// [`crate::event!`] at [`Level::Error`].
+#[macro_export]
+macro_rules! error_event {
+    ($($tt:tt)*) => { $crate::event!($crate::telemetry::Level::Error, $($tt)*) };
+}
+
+/// [`crate::event!`] at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($tt:tt)*) => { $crate::event!($crate::telemetry::Level::Warn, $($tt)*) };
+}
+
+/// [`crate::event!`] at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($tt:tt)*) => { $crate::event!($crate::telemetry::Level::Info, $($tt)*) };
+}
+
+/// [`crate::event!`] at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($tt:tt)*) => { $crate::event!($crate::telemetry::Level::Debug, $($tt)*) };
+}
+
+/// [`crate::event!`] at [`Level::Trace`].
+#[macro_export]
+macro_rules! trace {
+    ($($tt:tt)*) => { $crate::event!($crate::telemetry::Level::Trace, $($tt)*) };
+}
+
+// ---------------------------------------------------------------------------
+// Clock
+// ---------------------------------------------------------------------------
+
+/// Nanoseconds since the process-wide monotonic epoch (first use).
+fn system_now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A monotonic time source. The default ([`Clock::system`]) reads the OS
+/// monotonic clock; [`Clock::mock`] returns a clock that only moves when
+/// [`Clock::advance`] is called, so deadline and cadence tests need no
+/// real sleeps. Clones of a mock clock share the same time.
+#[derive(Clone, Debug, Default)]
+pub struct Clock {
+    mock: Option<Arc<AtomicU64>>,
+}
+
+impl Clock {
+    /// The OS monotonic clock.
+    pub fn system() -> Clock {
+        Clock { mock: None }
+    }
+
+    /// A manually driven clock starting at 0 ns.
+    pub fn mock() -> Clock {
+        Clock {
+            mock: Some(Arc::new(AtomicU64::new(0))),
+        }
+    }
+
+    /// Nanoseconds since this clock's epoch.
+    pub fn now_ns(&self) -> u64 {
+        match &self.mock {
+            Some(t) => t.load(Ordering::Relaxed),
+            None => system_now_ns(),
+        }
+    }
+
+    /// Advance a [`Clock::mock`] clock by `d`. No effect on the system
+    /// clock (real time cannot be steered).
+    pub fn advance(&self, d: Duration) {
+        if let Some(t) = &self.mock {
+            let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+            t.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// `true` for a [`Clock::mock`] clock.
+    pub fn is_mock(&self) -> bool {
+        self.mock.is_some()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1 to the counter.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`, but only when metrics collection is enabled. The disabled
+    /// path is a relaxed load and an untaken branch — cheap enough for hot
+    /// loops.
+    #[inline]
+    pub fn add_if_enabled(&self, n: u64) {
+        if metrics_enabled() {
+            self.add(n);
+        }
+    }
+
+    /// Add 1, but only when metrics collection is enabled.
+    #[inline]
+    pub fn incr_if_enabled(&self) {
+        self.add_if_enabled(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge that keeps the maximum value it has ever been offered
+/// (high-water marks).
+#[derive(Debug)]
+pub struct MaxGauge(AtomicU64);
+
+impl MaxGauge {
+    const fn new() -> MaxGauge {
+        MaxGauge(AtomicU64::new(0))
+    }
+
+    /// Raise the gauge to `v` if `v` exceeds the current maximum.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current maximum.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An exact `f64` accumulator stored as bits in an atomic (CAS loop). The
+/// instrumented sites only add from one thread at a time, so the sum's
+/// rounding order — and therefore its bits — is deterministic.
+#[derive(Debug)]
+pub struct FloatSum(AtomicU64);
+
+impl FloatSum {
+    const fn new() -> FloatSum {
+        FloatSum(AtomicU64::new(0)) // 0u64 is the bit pattern of 0.0f64
+    }
+
+    /// Add `x` to the sum.
+    pub fn add(&self, x: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + x).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current sum.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of buckets in a [`Histogram`] (one per bound, plus overflow).
+pub const HISTOGRAM_BUCKETS: usize = 9;
+
+/// A fixed-bucket histogram: bucket `i` counts observations
+/// `<= bounds[i]`; the last bucket counts everything larger.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: [f64; HISTOGRAM_BUCKETS - 1],
+    counts: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    const fn new(bounds: [f64; HISTOGRAM_BUCKETS - 1]) -> Histogram {
+        Histogram {
+            bounds,
+            counts: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, x: f64) {
+        let i = self
+            .bounds
+            .iter()
+            .position(|&b| x <= b)
+            .unwrap_or(HISTOGRAM_BUCKETS - 1);
+        self.counts[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The upper bucket bounds (the last bucket is unbounded).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Current per-bucket counts.
+    pub fn counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (o, c) in out.iter_mut().zip(&self.counts) {
+            *o = c.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// The process-wide metrics registry: every instrumented quantity in the
+/// crate, by name. Increments are gated on [`metrics_enabled`] at the
+/// instrumentation sites, so the registry is free (one relaxed load and a
+/// branch per site) until a caller opts in.
+#[derive(Debug)]
+pub struct Metrics {
+    /// `O(1)` lookups served by a dense (precomputed) distance oracle.
+    pub oracle_dense_evals: Counter,
+    /// `O(m)` on-the-fly recomputations by the lazy clusterings oracle.
+    pub oracle_lazy_evals: Counter,
+    /// LOCALSEARCH full passes over the node set.
+    pub ls_passes: Counter,
+    /// LOCALSEARCH node visits (one move evaluation each).
+    pub ls_nodes_visited: Counter,
+    /// LOCALSEARCH accepted moves (node changed cluster).
+    pub ls_moves: Counter,
+    /// Total cost improvement accumulated by accepted LOCALSEARCH moves.
+    pub ls_improvement: FloatSum,
+    /// Per-move improvement distribution (power-of-ten buckets).
+    pub ls_delta_hist: Histogram,
+    /// Agglomerative (NN-chain) merges performed.
+    pub linkage_merges: Counter,
+    /// Times the NN-chain went empty and had to be re-seeded.
+    pub linkage_chain_rebuilds: Counter,
+    /// BALLS balls carved off (multi-node clusters formed).
+    pub balls_formed: Counter,
+    /// FURTHEST centers placed across all rounds.
+    pub furthest_centers: Counter,
+    /// PIVOT pivots drawn.
+    pub pivot_rounds: Counter,
+    /// Branch-and-bound nodes expanded by the exact solver.
+    pub exact_nodes: Counter,
+    /// SAMPLING meta-runs started.
+    pub sampling_runs: Counter,
+    /// Objects drawn into SAMPLING's random sample.
+    pub sampling_sampled: Counter,
+    /// Objects placed by SAMPLING's per-node assignment phase.
+    pub sampling_assigned: Counter,
+    /// Leftover singletons re-clustered in SAMPLING's final phase.
+    pub sampling_reclustered: Counter,
+    /// Snapshot files written successfully.
+    pub checkpoint_saves: Counter,
+    /// Snapshot write attempts retried after an I/O failure.
+    pub checkpoint_retries: Counter,
+    /// Snapshot writes abandoned after exhausting retries.
+    pub checkpoint_failures: Counter,
+    /// Corrupt/unreadable snapshots detected at load time (run restarted
+    /// fresh).
+    pub checkpoint_corruptions: Counter,
+    /// Encoded snapshot sizes in bytes (power-of-ten buckets).
+    pub checkpoint_bytes_hist: Histogram,
+    /// Anytime stops caused by the wall-clock deadline.
+    pub interrupts_deadline: Counter,
+    /// Anytime stops caused by the iteration cap.
+    pub interrupts_iteration_cap: Counter,
+    /// Anytime stops caused by cooperative cancellation.
+    pub interrupts_cancelled: Counter,
+    /// Refused allocations (memory ceiling would have been exceeded).
+    pub interrupts_memory: Counter,
+    /// High-water mark of tracked [`crate::robust::MemGauge`] bytes.
+    pub mem_high_water_bytes: MaxGauge,
+}
+
+const POW10_BOUNDS: [f64; HISTOGRAM_BUCKETS - 1] = [1e-6, 1e-4, 1e-2, 1.0, 1e2, 1e4, 1e6, 1e8];
+
+static METRICS: Metrics = Metrics {
+    oracle_dense_evals: Counter::new(),
+    oracle_lazy_evals: Counter::new(),
+    ls_passes: Counter::new(),
+    ls_nodes_visited: Counter::new(),
+    ls_moves: Counter::new(),
+    ls_improvement: FloatSum::new(),
+    ls_delta_hist: Histogram::new(POW10_BOUNDS),
+    linkage_merges: Counter::new(),
+    linkage_chain_rebuilds: Counter::new(),
+    balls_formed: Counter::new(),
+    furthest_centers: Counter::new(),
+    pivot_rounds: Counter::new(),
+    exact_nodes: Counter::new(),
+    sampling_runs: Counter::new(),
+    sampling_sampled: Counter::new(),
+    sampling_assigned: Counter::new(),
+    sampling_reclustered: Counter::new(),
+    checkpoint_saves: Counter::new(),
+    checkpoint_retries: Counter::new(),
+    checkpoint_failures: Counter::new(),
+    checkpoint_corruptions: Counter::new(),
+    checkpoint_bytes_hist: Histogram::new(POW10_BOUNDS),
+    interrupts_deadline: Counter::new(),
+    interrupts_iteration_cap: Counter::new(),
+    interrupts_cancelled: Counter::new(),
+    interrupts_memory: Counter::new(),
+    mem_high_water_bytes: MaxGauge::new(),
+};
+
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The process-wide [`Metrics`] registry.
+pub fn metrics() -> &'static Metrics {
+    &METRICS
+}
+
+/// Turn metric recording on or off. Off (the default) leaves every
+/// instrumentation site as a relaxed load plus an untaken branch.
+pub fn set_metrics_enabled(enabled: bool) {
+    METRICS_ENABLED.store(enabled, Ordering::Release);
+}
+
+/// `true` when instrumentation sites should record.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    METRICS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// A point-in-time copy of every metric, for delta computation and JSON
+/// reports.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// See [`Metrics::oracle_dense_evals`].
+    pub oracle_dense_evals: u64,
+    /// See [`Metrics::oracle_lazy_evals`].
+    pub oracle_lazy_evals: u64,
+    /// See [`Metrics::ls_passes`].
+    pub ls_passes: u64,
+    /// See [`Metrics::ls_nodes_visited`].
+    pub ls_nodes_visited: u64,
+    /// See [`Metrics::ls_moves`].
+    pub ls_moves: u64,
+    /// See [`Metrics::ls_improvement`].
+    pub ls_improvement: f64,
+    /// See [`Metrics::ls_delta_hist`].
+    pub ls_delta_hist: [u64; HISTOGRAM_BUCKETS],
+    /// See [`Metrics::linkage_merges`].
+    pub linkage_merges: u64,
+    /// See [`Metrics::linkage_chain_rebuilds`].
+    pub linkage_chain_rebuilds: u64,
+    /// See [`Metrics::balls_formed`].
+    pub balls_formed: u64,
+    /// See [`Metrics::furthest_centers`].
+    pub furthest_centers: u64,
+    /// See [`Metrics::pivot_rounds`].
+    pub pivot_rounds: u64,
+    /// See [`Metrics::exact_nodes`].
+    pub exact_nodes: u64,
+    /// See [`Metrics::sampling_runs`].
+    pub sampling_runs: u64,
+    /// See [`Metrics::sampling_sampled`].
+    pub sampling_sampled: u64,
+    /// See [`Metrics::sampling_assigned`].
+    pub sampling_assigned: u64,
+    /// See [`Metrics::sampling_reclustered`].
+    pub sampling_reclustered: u64,
+    /// See [`Metrics::checkpoint_saves`].
+    pub checkpoint_saves: u64,
+    /// See [`Metrics::checkpoint_retries`].
+    pub checkpoint_retries: u64,
+    /// See [`Metrics::checkpoint_failures`].
+    pub checkpoint_failures: u64,
+    /// See [`Metrics::checkpoint_corruptions`].
+    pub checkpoint_corruptions: u64,
+    /// See [`Metrics::checkpoint_bytes_hist`].
+    pub checkpoint_bytes_hist: [u64; HISTOGRAM_BUCKETS],
+    /// See [`Metrics::interrupts_deadline`].
+    pub interrupts_deadline: u64,
+    /// See [`Metrics::interrupts_iteration_cap`].
+    pub interrupts_iteration_cap: u64,
+    /// See [`Metrics::interrupts_cancelled`].
+    pub interrupts_cancelled: u64,
+    /// See [`Metrics::interrupts_memory`].
+    pub interrupts_memory: u64,
+    /// See [`Metrics::mem_high_water_bytes`].
+    pub mem_high_water_bytes: u64,
+}
+
+impl MetricsSnapshot {
+    /// Snapshot the process-wide registry right now.
+    pub fn capture() -> MetricsSnapshot {
+        let m = metrics();
+        MetricsSnapshot {
+            oracle_dense_evals: m.oracle_dense_evals.get(),
+            oracle_lazy_evals: m.oracle_lazy_evals.get(),
+            ls_passes: m.ls_passes.get(),
+            ls_nodes_visited: m.ls_nodes_visited.get(),
+            ls_moves: m.ls_moves.get(),
+            ls_improvement: m.ls_improvement.get(),
+            ls_delta_hist: m.ls_delta_hist.counts(),
+            linkage_merges: m.linkage_merges.get(),
+            linkage_chain_rebuilds: m.linkage_chain_rebuilds.get(),
+            balls_formed: m.balls_formed.get(),
+            furthest_centers: m.furthest_centers.get(),
+            pivot_rounds: m.pivot_rounds.get(),
+            exact_nodes: m.exact_nodes.get(),
+            sampling_runs: m.sampling_runs.get(),
+            sampling_sampled: m.sampling_sampled.get(),
+            sampling_assigned: m.sampling_assigned.get(),
+            sampling_reclustered: m.sampling_reclustered.get(),
+            checkpoint_saves: m.checkpoint_saves.get(),
+            checkpoint_retries: m.checkpoint_retries.get(),
+            checkpoint_failures: m.checkpoint_failures.get(),
+            checkpoint_corruptions: m.checkpoint_corruptions.get(),
+            checkpoint_bytes_hist: m.checkpoint_bytes_hist.counts(),
+            interrupts_deadline: m.interrupts_deadline.get(),
+            interrupts_iteration_cap: m.interrupts_iteration_cap.get(),
+            interrupts_cancelled: m.interrupts_cancelled.get(),
+            interrupts_memory: m.interrupts_memory.get(),
+            mem_high_water_bytes: m.mem_high_water_bytes.get(),
+        }
+    }
+
+    /// Counter-wise difference `self − earlier` (saturating), isolating
+    /// the work done between two snapshots. Gauges keep `self`'s value;
+    /// the float sum subtracts exactly.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        fn hist_diff(
+            a: &[u64; HISTOGRAM_BUCKETS],
+            b: &[u64; HISTOGRAM_BUCKETS],
+        ) -> [u64; HISTOGRAM_BUCKETS] {
+            let mut out = [0u64; HISTOGRAM_BUCKETS];
+            for i in 0..HISTOGRAM_BUCKETS {
+                out[i] = a[i].saturating_sub(b[i]);
+            }
+            out
+        }
+        MetricsSnapshot {
+            oracle_dense_evals: self
+                .oracle_dense_evals
+                .saturating_sub(earlier.oracle_dense_evals),
+            oracle_lazy_evals: self
+                .oracle_lazy_evals
+                .saturating_sub(earlier.oracle_lazy_evals),
+            ls_passes: self.ls_passes.saturating_sub(earlier.ls_passes),
+            ls_nodes_visited: self
+                .ls_nodes_visited
+                .saturating_sub(earlier.ls_nodes_visited),
+            ls_moves: self.ls_moves.saturating_sub(earlier.ls_moves),
+            ls_improvement: self.ls_improvement - earlier.ls_improvement,
+            ls_delta_hist: hist_diff(&self.ls_delta_hist, &earlier.ls_delta_hist),
+            linkage_merges: self.linkage_merges.saturating_sub(earlier.linkage_merges),
+            linkage_chain_rebuilds: self
+                .linkage_chain_rebuilds
+                .saturating_sub(earlier.linkage_chain_rebuilds),
+            balls_formed: self.balls_formed.saturating_sub(earlier.balls_formed),
+            furthest_centers: self
+                .furthest_centers
+                .saturating_sub(earlier.furthest_centers),
+            pivot_rounds: self.pivot_rounds.saturating_sub(earlier.pivot_rounds),
+            exact_nodes: self.exact_nodes.saturating_sub(earlier.exact_nodes),
+            sampling_runs: self.sampling_runs.saturating_sub(earlier.sampling_runs),
+            sampling_sampled: self
+                .sampling_sampled
+                .saturating_sub(earlier.sampling_sampled),
+            sampling_assigned: self
+                .sampling_assigned
+                .saturating_sub(earlier.sampling_assigned),
+            sampling_reclustered: self
+                .sampling_reclustered
+                .saturating_sub(earlier.sampling_reclustered),
+            checkpoint_saves: self
+                .checkpoint_saves
+                .saturating_sub(earlier.checkpoint_saves),
+            checkpoint_retries: self
+                .checkpoint_retries
+                .saturating_sub(earlier.checkpoint_retries),
+            checkpoint_failures: self
+                .checkpoint_failures
+                .saturating_sub(earlier.checkpoint_failures),
+            checkpoint_corruptions: self
+                .checkpoint_corruptions
+                .saturating_sub(earlier.checkpoint_corruptions),
+            checkpoint_bytes_hist: hist_diff(
+                &self.checkpoint_bytes_hist,
+                &earlier.checkpoint_bytes_hist,
+            ),
+            interrupts_deadline: self
+                .interrupts_deadline
+                .saturating_sub(earlier.interrupts_deadline),
+            interrupts_iteration_cap: self
+                .interrupts_iteration_cap
+                .saturating_sub(earlier.interrupts_iteration_cap),
+            interrupts_cancelled: self
+                .interrupts_cancelled
+                .saturating_sub(earlier.interrupts_cancelled),
+            interrupts_memory: self
+                .interrupts_memory
+                .saturating_sub(earlier.interrupts_memory),
+            mem_high_water_bytes: self.mem_high_water_bytes,
+        }
+    }
+
+    /// Total distance-oracle evaluations (dense + lazy).
+    pub fn oracle_evals_total(&self) -> u64 {
+        self.oracle_dense_evals + self.oracle_lazy_evals
+    }
+
+    /// Render as a stable JSON object (the `"counters"` payload of the
+    /// `--metrics-out` run report).
+    pub fn to_json(&self) -> String {
+        fn hist(h: &[u64; HISTOGRAM_BUCKETS]) -> String {
+            let items: Vec<String> = h.iter().map(|c| c.to_string()).collect();
+            format!("[{}]", items.join(","))
+        }
+        let mut s = String::with_capacity(1024);
+        s.push('{');
+        let mut push = |key: &str, val: String, last: bool| {
+            s.push_str(&json_string(key));
+            s.push(':');
+            s.push_str(&val);
+            if !last {
+                s.push(',');
+            }
+        };
+        push(
+            "oracle_dense_evals",
+            self.oracle_dense_evals.to_string(),
+            false,
+        );
+        push(
+            "oracle_lazy_evals",
+            self.oracle_lazy_evals.to_string(),
+            false,
+        );
+        push(
+            "oracle_evals_total",
+            self.oracle_evals_total().to_string(),
+            false,
+        );
+        push("ls_passes", self.ls_passes.to_string(), false);
+        push("ls_nodes_visited", self.ls_nodes_visited.to_string(), false);
+        push("ls_moves", self.ls_moves.to_string(), false);
+        push("ls_improvement", json_f64(self.ls_improvement), false);
+        push("ls_delta_hist", hist(&self.ls_delta_hist), false);
+        push("linkage_merges", self.linkage_merges.to_string(), false);
+        push(
+            "linkage_chain_rebuilds",
+            self.linkage_chain_rebuilds.to_string(),
+            false,
+        );
+        push("balls_formed", self.balls_formed.to_string(), false);
+        push("furthest_centers", self.furthest_centers.to_string(), false);
+        push("pivot_rounds", self.pivot_rounds.to_string(), false);
+        push("exact_nodes", self.exact_nodes.to_string(), false);
+        push("sampling_runs", self.sampling_runs.to_string(), false);
+        push("sampling_sampled", self.sampling_sampled.to_string(), false);
+        push(
+            "sampling_assigned",
+            self.sampling_assigned.to_string(),
+            false,
+        );
+        push(
+            "sampling_reclustered",
+            self.sampling_reclustered.to_string(),
+            false,
+        );
+        push("checkpoint_saves", self.checkpoint_saves.to_string(), false);
+        push(
+            "checkpoint_retries",
+            self.checkpoint_retries.to_string(),
+            false,
+        );
+        push(
+            "checkpoint_failures",
+            self.checkpoint_failures.to_string(),
+            false,
+        );
+        push(
+            "checkpoint_corruptions",
+            self.checkpoint_corruptions.to_string(),
+            false,
+        );
+        push(
+            "checkpoint_bytes_hist",
+            hist(&self.checkpoint_bytes_hist),
+            false,
+        );
+        push(
+            "interrupts_deadline",
+            self.interrupts_deadline.to_string(),
+            false,
+        );
+        push(
+            "interrupts_iteration_cap",
+            self.interrupts_iteration_cap.to_string(),
+            false,
+        );
+        push(
+            "interrupts_cancelled",
+            self.interrupts_cancelled.to_string(),
+            false,
+        );
+        push(
+            "interrupts_memory",
+            self.interrupts_memory.to_string(),
+            false,
+        );
+        push(
+            "mem_high_water_bytes",
+            self.mem_high_water_bytes.to_string(),
+            true,
+        );
+        s.push('}');
+        s
+    }
+}
+
+// Gated instrumentation helpers for the hot paths. Each is a relaxed load
+// and an untaken branch when metrics are off.
+
+/// Count `n` dense-oracle lookups.
+#[inline]
+pub fn count_dense_evals(n: u64) {
+    if metrics_enabled() {
+        METRICS.oracle_dense_evals.add(n);
+    }
+}
+
+/// Count `n` lazy-oracle recomputations.
+#[inline]
+pub fn count_lazy_evals(n: u64) {
+    if metrics_enabled() {
+        METRICS.oracle_lazy_evals.add(n);
+    }
+}
+
+/// Record a tracked-memory level for the high-water gauge.
+#[inline]
+pub fn observe_mem_bytes(bytes: u64) {
+    if metrics_enabled() {
+        METRICS.mem_high_water_bytes.observe(bytes);
+    }
+}
+
+/// Count an anytime stop by interrupt kind (called once per handled
+/// interrupt, where the trip is converted into a run status).
+pub fn count_interrupt(interrupt: crate::robust::Interrupt) {
+    if !metrics_enabled() {
+        return;
+    }
+    use crate::robust::Interrupt;
+    match interrupt {
+        Interrupt::Deadline => METRICS.interrupts_deadline.incr(),
+        Interrupt::IterationCap => METRICS.interrupts_iteration_cap.incr(),
+        Interrupt::Cancelled => METRICS.interrupts_cancelled.incr(),
+        Interrupt::MemoryExceeded { .. } => METRICS.interrupts_memory.incr(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON helpers (zero-dependency encoding)
+// ---------------------------------------------------------------------------
+
+/// Escape and quote `s` as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render an `f64` as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        // Ensure the token parses back as a number even for integral
+        // values (a bare `5` is fine JSON; keep it simple).
+        let s = format!("{x}");
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn fields_json(fields: &[(&'static str, Value)]) -> String {
+    let mut s = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&json_string(k));
+        s.push(':');
+        s.push_str(&v.to_json());
+    }
+    s.push('}');
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// A leveled human logger writing one line per event to stderr. Span
+/// closes are logged at [`Level::Debug`], span opens at [`Level::Trace`].
+///
+/// Line format follows CLI conventions so routing a message through the
+/// logger is byte-identical to the `eprintln!` it replaces: errors are
+/// prefixed `error: `, warnings `warning: `, info lines are bare.
+/// Structured fields are appended only when the sink's threshold is
+/// [`Level::Debug`] or chattier — the machine-readable home for fields is
+/// [`JsonlSink`], not the human log.
+#[derive(Debug)]
+pub struct StderrSink {
+    min: Level,
+}
+
+impl StderrSink {
+    /// Log events at `min` and below (toward [`Level::Error`]).
+    pub fn new(min: Level) -> StderrSink {
+        StderrSink { min }
+    }
+
+    fn fields_suffix(&self, fields: &[(&'static str, Value)]) -> String {
+        if self.min >= Level::Debug {
+            fields_human(fields)
+        } else {
+            String::new()
+        }
+    }
+}
+
+fn fields_human(fields: &[(&'static str, Value)]) -> String {
+    if fields.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!(" [{}]", parts.join(" "))
+}
+
+impl Collector for StderrSink {
+    fn enabled(&self, level: Level) -> bool {
+        level <= self.min
+    }
+
+    fn event(&self, event: &Event<'_>) {
+        let prefix = match event.level {
+            Level::Error => "error: ",
+            Level::Warn => "warning: ",
+            Level::Info => "",
+            Level::Debug => "[debug] ",
+            Level::Trace => "[trace] ",
+        };
+        // The stderr sink IS the error-reporting path for telemetry.
+        eprintln!(
+            "{prefix}{}{}",
+            event.message,
+            self.fields_suffix(event.fields)
+        ); // lint:allow-eprintln
+    }
+
+    fn span_start(&self, span: &SpanData) {
+        if self.enabled(Level::Trace) {
+            eprintln!(
+                "[trace] span {} opened{}",
+                span.name,
+                fields_human(&span.fields)
+            ); // lint:allow-eprintln
+        }
+    }
+
+    fn span_end(&self, span: &SpanData, elapsed: Duration) {
+        if self.enabled(Level::Debug) {
+            eprintln!(
+                "[debug] span {} closed in {:.3} ms{}",
+                span.name,
+                elapsed.as_secs_f64() * 1e3,
+                fields_human(&span.fields)
+            ); // lint:allow-eprintln
+        }
+    }
+}
+
+/// A machine-readable trace sink: one JSON object per line (JSONL), one
+/// line per event / span start / span end.
+///
+/// Record shapes:
+///
+/// ```json
+/// {"type":"event","ts_ns":123,"level":"info","message":"...","fields":{...}}
+/// {"type":"span_start","ts_ns":123,"span":"balls","id":7,"fields":{...}}
+/// {"type":"span_end","ts_ns":456,"span":"balls","id":7,"elapsed_ns":333,"fields":{...}}
+/// ```
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    clock: Clock,
+    max: Level,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").field("max", &self.max).finish()
+    }
+}
+
+impl JsonlSink {
+    /// Trace into any writer, recording events at `max` and below.
+    pub fn new(out: Box<dyn Write + Send>, max: Level) -> JsonlSink {
+        JsonlSink {
+            out: Mutex::new(out),
+            clock: Clock::system(),
+            max,
+        }
+    }
+
+    /// Trace into a freshly created (truncated) file.
+    pub fn to_file(path: &std::path::Path, max: Level) -> std::io::Result<JsonlSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::new(Box::new(std::io::BufWriter::new(file)), max))
+    }
+
+    fn write_line(&self, line: String) {
+        if let Ok(mut out) = self.out.lock() {
+            // A full disk should not take the algorithm down with it.
+            let _ = writeln!(out, "{line}");
+            let _ = out.flush();
+        }
+    }
+}
+
+impl Collector for JsonlSink {
+    fn enabled(&self, level: Level) -> bool {
+        level <= self.max
+    }
+
+    fn event(&self, event: &Event<'_>) {
+        self.write_line(format!(
+            "{{\"type\":\"event\",\"ts_ns\":{},\"level\":{},\"message\":{},\"fields\":{}}}",
+            self.clock.now_ns(),
+            json_string(event.level.as_str()),
+            json_string(event.message),
+            fields_json(event.fields),
+        ));
+    }
+
+    fn span_start(&self, span: &SpanData) {
+        self.write_line(format!(
+            "{{\"type\":\"span_start\",\"ts_ns\":{},\"span\":{},\"id\":{},\"fields\":{}}}",
+            self.clock.now_ns(),
+            json_string(span.name),
+            span.id,
+            fields_json(&span.fields),
+        ));
+    }
+
+    fn span_end(&self, span: &SpanData, elapsed: Duration) {
+        self.write_line(format!(
+            "{{\"type\":\"span_end\",\"ts_ns\":{},\"span\":{},\"id\":{},\"elapsed_ns\":{},\"fields\":{}}}",
+            self.clock.now_ns(),
+            json_string(span.name),
+            span.id,
+            u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            fields_json(&span.fields),
+        ));
+    }
+}
+
+/// Fans spans and events out to several collectors.
+#[derive(Default)]
+pub struct TeeCollector {
+    sinks: Vec<Arc<dyn Collector>>,
+}
+
+impl std::fmt::Debug for TeeCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TeeCollector")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl TeeCollector {
+    /// An empty tee (drops everything until sinks are added).
+    pub fn new() -> TeeCollector {
+        TeeCollector::default()
+    }
+
+    /// Add a sink.
+    pub fn push(&mut self, sink: Arc<dyn Collector>) {
+        self.sinks.push(sink);
+    }
+
+    /// `true` when no sinks are attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl Collector for TeeCollector {
+    fn enabled(&self, level: Level) -> bool {
+        self.sinks.iter().any(|s| s.enabled(level))
+    }
+
+    fn event(&self, event: &Event<'_>) {
+        for s in &self.sinks {
+            if s.enabled(event.level) {
+                s.event(event);
+            }
+        }
+    }
+
+    fn span_start(&self, span: &SpanData) {
+        for s in &self.sinks {
+            s.span_start(span);
+        }
+    }
+
+    fn span_end(&self, span: &SpanData, elapsed: Duration) {
+        for s in &self.sinks {
+            s.span_end(span, elapsed);
+        }
+    }
+}
+
+/// A collector that records everything into memory — the test double.
+#[derive(Debug, Default)]
+pub struct MemoryCollector {
+    records: Mutex<Vec<String>>,
+}
+
+impl MemoryCollector {
+    /// A fresh, empty collector.
+    pub fn new() -> MemoryCollector {
+        MemoryCollector::default()
+    }
+
+    /// Every record captured so far, formatted as
+    /// `event <level> <message>` / `span_start <name>` /
+    /// `span_end <name>`.
+    pub fn records(&self) -> Vec<String> {
+        self.records.lock().map(|r| r.clone()).unwrap_or_default()
+    }
+
+    fn push(&self, s: String) {
+        if let Ok(mut r) = self.records.lock() {
+            r.push(s);
+        }
+    }
+}
+
+impl Collector for MemoryCollector {
+    fn enabled(&self, _level: Level) -> bool {
+        true
+    }
+
+    fn event(&self, event: &Event<'_>) {
+        self.push(format!(
+            "event {} {}{}",
+            event.level,
+            event.message,
+            fields_human(event.fields)
+        ));
+    }
+
+    fn span_start(&self, span: &SpanData) {
+        self.push(format!(
+            "span_start {}{}",
+            span.name,
+            fields_human(&span.fields)
+        ));
+    }
+
+    fn span_end(&self, span: &SpanData, _elapsed: Duration) {
+        self.push(format!(
+            "span_end {}{}",
+            span.name,
+            fields_human(&span.fields)
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes the tests that flip the process-global collector or
+    /// metrics switch; the rest of the suite runs in parallel threads.
+    fn global_state_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn level_parsing_and_order() {
+        assert_eq!(Level::parse("INFO"), Some(Level::Info));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("bogus"), None);
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Debug < Level::Trace);
+        assert_eq!(Level::Trace.to_string(), "trace");
+    }
+
+    #[test]
+    fn clock_mock_advances_and_shares_time() {
+        let clock = Clock::mock();
+        assert!(clock.is_mock());
+        assert_eq!(clock.now_ns(), 0);
+        let twin = clock.clone();
+        clock.advance(Duration::from_millis(5));
+        assert_eq!(twin.now_ns(), 5_000_000);
+        // Advancing the system clock is a documented no-op.
+        let sys = Clock::system();
+        assert!(!sys.is_mock());
+        let a = sys.now_ns();
+        sys.advance(Duration::from_secs(3600));
+        assert!(sys.now_ns() < a + 1_000_000_000);
+    }
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let clock = Clock::system();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn float_sum_accumulates() {
+        let s = FloatSum::new();
+        s.add(1.5);
+        s.add(2.25);
+        assert_eq!(s.get(), 3.75);
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let h = Histogram::new(POW10_BOUNDS);
+        h.observe(0.0); // <= 1e-6
+        h.observe(0.5); // <= 1.0
+        h.observe(1e12); // overflow bucket
+        let counts = h.counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[3], 1);
+        assert_eq!(counts[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(counts.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_deltas() {
+        let _guard = global_state_lock();
+        let before = MetricsSnapshot::capture();
+        set_metrics_enabled(true);
+        metrics().oracle_dense_evals.add(7);
+        metrics().ls_moves.incr();
+        set_metrics_enabled(false);
+        let after = MetricsSnapshot::capture();
+        let delta = after.diff(&before);
+        assert!(delta.oracle_dense_evals >= 7);
+        assert!(delta.ls_moves >= 1);
+    }
+
+    #[test]
+    fn snapshot_json_is_parseable_shape() {
+        let snap = MetricsSnapshot::capture();
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"oracle_dense_evals\":"));
+        assert!(json.contains("\"mem_high_water_bytes\":"));
+        assert!(json.contains("\"ls_delta_hist\":["));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(5.0), "5.0");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn memory_collector_captures_spans_and_events() {
+        let _guard = global_state_lock();
+        let collector = Arc::new(MemoryCollector::new());
+        install_collector(collector.clone());
+        {
+            let _g = crate::span!("test_span", n = 3usize);
+            crate::info!("hello", k = 1u64);
+        }
+        clear_collector();
+        let records = collector.records();
+        assert!(records.iter().any(|r| r == "span_start test_span [n=3]"));
+        assert!(records.iter().any(|r| r == "event info hello [k=1]"));
+        assert!(records.iter().any(|r| r == "span_end test_span [n=3]"));
+        // After clearing, macros are inert.
+        crate::info!("dropped");
+        assert_eq!(collector.records().len(), records.len());
+    }
+
+    #[test]
+    fn span_fields_not_evaluated_without_collector() {
+        let _guard = global_state_lock();
+        // No collector is installed while the lock is held: the field
+        // expression must not run.
+        let evaluated = std::cell::Cell::new(false);
+        {
+            let _g = SpanGuard::enter("free", || {
+                evaluated.set(true);
+                vec![]
+            });
+        }
+        assert!(!evaluated.get());
+    }
+
+    #[test]
+    fn jsonl_sink_emits_valid_lines() {
+        use std::sync::Arc as StdArc;
+        #[derive(Clone, Default)]
+        struct Shared(StdArc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Shared::default();
+        let sink = JsonlSink::new(Box::new(buf.clone()), Level::Trace);
+        sink.event(&Event {
+            level: Level::Info,
+            message: "m\"sg",
+            fields: &[("k", Value::F64(0.5))],
+        });
+        let span = SpanData {
+            name: "s",
+            id: 42,
+            fields: vec![("n", Value::U64(9))],
+        };
+        sink.span_start(&span);
+        sink.span_end(&span, Duration::from_nanos(77));
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"type\":\"event\""));
+        assert!(lines[0].contains("\"message\":\"m\\\"sg\""));
+        assert!(lines[0].contains("\"k\":0.5"));
+        assert!(lines[1].contains("\"type\":\"span_start\""));
+        assert!(lines[1].contains("\"id\":42"));
+        assert!(lines[2].contains("\"elapsed_ns\":77"));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn interrupt_counting_by_kind() {
+        use crate::robust::Interrupt;
+        let _guard = global_state_lock();
+        let before = MetricsSnapshot::capture();
+        set_metrics_enabled(true);
+        count_interrupt(Interrupt::Deadline);
+        count_interrupt(Interrupt::Cancelled);
+        count_interrupt(Interrupt::MemoryExceeded {
+            requested: 1,
+            limit: 1,
+        });
+        set_metrics_enabled(false);
+        let delta = MetricsSnapshot::capture().diff(&before);
+        assert!(delta.interrupts_deadline >= 1);
+        assert!(delta.interrupts_cancelled >= 1);
+        assert!(delta.interrupts_memory >= 1);
+    }
+}
