@@ -87,6 +87,7 @@ assert report.get("schema") == "aggclust-run-report-v1", "bad report schema tag"
 metrics = report["metrics"]
 REQUIRED = [
     "oracle_dense_evals", "oracle_lazy_evals",
+    "oracle_packed_evals", "kernels_fallback_scalar",
     "ls_passes", "ls_nodes_visited", "ls_moves",
     "linkage_merges", "linkage_chain_rebuilds",
     "balls_formed", "furthest_centers", "pivot_rounds", "exact_nodes",
@@ -107,6 +108,8 @@ for key in ("ls_delta_hist", "checkpoint_bytes_hist"):
 assert isinstance(metrics.get("ls_improvement"), (int, float)), "bad ls_improvement"
 assert metrics["ls_nodes_visited"] > 0, "LOCALSEARCH counters did not fire"
 assert metrics["oracle_dense_evals"] > 0, "oracle counters did not fire"
+assert metrics["oracle_packed_evals"] > 0, \
+    "packed SWAR kernel counters did not fire -- dense build not on the packed path?"
 print(f"trace OK: {counts['event']} events, {spans} balanced spans; "
       f"report OK: {len(REQUIRED) + 3} metrics validated")
 EOF

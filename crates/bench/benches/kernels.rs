@@ -1,0 +1,111 @@
+//! Benchmarks for the packed SWAR disagreement kernels (DESIGN.md §6f):
+//! dense-oracle construction through the bit-packed `LabelMatrix` path
+//! versus the naive per-pair scalar loop (`kernels::reference::xuv_total`),
+//! on the same inputs and pinned to one thread so the ratio measures the
+//! kernel alone, not thread scaling. The issue's acceptance bar is a ≥2×
+//! packed-over-naive speedup at n = 5 000, m = 10; `main` re-times both
+//! paths directly and appends a `kernels_speedup` record with the measured
+//! ratio to `CRITERION_SHIM_JSON` (see `BENCH_kernels.json` at the repo
+//! root), alongside the standard `run_report` counter snapshot.
+
+use aggclust_core::clustering::Clustering;
+use aggclust_core::instance::DenseOracle;
+use aggclust_core::kernels::reference;
+use aggclust_core::obs;
+use aggclust_core::parallel::with_num_threads;
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// The acceptance-bar instance size from the issue.
+const N: usize = 5_000;
+const M: usize = 10;
+
+fn inputs(n: usize, m: usize, seed: u64) -> Vec<Clustering> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| Clustering::from_labels((0..n).map(|_| rng.gen_range(0..16u32)).collect()))
+        .collect()
+}
+
+fn build_packed(cs: &[Clustering]) -> DenseOracle {
+    with_num_threads(1, || DenseOracle::from_clusterings(black_box(cs)))
+}
+
+fn build_naive(cs: &[Clustering], n: usize) -> DenseOracle {
+    with_num_threads(1, || {
+        DenseOracle::from_fn_sync(n, |u, v| reference::xuv_total(black_box(cs), u, v))
+    })
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    let cs = inputs(N, M, 7);
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("oracle_build_packed/t1", N), &N, |b, _| {
+        b.iter(|| build_packed(&cs))
+    });
+    // One naive build walks m labels for each of the n(n-1)/2 pairs — 125M
+    // label comparisons at the acceptance size — so fewer samples suffice.
+    group.sample_size(5);
+    group.bench_with_input(BenchmarkId::new("oracle_build_naive/t1", N), &N, |b, _| {
+        b.iter(|| build_naive(&cs, N))
+    });
+    // A smaller size shows the ratio is not an artifact of one cache regime.
+    let small = inputs(1_000, M, 8);
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("oracle_build_packed/t1", 1_000),
+        &1_000usize,
+        |b, _| b.iter(|| build_packed(&small)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("oracle_build_naive/t1", 1_000),
+        &1_000usize,
+        |b, _| b.iter(|| build_naive(&small, 1_000)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+
+fn main() {
+    obs::set_metrics_enabled(true);
+    benches();
+    if let Ok(path) = std::env::var("CRITERION_SHIM_JSON") {
+        // Re-time both paths head-to-head (best of 3, one thread) so the
+        // acceptance ratio is recorded explicitly, not left to be derived
+        // from the per-benchmark medians above.
+        let cs = inputs(N, M, 7);
+        let time_best = |f: &dyn Fn() -> DenseOracle| -> u128 {
+            (0..3)
+                .map(|_| {
+                    let start = std::time::Instant::now();
+                    black_box(f());
+                    start.elapsed().as_nanos()
+                })
+                .min()
+                .unwrap_or(0)
+        };
+        let packed_ns = time_best(&|| build_packed(&cs));
+        let naive_ns = time_best(&|| build_naive(&cs, N));
+        let speedup = naive_ns as f64 / packed_ns as f64;
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            use std::io::Write as _;
+            let _ = writeln!(
+                f,
+                "{{\"id\":\"kernels_speedup\",\"n\":{N},\"m\":{M},\"threads\":1,\"naive_ns\":{naive_ns},\"packed_ns\":{packed_ns},\"speedup\":{speedup:.2}}}"
+            );
+            let _ = writeln!(
+                f,
+                "{{\"id\":\"run_report\",\"schema\":\"aggclust-run-report-v1\",\"metrics\":{}}}",
+                obs::MetricsSnapshot::capture().to_json()
+            );
+        }
+    }
+}

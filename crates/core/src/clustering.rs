@@ -176,6 +176,23 @@ impl Clustering {
         Clustering::from_labels(subset.iter().map(|&v| self.labels[v]).collect())
     }
 
+    /// Packed-lane code of object `v` for the SWAR kernels
+    /// ([`crate::kernels`]): the normalized label plus one, since lane
+    /// code `0` is reserved for "missing" in the shared total/partial
+    /// encoding.
+    #[inline]
+    pub fn lane_code(&self, v: usize) -> u64 {
+        self.labels[v] as u64 + 1
+    }
+
+    /// Largest lane code this clustering can produce (= its cluster
+    /// count, because normalized labels are `0..k`). Decides whether
+    /// [`crate::kernels::LabelMatrix`] can use 16-bit lanes.
+    #[inline]
+    pub fn max_lane_code(&self) -> u64 {
+        self.num_clusters as u64
+    }
+
     /// `true` if this clustering *refines* `other`: every cluster of `self`
     /// is contained in a single cluster of `other`.
     pub fn refines(&self, other: &Clustering) -> bool {
@@ -276,6 +293,22 @@ impl PartialClustering {
     /// Number of objects with a missing label.
     pub fn num_missing(&self) -> usize {
         self.labels.iter().filter(|l| l.is_none()).count()
+    }
+
+    /// Packed-lane code of object `v` for the SWAR kernels
+    /// ([`crate::kernels`]): `0` when the label is missing, otherwise the
+    /// normalized label plus one.
+    #[inline]
+    pub fn lane_code(&self, v: usize) -> u64 {
+        self.labels[v].map_or(0, |l| l as u64 + 1)
+    }
+
+    /// Largest lane code this clustering can produce (= its cluster
+    /// count). Decides whether [`crate::kernels::LabelMatrix`] can use
+    /// 16-bit lanes.
+    #[inline]
+    pub fn max_lane_code(&self) -> u64 {
+        self.num_clusters as u64
     }
 
     /// Convert to a total [`Clustering`] by placing every unlabeled object

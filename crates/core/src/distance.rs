@@ -14,7 +14,6 @@
 
 use crate::clustering::Clustering;
 use crate::robust::MemGauge;
-use std::collections::HashMap;
 
 /// Cell-count ceiling for the dense contingency table in
 /// [`pairs_together_both`]. `k₁·k₂` at or below this (4M cells, 32 MiB)
@@ -27,8 +26,9 @@ const DENSE_TABLE_MAX_CELLS: usize = 1 << 22;
 ///
 /// Labels are normalized to `0..k` by [`Clustering::from_labels`], so the
 /// table is stored densely as a `k₁ × k₂` vector indexed by
-/// `label₁ · k₂ + label₂` whenever it fits; a `HashMap` handles the rare
-/// huge-`k₁·k₂` case.
+/// `label₁ · k₂ + label₂` whenever it fits; the rare huge-`k₁·k₂` case
+/// packs each object's label pair into one `u64` key and sorts — an
+/// `O(n log n)` run-length count with no hashing and `O(n)` memory.
 pub fn pairs_together_both(c1: &Clustering, c2: &Clustering) -> u64 {
     pairs_together_both_gauged(c1, c2, None)
 }
@@ -39,8 +39,8 @@ pub fn pairs_together_both(c1: &Clustering, c2: &Clustering) -> u64 {
 /// Budget-governed callers (the consensus pipeline under `--mem-budget-mb`)
 /// route through this so the gauge reflects transient `k₁ × k₂` tables, not
 /// just long-lived distance matrices. The charge is purely observational —
-/// contingency tables are bounded by [`DENSE_TABLE_MAX_CELLS`] (32 MiB) and
-/// are never refused.
+/// contingency tables are bounded by `DENSE_TABLE_MAX_CELLS` (32 MiB),
+/// the sparse fallback's key vector by `8n` bytes, and neither is refused.
 pub fn pairs_together_both_gauged(
     c1: &Clustering,
     c2: &Clustering,
@@ -62,11 +62,23 @@ pub fn pairs_together_both_gauged(
         // c·(c−1)/2 term against u64 underflow at c = 0.
         table.iter().map(|&c| c * c.saturating_sub(1) / 2).sum()
     } else {
-        let mut table: HashMap<(u32, u32), u64> = HashMap::new();
-        for v in 0..c1.len() {
-            *table.entry((c1.label(v), c2.label(v))).or_insert(0) += 1;
+        let _charge = gauge.map(|g| g.charge(c1.len() as u64 * 8));
+        let mut keys: Vec<u64> = (0..c1.len())
+            .map(|v| (u64::from(c1.label(v)) << 32) | u64::from(c2.label(v)))
+            .collect();
+        keys.sort_unstable();
+        let mut total = 0u64;
+        let mut i = 0usize;
+        while i < keys.len() {
+            let mut j = i + 1;
+            while j < keys.len() && keys[j] == keys[i] {
+                j += 1;
+            }
+            let run = (j - i) as u64;
+            total += run * (run - 1) / 2;
+            i = j;
         }
-        table.values().map(|&c| c * (c - 1) / 2).sum()
+        total
     }
 }
 

@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use crate::clustering::{Clustering, PartialClustering};
 use crate::error::{AggError, AggResult};
+use crate::kernels::{self, LabelMatrix};
 use crate::robust::{Interrupt, MemCharge, RunBudget};
 
 /// How a clustering with missing labels contributes to pairwise distances
@@ -264,6 +265,12 @@ impl DenseOracle {
 
     /// Build directly from total clusterings: `X_uv` is the fraction of
     /// clusterings separating `u` and `v`.
+    ///
+    /// The inputs are transposed once into a packed [`LabelMatrix`] and
+    /// every pair is answered by the SWAR separation kernel
+    /// ([`crate::kernels`]), filled in cache-blocked bands — same values
+    /// as the scalar per-clustering walk, at a fraction of the memory
+    /// traffic.
     pub fn from_clusterings(clusterings: &[Clustering]) -> Self {
         assert!(!clusterings.is_empty(), "need at least one clustering");
         let n = clusterings[0].len();
@@ -272,11 +279,25 @@ impl DenseOracle {
             "all clusterings must cover the same objects"
         );
         let m = clusterings.len() as f64;
-        DenseOracle::from_fn_sync(n, |u, v| {
-            let sep = clusterings.iter().filter(|c| !c.same_cluster(u, v)).count();
-            sep as f64 / m
-        })
-        .with_num_clusterings(Some(clusterings.len()))
+        let matrix = LabelMatrix::from_total(clusterings);
+        let data =
+            crate::parallel::fill_condensed_banded_rows(n, kernels::PACKED_BAND, |u, vs, seg| {
+                let mut counts = [0u32; kernels::PACKED_BAND];
+                let counts = &mut counts[..seg.len()];
+                matrix.sep_row_into(u, vs.start, counts);
+                for (entry, &c) in seg.iter_mut().zip(counts.iter()) {
+                    let d = c as f64 / m;
+                    debug_assert!((0.0..=1.0).contains(&d), "distance {d} out of [0,1]");
+                    *entry = d;
+                }
+            });
+        crate::telemetry::count_packed_evals((n * n.saturating_sub(1) / 2) as u64);
+        DenseOracle {
+            n,
+            data,
+            m: Some(clusterings.len()),
+            charge: None,
+        }
     }
 
     /// Build from *weighted* clusterings: `X_uv` is the weight fraction of
@@ -286,8 +307,17 @@ impl DenseOracle {
     /// non-negative with a positive sum; the resulting distances still
     /// satisfy the triangle inequality.
     ///
+    /// The distance is computed in its canonical grouped form
+    /// `Σ_g w_g · sep_g / Σ w` over equal-weight groups in
+    /// first-appearance order ([`kernels::weight_groups`]): groups of at
+    /// least [`kernels::MIN_PACKED_GROUP`] clusterings become packed SWAR
+    /// blocks, smaller groups stay on a scalar tail (counted by the
+    /// `kernels_fallback_scalar` metric).
+    ///
     /// # Panics
-    /// Panics on length mismatch, negative weights, or all-zero weights.
+    /// Panics on length mismatch, NaN or negative weights, or all-zero
+    /// weights (same wording as the errors of
+    /// [`DenseOracle::try_from_weighted_clusterings`]).
     pub fn from_weighted_clusterings(clusterings: &[Clustering], weights: &[f64]) -> Self {
         assert_eq!(
             clusterings.len(),
@@ -295,7 +325,12 @@ impl DenseOracle {
             "one weight per clustering required"
         );
         assert!(!clusterings.is_empty(), "need at least one clustering");
-        assert!(weights.iter().all(|&w| w >= 0.0), "negative weight");
+        let bad = weights.iter().find(|w| w.is_nan() || **w < 0.0);
+        assert!(
+            bad.is_none(),
+            "weight {} is negative or NaN",
+            bad.copied().unwrap_or(f64::NAN)
+        );
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "weights must sum to a positive value");
         let n = clusterings[0].len();
@@ -303,16 +338,71 @@ impl DenseOracle {
             clusterings.iter().all(|c| c.len() == n),
             "all clusterings must cover the same objects"
         );
-        DenseOracle::from_fn_sync(n, |u, v| {
-            let sep: f64 = clusterings
-                .iter()
-                .zip(weights)
-                .filter(|(c, _)| !c.same_cluster(u, v))
-                .map(|(_, &w)| w)
-                .sum();
-            sep / total
-        })
-        .with_num_clusterings(Some(clusterings.len()))
+        enum Block {
+            Packed(f64, LabelMatrix),
+            Scalar(f64, Vec<usize>),
+        }
+        let blocks: Vec<Block> = kernels::weight_groups(weights)
+            .into_iter()
+            .map(|(w, members)| {
+                if members.len() >= kernels::MIN_PACKED_GROUP {
+                    Block::Packed(w, LabelMatrix::from_total_indexed(clusterings, &members))
+                } else {
+                    Block::Scalar(w, members)
+                }
+            })
+            .collect();
+        let tail_members: usize = blocks
+            .iter()
+            .map(|b| match b {
+                Block::Scalar(_, ms) => ms.len(),
+                Block::Packed(..) => 0,
+            })
+            .sum();
+        let data =
+            crate::parallel::fill_condensed_banded_rows(n, kernels::PACKED_BAND, |u, vs, seg| {
+                let mut counts = [0u32; kernels::PACKED_BAND];
+                let counts = &mut counts[..seg.len()];
+                seg.fill(0.0);
+                // Blocks accumulate in first-appearance order — the canonical
+                // op order shared with `kernels::reference::xuv_weighted`.
+                for block in &blocks {
+                    match block {
+                        Block::Packed(w, matrix) => {
+                            matrix.sep_row_into(u, vs.start, counts);
+                            for (entry, &c) in seg.iter_mut().zip(counts.iter()) {
+                                *entry += w * c as f64;
+                            }
+                        }
+                        Block::Scalar(w, members) => {
+                            for (entry, v) in seg.iter_mut().zip(vs.clone()) {
+                                let sep = members
+                                    .iter()
+                                    .filter(|&&i| !clusterings[i].same_cluster(u, v))
+                                    .count();
+                                *entry += w * sep as f64;
+                            }
+                        }
+                    }
+                }
+                for entry in seg.iter_mut() {
+                    *entry /= total;
+                    debug_assert!((0.0..=1.0).contains(entry), "distance {entry} out of [0,1]");
+                }
+            });
+        let pairs = (n * n.saturating_sub(1) / 2) as u64;
+        if tail_members < clusterings.len() {
+            crate::telemetry::count_packed_evals(pairs);
+        }
+        if tail_members > 0 {
+            crate::telemetry::count_scalar_fallback(pairs * tail_members as u64);
+        }
+        DenseOracle {
+            n,
+            data,
+            m: Some(clusterings.len()),
+            charge: None,
+        }
     }
 
     /// Tag the oracle with the number of source clusterings.
@@ -378,12 +468,16 @@ impl DistanceOracle for DenseOracle {
 ///
 /// Lookup is `O(m)`; memory is `O(nm)` — suitable for the SAMPLING
 /// algorithm on large datasets where only a sparse set of pairs is ever
-/// queried.
+/// queried. Lookups are served by the packed SWAR kernels
+/// ([`crate::kernels`]): construction transposes the inputs into a
+/// [`LabelMatrix`] once, and each `dist` call XOR-scans two label rows
+/// instead of chasing `m` separate label vectors.
 #[derive(Clone, Debug)]
 pub struct ClusteringsOracle {
     clusterings: Vec<PartialClustering>,
     n: usize,
     policy: MissingPolicy,
+    packed: LabelMatrix,
 }
 
 impl ClusteringsOracle {
@@ -401,10 +495,12 @@ impl ClusteringsOracle {
                 "coin probability {p} out of [0,1]"
             );
         }
+        let packed = LabelMatrix::from_partial(&clusterings);
         ClusteringsOracle {
             clusterings,
             n,
             policy,
+            packed,
         }
     }
 
@@ -424,10 +520,12 @@ impl ClusteringsOracle {
             )));
         }
         policy.validate()?;
+        let packed = LabelMatrix::from_partial(&clusterings);
         Ok(ClusteringsOracle {
             clusterings,
             n,
             policy,
+            packed,
         })
     }
 
@@ -451,6 +549,17 @@ impl ClusteringsOracle {
     pub fn policy(&self) -> MissingPolicy {
         self.policy
     }
+
+    /// The packed label matrix serving this oracle's lookups.
+    pub fn packed(&self) -> &LabelMatrix {
+        &self.packed
+    }
+
+    /// Heap bytes held by the packed label matrix (charged against the
+    /// budget's [`crate::robust::MemGauge`] on governed paths).
+    pub fn packed_bytes(&self) -> u64 {
+        self.packed.bytes()
+    }
 }
 
 impl DistanceOracle for ClusteringsOracle {
@@ -461,44 +570,29 @@ impl DistanceOracle for ClusteringsOracle {
 
     fn dist(&self, u: usize, v: usize) -> f64 {
         // Each lazy lookup is an O(m) recomputation — the quantity the
-        // SAMPLING scaling claim is measured in.
+        // SAMPLING scaling claim is measured in. It is served by the
+        // packed kernel, so it also counts as a packed evaluation.
         crate::telemetry::count_lazy_evals(1);
         if u == v {
             return 0.0;
         }
+        crate::telemetry::count_packed_evals(1);
+        let (sep, missing) = self.packed.sep_missing(u, v);
         match self.policy {
             MissingPolicy::Ignore => {
-                let mut defined = 0usize;
-                let mut sep = 0usize;
-                for c in &self.clusterings {
-                    if let (Some(lu), Some(lv)) = (c.label(u), c.label(v)) {
-                        defined += 1;
-                        if lu != lv {
-                            sep += 1;
-                        }
-                    }
-                }
+                let defined = self.clusterings.len() - missing as usize;
                 if defined == 0 {
                     0.5
                 } else {
-                    sep as f64 / defined as f64
+                    f64::from(sep) / defined as f64
                 }
             }
+            // A clustering missing a label on either side separates the
+            // pair with probability 1 − p; the expected separation count
+            // is accumulated in closed form (the canonical shape shared
+            // with `kernels::reference::xuv_partial`).
             MissingPolicy::Coin(p) => {
-                let mut total = 0.0f64;
-                for c in &self.clusterings {
-                    match (c.label(u), c.label(v)) {
-                        (Some(lu), Some(lv)) => {
-                            if lu != lv {
-                                total += 1.0;
-                            }
-                        }
-                        // Missing on either side: clustering separates the
-                        // pair with probability 1 − p (expected contribution).
-                        _ => total += 1.0 - p,
-                    }
-                }
-                total / self.clusterings.len() as f64
+                (f64::from(sep) + f64::from(missing) * (1.0 - p)) / self.clusterings.len() as f64
             }
         }
     }
@@ -590,8 +684,19 @@ impl CorrelationInstance {
     }
 
     /// Precompute the full distance matrix (`O(n² m)` time, `O(n²)` space).
+    /// Pairs are served by the packed lazy oracle and filled in
+    /// cache-blocked bands — same values as a row-major scalar fill.
     pub fn dense_oracle(&self) -> DenseOracle {
-        self.lazy_oracle().to_dense()
+        let lazy = self.lazy_oracle();
+        let data = crate::parallel::fill_condensed_banded(self.n, kernels::PACKED_BAND, |u, v| {
+            lazy.dist(u, v)
+        });
+        DenseOracle {
+            n: self.n,
+            data,
+            m: Some(self.inputs.len()),
+            charge: None,
+        }
     }
 
     /// A lazy per-pair oracle (`O(m)` per lookup).
@@ -615,7 +720,17 @@ impl CorrelationInstance {
     pub fn try_dense_oracle(&self, budget: &RunBudget) -> Result<DenseOracle, Interrupt> {
         let charge = budget.try_reserve(self.dense_bytes())?;
         let lazy = self.lazy_oracle();
-        let data = crate::parallel::try_fill_condensed(self.n, |u, v| lazy.dist(u, v), budget)?;
+        // The packed label matrix is transient scratch for the fill:
+        // observe it on the gauge (high-water accounting) for the fill's
+        // duration without holding it against the cap afterwards.
+        let packed_charge = budget.mem_gauge().charge(lazy.packed_bytes());
+        let data = crate::parallel::try_fill_condensed_banded(
+            self.n,
+            kernels::PACKED_BAND,
+            |u, v| lazy.dist(u, v),
+            budget,
+        )?;
+        drop(packed_charge);
         Ok(DenseOracle {
             n: self.n,
             data,
@@ -820,6 +935,18 @@ mod tests {
     #[should_panic(expected = "positive value")]
     fn all_zero_weights_rejected() {
         let _ = DenseOracle::from_weighted_clusterings(&figure1(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight NaN is negative or NaN")]
+    fn nan_weight_rejected_with_try_wording() {
+        let _ = DenseOracle::from_weighted_clusterings(&figure1(), &[1.0, f64::NAN, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight -2 is negative or NaN")]
+    fn negative_weight_rejected_with_try_wording() {
+        let _ = DenseOracle::from_weighted_clusterings(&figure1(), &[1.0, -2.0, 1.0]);
     }
 
     #[test]

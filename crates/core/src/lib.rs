@@ -67,6 +67,7 @@ pub mod distance;
 pub mod error;
 pub mod exact;
 pub mod instance;
+pub mod kernels;
 pub mod linkage;
 pub mod parallel;
 pub mod robust;

@@ -16,6 +16,7 @@ use std::sync::Arc;
 
 use crate::clustering::Clustering;
 use crate::instance::DistanceOracle;
+use crate::kernels;
 use crate::parallel;
 use crate::robust::{MemCharge, RunBudget, RunStatus};
 use crate::snapshot::{AgglomerativeSnapshot, AlgorithmSnapshot, Checkpointer, MergeRecord};
@@ -101,9 +102,18 @@ impl CondensedMatrix {
         }
     }
 
-    /// Copy the distances out of any [`DistanceOracle`] (in parallel).
+    /// Copy the distances out of any [`DistanceOracle`] (in parallel),
+    /// walking pairs in cache-blocked column bands so packed lazy oracles
+    /// ([`crate::instance::ClusteringsOracle`]) stream their label rows
+    /// cache-resident. Same matrix as a row-major fill.
     pub fn from_oracle<O: DistanceOracle + Sync + ?Sized>(oracle: &O) -> Self {
-        CondensedMatrix::from_fn_sync(oracle.len(), |u, v| oracle.dist(u, v))
+        CondensedMatrix {
+            n: oracle.len(),
+            data: parallel::fill_condensed_banded(oracle.len(), kernels::PACKED_BAND, |u, v| {
+                oracle.dist(u, v)
+            }),
+            charge: None,
+        }
     }
 
     /// Budgeted [`CondensedMatrix::from_oracle`]: the `n(n−1)/2 × 8`-byte
@@ -119,7 +129,12 @@ impl CondensedMatrix {
         let n = oracle.len();
         let bytes = (n as u64) * (n.saturating_sub(1) as u64) / 2 * 8;
         let charge = budget.try_reserve(bytes)?;
-        let data = parallel::try_fill_condensed(n, |u, v| oracle.dist(u, v), budget)?;
+        let data = parallel::try_fill_condensed_banded(
+            n,
+            kernels::PACKED_BAND,
+            |u, v| oracle.dist(u, v),
+            budget,
+        )?;
         Ok(CondensedMatrix {
             n,
             data,

@@ -293,6 +293,106 @@ where
     data
 }
 
+/// Cache-blocked variant of [`fill_condensed`]: each row chunk walks its
+/// columns in fixed `band`-wide stripes (`for band: for u: for v in band`)
+/// so a short stripe of packed label rows stays cache-resident while the
+/// chunk's rows stream against it. Every entry is still written exactly
+/// once, at the same index as [`fill_condensed`] would place it, so the
+/// result is identical to the row-major fill at any thread count and any
+/// band width.
+pub fn fill_condensed_banded<F>(n: usize, band: usize, f: F) -> Vec<f64>
+where
+    F: Fn(usize, usize) -> f64 + Sync,
+{
+    let band = band.max(1);
+    let len = n * n.saturating_sub(1) / 2;
+    let mut data = vec![0.0f64; len];
+    let mut jobs: Vec<(Range<usize>, &mut [f64])> = Vec::new();
+    let mut rest: &mut [f64] = &mut data;
+    for rows in row_ranges(n) {
+        let pairs: usize = rows.clone().map(|u| n - 1 - u).sum();
+        let (head, tail) = rest.split_at_mut(pairs);
+        jobs.push((rows, head));
+        rest = tail;
+    }
+    run_jobs(jobs, |(rows, out)| {
+        fill_rows_banded(n, band, &rows, out, &f);
+    });
+    data
+}
+
+/// Row-segment variant of [`fill_condensed_banded`] for batch kernels:
+/// instead of one `f(u, v)` call per pair, the fill hands each `(row,
+/// column-band)` intersection to `g(u, lo..hi, seg)` where `seg` is the
+/// condensed slice for pairs `(u, lo), …, (u, hi − 1)`. Segment boundaries
+/// depend only on `n` and `band`, every entry is written exactly once at
+/// its row-major condensed index, and segments never exceed `band`
+/// entries — so a `g` that writes `seg` from pure per-pair values produces
+/// the identical vector at any thread count and any band width.
+pub fn fill_condensed_banded_rows<G>(n: usize, band: usize, g: G) -> Vec<f64>
+where
+    G: Fn(usize, Range<usize>, &mut [f64]) + Sync,
+{
+    let band = band.max(1);
+    let len = n * n.saturating_sub(1) / 2;
+    let mut data = vec![0.0f64; len];
+    let mut jobs: Vec<(Range<usize>, &mut [f64])> = Vec::new();
+    let mut rest: &mut [f64] = &mut data;
+    for rows in row_ranges(n) {
+        let pairs: usize = rows.clone().map(|u| n - 1 - u).sum();
+        let (head, tail) = rest.split_at_mut(pairs);
+        jobs.push((rows, head));
+        rest = tail;
+    }
+    run_jobs(jobs, |(rows, out)| {
+        fill_rows_banded_segments(n, band, &rows, out, &g);
+    });
+    data
+}
+
+/// One row chunk of [`fill_condensed_banded`]: fill `out` (the chunk's
+/// condensed slice, row `rows.start`'s pairs first) in column bands.
+/// `out[row_offset(u) + (v − u − 1)]` holds `f(u, v)`, matching the
+/// row-major condensed layout exactly.
+fn fill_rows_banded<F>(n: usize, band: usize, rows: &Range<usize>, out: &mut [f64], f: &F)
+where
+    F: Fn(usize, usize) -> f64 + Sync,
+{
+    fill_rows_banded_segments(
+        n,
+        band,
+        rows,
+        out,
+        &|u, vs: Range<usize>, seg: &mut [f64]| {
+            for (entry, v) in seg.iter_mut().zip(vs) {
+                *entry = f(u, v);
+            }
+        },
+    );
+}
+
+/// Shared banded walk: hand each `(u, column-band)` intersection to `g` as
+/// one contiguous condensed segment.
+fn fill_rows_banded_segments<G>(n: usize, band: usize, rows: &Range<usize>, out: &mut [f64], g: &G)
+where
+    G: Fn(usize, Range<usize>, &mut [f64]) + Sync,
+{
+    let mut band_start = rows.start + 1;
+    while band_start < n {
+        let band_end = (band_start + band).min(n);
+        let mut off = 0usize;
+        for u in rows.clone() {
+            let lo = band_start.max(u + 1);
+            if lo < band_end {
+                let idx0 = off + (lo - u - 1);
+                g(u, lo..band_end, &mut out[idx0..idx0 + (band_end - lo)]);
+            }
+            off += n - 1 - u;
+        }
+        band_start = band_end;
+    }
+}
+
 /// Budget-aware variant of [`fill_condensed`]: workers check the budget's
 /// deadline and cancel token between chunk jobs, so a trip is honored
 /// within one chunk's worth of work. On a trip the partially-filled buffer
@@ -348,6 +448,57 @@ where
                 i += 1;
             }
         }
+    });
+    match tripped.load(Ordering::Relaxed) {
+        0 => Ok(data),
+        2 => Err(Interrupt::Cancelled),
+        _ => Err(Interrupt::Deadline),
+    }
+}
+
+/// Budget-aware [`fill_condensed_banded`]: the same cache-blocked fill,
+/// polling the budget between chunk jobs exactly like
+/// [`try_fill_condensed`]. Unlimited budgets take the unpolled fast path.
+pub fn try_fill_condensed_banded<F>(
+    n: usize,
+    band: usize,
+    f: F,
+    budget: &crate::robust::RunBudget,
+) -> Result<Vec<f64>, crate::robust::Interrupt>
+where
+    F: Fn(usize, usize) -> f64 + Sync,
+{
+    use crate::robust::Interrupt;
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    if budget.is_unlimited() {
+        return Ok(fill_condensed_banded(n, band, f));
+    }
+    let band = band.max(1);
+    let tripped = AtomicU8::new(0);
+    let len = n * n.saturating_sub(1) / 2;
+    let mut data = vec![0.0f64; len];
+    let mut jobs: Vec<(Range<usize>, &mut [f64])> = Vec::new();
+    let mut rest: &mut [f64] = &mut data;
+    for rows in row_ranges(n) {
+        let pairs: usize = rows.clone().map(|u| n - 1 - u).sum();
+        let (head, tail) = rest.split_at_mut(pairs);
+        jobs.push((rows, head));
+        rest = tail;
+    }
+    run_jobs(jobs, |(rows, out)| {
+        if tripped.load(Ordering::Relaxed) != 0 {
+            return;
+        }
+        if let Err(interrupt) = budget.poll() {
+            let code = match interrupt {
+                Interrupt::Cancelled => 2,
+                _ => 1,
+            };
+            tripped.store(code, Ordering::Relaxed);
+            return;
+        }
+        fill_rows_banded(n, band, &rows, out, &f);
     });
     match tripped.load(Ordering::Relaxed) {
         0 => Ok(data),
@@ -517,6 +668,45 @@ mod tests {
             }
             assert_eq!(covered, n);
         }
+    }
+
+    #[test]
+    fn banded_fill_matches_row_major_fill() {
+        let f = |u: usize, v: usize| (u * 10_007 + v) as f64;
+        for n in [0usize, 1, 2, 3, 129, 600] {
+            let expected = fill_condensed(n, f);
+            for band in [1usize, 2, 7, 512, 10_000] {
+                assert_eq!(
+                    fill_condensed_banded(n, band, f),
+                    expected,
+                    "n={n} band={band}"
+                );
+            }
+        }
+        let one = with_num_threads(1, || fill_condensed_banded(600, 128, f));
+        let four = with_num_threads(4, || fill_condensed_banded(600, 128, f));
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn try_banded_fill_matches_and_trips() {
+        use crate::robust::{Interrupt, RunBudget};
+        let n = 300;
+        let f = |u: usize, v: usize| ((u * 7 + v) % 13) as f64;
+        let generous = RunBudget::unlimited().with_deadline_ms(60_000);
+        assert_eq!(
+            try_fill_condensed_banded(n, 64, f, &generous).unwrap(),
+            fill_condensed(n, f)
+        );
+        assert_eq!(
+            try_fill_condensed_banded(n, 64, f, &RunBudget::unlimited()).unwrap(),
+            fill_condensed(n, f)
+        );
+        let expired = RunBudget::unlimited().with_deadline(std::time::Duration::ZERO);
+        assert_eq!(
+            try_fill_condensed_banded(n, 64, f, &expired),
+            Err(Interrupt::Deadline)
+        );
     }
 
     #[test]

@@ -603,6 +603,13 @@ pub struct Metrics {
     pub oracle_dense_evals: Counter,
     /// `O(m)` on-the-fly recomputations by the lazy clusterings oracle.
     pub oracle_lazy_evals: Counter,
+    /// Pair evaluations served by the packed SWAR kernels
+    /// ([`crate::kernels`]) — dense builds and packed lazy lookups both
+    /// count here, in addition to their dense/lazy counter.
+    pub oracle_packed_evals: Counter,
+    /// Scalar-lane pair evaluations on the weighted oracle's unpacked
+    /// tail (equal-weight groups too small for a packed block).
+    pub kernels_fallback_scalar: Counter,
     /// LOCALSEARCH full passes over the node set.
     pub ls_passes: Counter,
     /// LOCALSEARCH node visits (one move evaluation each).
@@ -661,6 +668,8 @@ const POW10_BOUNDS: [f64; HISTOGRAM_BUCKETS - 1] = [1e-6, 1e-4, 1e-2, 1.0, 1e2, 
 static METRICS: Metrics = Metrics {
     oracle_dense_evals: Counter::new(),
     oracle_lazy_evals: Counter::new(),
+    oracle_packed_evals: Counter::new(),
+    kernels_fallback_scalar: Counter::new(),
     ls_passes: Counter::new(),
     ls_nodes_visited: Counter::new(),
     ls_moves: Counter::new(),
@@ -715,6 +724,10 @@ pub struct MetricsSnapshot {
     pub oracle_dense_evals: u64,
     /// See [`Metrics::oracle_lazy_evals`].
     pub oracle_lazy_evals: u64,
+    /// See [`Metrics::oracle_packed_evals`].
+    pub oracle_packed_evals: u64,
+    /// See [`Metrics::kernels_fallback_scalar`].
+    pub kernels_fallback_scalar: u64,
     /// See [`Metrics::ls_passes`].
     pub ls_passes: u64,
     /// See [`Metrics::ls_nodes_visited`].
@@ -774,6 +787,8 @@ impl MetricsSnapshot {
         MetricsSnapshot {
             oracle_dense_evals: m.oracle_dense_evals.get(),
             oracle_lazy_evals: m.oracle_lazy_evals.get(),
+            oracle_packed_evals: m.oracle_packed_evals.get(),
+            kernels_fallback_scalar: m.kernels_fallback_scalar.get(),
             ls_passes: m.ls_passes.get(),
             ls_nodes_visited: m.ls_nodes_visited.get(),
             ls_moves: m.ls_moves.get(),
@@ -823,6 +838,12 @@ impl MetricsSnapshot {
             oracle_lazy_evals: self
                 .oracle_lazy_evals
                 .saturating_sub(earlier.oracle_lazy_evals),
+            oracle_packed_evals: self
+                .oracle_packed_evals
+                .saturating_sub(earlier.oracle_packed_evals),
+            kernels_fallback_scalar: self
+                .kernels_fallback_scalar
+                .saturating_sub(earlier.kernels_fallback_scalar),
             ls_passes: self.ls_passes.saturating_sub(earlier.ls_passes),
             ls_nodes_visited: self
                 .ls_nodes_visited
@@ -912,6 +933,16 @@ impl MetricsSnapshot {
         push(
             "oracle_lazy_evals",
             self.oracle_lazy_evals.to_string(),
+            false,
+        );
+        push(
+            "oracle_packed_evals",
+            self.oracle_packed_evals.to_string(),
+            false,
+        );
+        push(
+            "kernels_fallback_scalar",
+            self.kernels_fallback_scalar.to_string(),
             false,
         );
         push(
@@ -1013,6 +1044,23 @@ pub fn count_dense_evals(n: u64) {
 pub fn count_lazy_evals(n: u64) {
     if metrics_enabled() {
         METRICS.oracle_lazy_evals.add(n);
+    }
+}
+
+/// Count `n` pair evaluations served by the packed SWAR kernels.
+#[inline]
+pub fn count_packed_evals(n: u64) {
+    if metrics_enabled() {
+        METRICS.oracle_packed_evals.add(n);
+    }
+}
+
+/// Count `n` scalar-lane evaluations on the weighted oracle's unpacked
+/// tail.
+#[inline]
+pub fn count_scalar_fallback(n: u64) {
+    if metrics_enabled() {
+        METRICS.kernels_fallback_scalar.add(n);
     }
 }
 

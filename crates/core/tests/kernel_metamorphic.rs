@@ -1,0 +1,162 @@
+//! Metamorphic invariants of the distance table `X_uv` (DESIGN.md §6f):
+//! properties the packed kernels must preserve under transformations of
+//! the input whose effect on the output is known exactly — the triangle
+//! inequality claimed in §3 of the paper, invariance under per-clustering
+//! label renaming, equivariance under object permutation, and the
+//! weighted/repeated-input equivalence. Where a transformation changes
+//! nothing, the comparison is bit-exact (`f64::to_bits`).
+
+use aggclust_core::clustering::Clustering;
+use aggclust_core::instance::{DenseOracle, DistanceOracle};
+use proptest::prelude::*;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn random_clusterings(n: usize, m: usize, k: u32, seed: u64) -> Vec<Clustering> {
+    let mut state = seed;
+    (0..m)
+        .map(|_| {
+            Clustering::from_labels(
+                (0..n)
+                    .map(|_| (splitmix(&mut state) % k as u64) as u32)
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn random_permutation(len: usize, state: &mut u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..len).collect();
+    for i in (1..len).rev() {
+        let j = (splitmix(state) % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Paper §3: the fraction-of-separating-clusterings distances satisfy
+    /// the triangle inequality (each indicator does, and X_uv is their
+    /// average).
+    fn xuv_satisfies_the_triangle_inequality(
+        (n, m, seed) in (3usize..24, 1usize..7, any::<u64>())
+    ) {
+        let cs = random_clusterings(n, m, 5, seed);
+        let x = DenseOracle::from_clusterings(&cs);
+        for u in 0..n {
+            for v in 0..n {
+                for w in 0..n {
+                    prop_assert!(
+                        x.dist(u, w) <= x.dist(u, v) + x.dist(v, w) + 1e-12,
+                        "triangle violated at ({u},{v},{w})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Renaming the clusters inside each input clustering does not change
+    /// which pairs it separates, so X_uv is bit-identical.
+    fn xuv_invariant_under_label_permutation(
+        (n, m, seed) in (2usize..30, 1usize..7, any::<u64>())
+    ) {
+        let mut state = seed;
+        let cs = random_clusterings(n, m, 6, splitmix(&mut state));
+        let renamed: Vec<Clustering> = cs
+            .iter()
+            .map(|c| {
+                let k = c.num_clusters().max(1);
+                let perm = random_permutation(k, &mut state);
+                Clustering::from_labels(
+                    c.labels().iter().map(|&l| perm[l as usize] as u32).collect(),
+                )
+            })
+            .collect();
+        let x = DenseOracle::from_clusterings(&cs);
+        let y = DenseOracle::from_clusterings(&renamed);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                prop_assert_eq!(
+                    x.dist(u, v).to_bits(),
+                    y.dist(u, v).to_bits(),
+                    "label renaming changed X[{},{}]", u, v
+                );
+            }
+        }
+    }
+
+    /// Permuting the objects permutes the distance table the same way:
+    /// X'(π(u), π(v)) = X(u, v), bit-exactly.
+    fn xuv_equivariant_under_object_permutation(
+        (n, m, seed) in (2usize..30, 1usize..7, any::<u64>())
+    ) {
+        let mut state = seed;
+        let cs = random_clusterings(n, m, 5, splitmix(&mut state));
+        let pi = random_permutation(n, &mut state);
+        let permuted: Vec<Clustering> = cs
+            .iter()
+            .map(|c| {
+                let mut labels = vec![0u32; n];
+                for v in 0..n {
+                    labels[pi[v]] = c.label(v);
+                }
+                Clustering::from_labels(labels)
+            })
+            .collect();
+        let x = DenseOracle::from_clusterings(&cs);
+        let y = DenseOracle::from_clusterings(&permuted);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                prop_assert_eq!(
+                    x.dist(u, v).to_bits(),
+                    y.dist(pi[u], pi[v]).to_bits(),
+                    "object permutation broke X[{},{}]", u, v
+                );
+            }
+        }
+    }
+
+    /// Duplicating an input `w` times and weighting every copy 1 is the
+    /// same instance as the unweighted duplicated list, and both equal the
+    /// original list under integer weights — all three bit-identical
+    /// (integer separation counts below 2^53 divide exactly the same way).
+    fn unit_weighted_duplicates_equal_integer_weights(
+        (n, m, seed) in (2usize..25, 1usize..5, any::<u64>())
+    ) {
+        let mut state = seed;
+        let cs = random_clusterings(n, m, 4, splitmix(&mut state));
+        let mults: Vec<usize> = (0..m).map(|_| 1 + (splitmix(&mut state) % 3) as usize).collect();
+        let duplicated: Vec<Clustering> = cs
+            .iter()
+            .zip(&mults)
+            .flat_map(|(c, &k)| std::iter::repeat_n(c.clone(), k))
+            .collect();
+        let unweighted = DenseOracle::from_clusterings(&duplicated);
+        let unit_weights = vec![1.0; duplicated.len()];
+        let unit_weighted = DenseOracle::from_weighted_clusterings(&duplicated, &unit_weights);
+        let int_weights: Vec<f64> = mults.iter().map(|&k| k as f64).collect();
+        let int_weighted = DenseOracle::from_weighted_clusterings(&cs, &int_weights);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                prop_assert_eq!(
+                    unit_weighted.dist(u, v).to_bits(),
+                    unweighted.dist(u, v).to_bits(),
+                    "w=1 duplicates diverged at ({},{})", u, v
+                );
+                prop_assert_eq!(
+                    int_weighted.dist(u, v).to_bits(),
+                    unweighted.dist(u, v).to_bits(),
+                    "integer weights diverged from repetition at ({},{})", u, v
+                );
+            }
+        }
+    }
+}
