@@ -9,6 +9,12 @@
 # `lint:allow-eprintln` marker (on the call's opening line or on any line
 # up to the statement's closing `;`).
 #
+# Unsafe hygiene: the SIMD kernel tier (DESIGN.md §6g) introduces the
+# crate's only `unsafe` code, so every `unsafe` occurrence in non-test
+# sources — `unsafe fn` declarations and `unsafe { ... }` blocks alike —
+# must be justified by a `// SAFETY:` comment or a `/// # Safety` doc
+# section within the six preceding lines.
+#
 # Scope: crates/*/src — test modules (everything at and after the first
 # `#[cfg(test)]` in a file) are exempt, and the offline dependency shims
 # under crates/shims/ are exempt (they mirror external crates' APIs).
@@ -45,6 +51,26 @@ for file in crates/*/src/**/*.rs; do
   fi
 done
 
+unsafe_status=0
+for file in crates/*/src/**/*.rs; do
+  [ -f "$file" ] || continue
+  hits=$(awk '
+    /#\[cfg\(test\)\]/ { exit }
+    # Track the most recent safety justification: either an inline
+    # "// SAFETY:" comment or a "/// # Safety" doc heading.
+    /SAFETY:/ || /# Safety/ { last_safety = FNR }
+    /\bunsafe\b/ {
+      if ($0 ~ /^[[:space:]]*\/\//) next   # comments merely mentioning it
+      if (last_safety == 0 || FNR - last_safety > 6)
+        print FILENAME ":" FNR ": " $0
+    }
+  ' "$file")
+  if [ -n "$hits" ]; then
+    echo "$hits"
+    unsafe_status=1
+  fi
+done
+
 if [ "$status" -ne 0 ]; then
   echo
   echo "panic-lint: forbidden .unwrap()/.expect()/panic!/bare eprintln! in non-test sources." >&2
@@ -52,4 +78,10 @@ if [ "$status" -ne 0 ]; then
   echo "Route diagnostics through telemetry (info!/warn!); true error-path prints" >&2
   echo "need a 'lint:allow-eprintln' marker before the statement ends." >&2
 fi
-exit "$status"
+if [ "$unsafe_status" -ne 0 ]; then
+  echo
+  echo "panic-lint: 'unsafe' without a nearby justification in non-test sources." >&2
+  echo "Put a '// SAFETY: ...' comment (or a '/// # Safety' doc section for" >&2
+  echo "unsafe fns) within the six lines above each unsafe keyword." >&2
+fi
+exit $((status | unsafe_status))

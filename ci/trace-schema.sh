@@ -10,6 +10,11 @@
 #   2. Check the paper's Figure 5 scaling claim on the counters themselves:
 #      at n = 5000, SAMPLING's distance-oracle evaluations stay O(n·s)
 #      (≤ 5% of n²) while BALLS pays the full Θ(n²).
+#   3. Validate the host block (DESIGN.md §6g): every run report carries
+#      {"host":{arch,os,cpus,features,simd_requested,simd_selected}}, the
+#      kernels_dispatch_tier metric is a known tier name matching the
+#      host's selected tier, and a run forced to AGGCLUST_SIMD=swar
+#      reports exactly that tier.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -85,9 +90,26 @@ spans = counts["span_start"]
 report = json.load(open(report_path))
 assert report.get("schema") == "aggclust-run-report-v1", "bad report schema tag"
 metrics = report["metrics"]
+TIERS = {"scalar", "swar", "sse2", "avx2", "avx512", "neon"}
+host = report.get("host")
+assert isinstance(host, dict), "report: missing host block"
+assert isinstance(host.get("arch"), str) and host["arch"], "host: bad arch"
+assert isinstance(host.get("os"), str) and host["os"], "host: bad os"
+assert is_uint(host.get("cpus")) and host["cpus"] >= 1, "host: bad cpus"
+assert isinstance(host.get("features"), list) and \
+    all(isinstance(f, str) for f in host["features"]), "host: bad features"
+assert host.get("simd_requested") in TIERS | {"auto"}, "host: bad simd_requested"
+assert host.get("simd_selected") in TIERS, "host: bad simd_selected"
+
+tier = metrics.get("kernels_dispatch_tier")
+assert tier in TIERS, f"report: kernels_dispatch_tier {tier!r} not a tier name"
+assert tier == host["simd_selected"], \
+    f"report: dispatch tier {tier!r} != host simd_selected {host['simd_selected']!r}"
+
 REQUIRED = [
     "oracle_dense_evals", "oracle_lazy_evals",
     "oracle_packed_evals", "kernels_fallback_scalar",
+    "kernels_row_batches",
     "ls_passes", "ls_nodes_visited", "ls_moves",
     "linkage_merges", "linkage_chain_rebuilds",
     "balls_formed", "furthest_centers", "pivot_rounds", "exact_nodes",
@@ -110,8 +132,11 @@ assert metrics["ls_nodes_visited"] > 0, "LOCALSEARCH counters did not fire"
 assert metrics["oracle_dense_evals"] > 0, "oracle counters did not fire"
 assert metrics["oracle_packed_evals"] > 0, \
     "packed SWAR kernel counters did not fire -- dense build not on the packed path?"
+assert metrics["kernels_row_batches"] > 0, \
+    "kernels_row_batches did not fire -- banded fill not batching rows?"
 print(f"trace OK: {counts['event']} events, {spans} balanced spans; "
-      f"report OK: {len(REQUIRED) + 3} metrics validated")
+      f"report OK: {len(REQUIRED) + 3} metrics validated; "
+      f"host OK: {host['arch']}/{host['cpus']}cpu tier={tier}")
 EOF
 
 echo "== n = 5000 scaling contrast: SAMPLING O(n*s) vs BALLS Theta(n^2) =="
@@ -136,4 +161,21 @@ assert sampling <= 0.05 * n**2, \
 assert balls >= 0.5 * n**2, \
     f"BALLS oracle evals {balls} below n^2/2 — is the counter wired?"
 print("OK: the Figure 5 scaling claim holds on the counters")
+EOF
+
+echo "== forced tier: AGGCLUST_SIMD=swar must be honored and reported =="
+AGGCLUST_SIMD=swar "$BIN" aggregate --input "$WORK/in2000.csv" \
+    --algorithm local-search --metrics-out "$WORK/swar.json" \
+    --output /dev/null --log-level error
+python3 - "$WORK/swar.json" <<'EOF'
+import json
+import sys
+
+report = json.load(open(sys.argv[1]))
+host, metrics = report["host"], report["metrics"]
+assert host["simd_requested"] == "swar", f"requested {host['simd_requested']!r}"
+assert host["simd_selected"] == "swar", f"selected {host['simd_selected']!r}"
+assert metrics["kernels_dispatch_tier"] == "swar", \
+    f"dispatch tier {metrics['kernels_dispatch_tier']!r} ignored AGGCLUST_SIMD=swar"
+print("OK: AGGCLUST_SIMD=swar selected, recorded in host block and metrics")
 EOF

@@ -143,11 +143,8 @@ fn main() {
             .open(path)
         {
             use std::io::Write as _;
-            let _ = writeln!(
-                f,
-                "{{\"id\":\"run_report\",\"schema\":\"aggclust-run-report-v1\",\"metrics\":{}}}",
-                obs::MetricsSnapshot::capture().to_json()
-            );
+            let report = obs::run_report_json();
+            let _ = writeln!(f, "{{\"id\":\"run_report\",{}", &report[1..]);
         }
     }
 }

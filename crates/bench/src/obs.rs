@@ -66,14 +66,13 @@ pub fn init_from_args(args: &Args) -> TelemetryGuard {
 }
 
 /// Serialize the current metrics registry as the standard run report
-/// (`{"schema":"aggclust-run-report-v1","metrics":{...}}`) — the same
-/// shape the CLI's `--metrics-out` writes and the bench harness embeds
-/// into `BENCH_*.json`.
+/// (`{"schema":"aggclust-run-report-v1","host":{...},"metrics":{...}}`)
+/// — the same shape the CLI's `--metrics-out` writes and the bench
+/// harness embeds into `BENCH_*.json`. The `host` block records the
+/// machine (arch, CPU count, SIMD features and selected tier) so stored
+/// benchmark reports are comparable across hosts.
 pub fn run_report_json() -> String {
-    format!(
-        "{{\"schema\":\"aggclust-run-report-v1\",\"metrics\":{}}}",
-        obs::MetricsSnapshot::capture().to_json()
-    )
+    obs::run_report_json()
 }
 
 fn write_run_report(path: &Path) {

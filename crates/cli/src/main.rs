@@ -246,16 +246,14 @@ fn setup_telemetry(args: &Args) -> Result<Option<PathBuf>, CliError> {
     Ok(metrics_out)
 }
 
-/// Write the final run report: every counter, gauge, and histogram in the
-/// metrics registry as one stable JSON object. Failures are reported but
-/// never change the exit code — the labels are the contract, the report is
-/// advisory.
+/// Write the final run report: host metadata (arch, CPU count, SIMD
+/// features and selected kernel tier) plus every counter, gauge, and
+/// histogram in the metrics registry as one stable JSON object. Failures
+/// are reported but never change the exit code — the labels are the
+/// contract, the report is advisory.
 fn write_metrics_report(path: &Path) {
-    let snapshot = obs::MetricsSnapshot::capture();
-    let json = format!(
-        "{{\"schema\":\"aggclust-run-report-v1\",\"metrics\":{}}}\n",
-        snapshot.to_json()
-    );
+    let mut json = obs::run_report_json();
+    json.push('\n');
     if let Err(e) = std::fs::write(path, json) {
         obs::warn!(format!(
             "could not write metrics report {}: {e}",
@@ -283,6 +281,10 @@ fn install_sigint_cancel(token: CancelToken) {
         fn signal(signum: i32, handler: usize) -> usize;
     }
     const SIGINT: i32 = 2;
+    // SAFETY: `signal(2)` is declared with the signature libc gives it and
+    // `on_sigint` is an `extern "C" fn(i32)` that only stores to an atomic,
+    // which is async-signal-safe. Installing a handler has no memory-safety
+    // preconditions beyond a valid function pointer.
     unsafe {
         signal(SIGINT, on_sigint as *const () as usize);
     }

@@ -100,6 +100,15 @@ pub trait DistanceOracle {
         None
     }
 
+    /// Cache-block band width (in rows) that condensed fills over this
+    /// oracle should use. Oracles backed by a packed [`LabelMatrix`]
+    /// override this with the matrix's tier-tuned figure
+    /// ([`LabelMatrix::preferred_band`]); anything else gets the generic
+    /// default.
+    fn preferred_band(&self) -> usize {
+        kernels::PACKED_BAND
+    }
+
     /// Materialize into a [`DenseOracle`] (no-op cost model for algorithms
     /// that touch all pairs anyway). Pairs are evaluated in parallel when
     /// the `parallel` feature is enabled.
@@ -280,9 +289,15 @@ impl DenseOracle {
         );
         let m = clusterings.len() as f64;
         let matrix = LabelMatrix::from_total(clusterings);
-        let data =
-            crate::parallel::fill_condensed_banded_rows(n, kernels::PACKED_BAND, |u, vs, seg| {
-                let mut counts = [0u32; kernels::PACKED_BAND];
+        let band = matrix.preferred_band();
+        // One scratch count buffer per worker job, reused across every row
+        // segment it fills (the `kernels_row_batches` counter tracks how
+        // many batches share each buffer).
+        let data = crate::parallel::fill_condensed_banded_rows_scratch(
+            n,
+            band,
+            || vec![0u32; band],
+            |counts: &mut Vec<u32>, u, vs, seg| {
                 let counts = &mut counts[..seg.len()];
                 matrix.sep_row_into(u, vs.start, counts);
                 for (entry, &c) in seg.iter_mut().zip(counts.iter()) {
@@ -290,7 +305,8 @@ impl DenseOracle {
                     debug_assert!((0.0..=1.0).contains(&d), "distance {d} out of [0,1]");
                     *entry = d;
                 }
-            });
+            },
+        );
         crate::telemetry::count_packed_evals((n * n.saturating_sub(1) / 2) as u64);
         DenseOracle {
             n,
@@ -359,9 +375,22 @@ impl DenseOracle {
                 Block::Packed(..) => 0,
             })
             .sum();
-        let data =
-            crate::parallel::fill_condensed_banded_rows(n, kernels::PACKED_BAND, |u, vs, seg| {
-                let mut counts = [0u32; kernels::PACKED_BAND];
+        // The tightest preferred band across the packed blocks keeps the
+        // widest block's stripe L1-resident; scalar-only inputs fall back
+        // to the default.
+        let band = blocks
+            .iter()
+            .filter_map(|b| match b {
+                Block::Packed(_, matrix) => Some(matrix.preferred_band()),
+                Block::Scalar(..) => None,
+            })
+            .min()
+            .unwrap_or(kernels::PACKED_BAND);
+        let data = crate::parallel::fill_condensed_banded_rows_scratch(
+            n,
+            band,
+            || vec![0u32; band],
+            |counts: &mut Vec<u32>, u, vs, seg| {
                 let counts = &mut counts[..seg.len()];
                 seg.fill(0.0);
                 // Blocks accumulate in first-appearance order — the canonical
@@ -389,7 +418,8 @@ impl DenseOracle {
                     *entry /= total;
                     debug_assert!((0.0..=1.0).contains(entry), "distance {entry} out of [0,1]");
                 }
-            });
+            },
+        );
         let pairs = (n * n.saturating_sub(1) / 2) as u64;
         if tail_members < clusterings.len() {
             crate::telemetry::count_packed_evals(pairs);
@@ -600,6 +630,10 @@ impl DistanceOracle for ClusteringsOracle {
     fn num_clusterings(&self) -> Option<usize> {
         Some(self.clusterings.len())
     }
+
+    fn preferred_band(&self) -> usize {
+        self.packed.preferred_band()
+    }
 }
 
 /// A correlation-clustering instance built from input clusterings — the
@@ -683,14 +717,45 @@ impl CorrelationInstance {
         &self.inputs
     }
 
+    /// `true` when every input labels every object: with no missing lanes
+    /// anywhere, `X_uv` reduces to `sep / m` under either
+    /// [`MissingPolicy`] ([`MissingPolicy::Ignore`]: `defined == m`;
+    /// [`MissingPolicy::Coin`]: `missing == 0` contributes exactly
+    /// `+0.0`), bit-for-bit — which lets the dense fills use the batched
+    /// row kernel instead of per-pair `sep_missing`.
+    fn all_total(&self) -> bool {
+        self.inputs.iter().all(|c| c.num_missing() == 0)
+    }
+
     /// Precompute the full distance matrix (`O(n² m)` time, `O(n²)` space).
     /// Pairs are served by the packed lazy oracle and filled in
     /// cache-blocked bands — same values as a row-major scalar fill.
+    /// All-total inputs go through the batched `sep_row_into` kernel
+    /// (one scratch buffer per worker, counted by `kernels_row_batches`);
+    /// genuinely partial inputs stay on the per-pair `sep_missing` path.
     pub fn dense_oracle(&self) -> DenseOracle {
         let lazy = self.lazy_oracle();
-        let data = crate::parallel::fill_condensed_banded(self.n, kernels::PACKED_BAND, |u, v| {
-            lazy.dist(u, v)
-        });
+        let band = lazy.preferred_band();
+        let data = if self.all_total() {
+            let m = self.inputs.len() as f64;
+            let matrix = lazy.packed();
+            let data = crate::parallel::fill_condensed_banded_rows_scratch(
+                self.n,
+                band,
+                || vec![0u32; band],
+                |counts: &mut Vec<u32>, u, vs, seg| {
+                    let counts = &mut counts[..seg.len()];
+                    matrix.sep_row_into(u, vs.start, counts);
+                    for (entry, &c) in seg.iter_mut().zip(counts.iter()) {
+                        *entry = f64::from(c) / m;
+                    }
+                },
+            );
+            crate::telemetry::count_packed_evals((self.n * self.n.saturating_sub(1) / 2) as u64);
+            data
+        } else {
+            crate::parallel::fill_condensed_banded(self.n, band, |u, v| lazy.dist(u, v))
+        };
         DenseOracle {
             n: self.n,
             data,
@@ -724,12 +789,35 @@ impl CorrelationInstance {
         // observe it on the gauge (high-water accounting) for the fill's
         // duration without holding it against the cap afterwards.
         let packed_charge = budget.mem_gauge().charge(lazy.packed_bytes());
-        let data = crate::parallel::try_fill_condensed_banded(
-            self.n,
-            kernels::PACKED_BAND,
-            |u, v| lazy.dist(u, v),
-            budget,
-        )?;
+        let band = lazy.preferred_band();
+        // Same all-total batching split as [`CorrelationInstance::
+        // dense_oracle`], threaded through the budget-polling fills.
+        let data = if self.all_total() {
+            let m = self.inputs.len() as f64;
+            let matrix = lazy.packed();
+            let data = crate::parallel::try_fill_condensed_banded_rows_scratch(
+                self.n,
+                band,
+                || vec![0u32; band],
+                |counts: &mut Vec<u32>, u, vs, seg| {
+                    let counts = &mut counts[..seg.len()];
+                    matrix.sep_row_into(u, vs.start, counts);
+                    for (entry, &c) in seg.iter_mut().zip(counts.iter()) {
+                        *entry = f64::from(c) / m;
+                    }
+                },
+                budget,
+            )?;
+            crate::telemetry::count_packed_evals((self.n * self.n.saturating_sub(1) / 2) as u64);
+            data
+        } else {
+            crate::parallel::try_fill_condensed_banded(
+                self.n,
+                band,
+                |u, v| lazy.dist(u, v),
+                budget,
+            )?
+        };
         drop(packed_charge);
         Ok(DenseOracle {
             n: self.n,

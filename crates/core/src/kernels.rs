@@ -1,4 +1,5 @@
-//! Bit-packed SWAR disagreement kernels (DESIGN.md §6f).
+//! Bit-packed disagreement kernels with runtime SIMD dispatch
+//! (DESIGN.md §6f–§6g).
 //!
 //! Every pipeline stage funnels through per-pair separation counts: "how
 //! many of the `m` input clusterings separate objects `u` and `v`?" The
@@ -6,12 +7,19 @@
 //! `O(n²·m)` walk with terrible locality. This module transposes the
 //! inputs once into a cache-contiguous n×m row-major [`LabelMatrix`] of
 //! packed lanes and answers each pair by XOR-ing the two objects' label
-//! rows four lanes per `u64` word, reducing with a SWAR ("SIMD within a
-//! register") nonzero-lane count — no `std::simd`, no dependencies.
+//! rows, reducing with the widest implementation the host CPU supports:
+//! AVX2 or SSE2+POPCNT vector compares on `x86-64`, NEON on `aarch64`
+//! (see [`dispatch`] and [`simd`]), or the dependency-free SWAR ("SIMD
+//! within a register") kernels below on any other target. All tiers
+//! produce exact integer counts, so every tier is bit-identical.
 //!
 //! ## Lane layout
 //!
-//! * Each object `v` owns one row of `ceil(m / lanes_per_word)` words.
+//! * Each object `v` owns one row of `ceil(m / lanes_per_word)` logical
+//!   words, stored with a row *stride* rounded up to [`STRIDE_WORDS`]
+//!   words (one 256-bit vector) so the SIMD tiers can always load whole
+//!   vector groups without overrunning the allocation. Padding words are
+//!   zero in every row: their XOR is zero, so they never count.
 //! * Lane `j` of row `v` holds the *lane code* of clustering `j` at `v`:
 //!   `label + 1`, with `0` reserved for "missing". The uniform `+1` offset
 //!   lets total and partial clusterings share one encoding, and makes
@@ -19,12 +27,12 @@
 //! * Lanes are `u16` (4 per word) while every clustering has at most
 //!   65 535 clusters — the largest lane code equals the cluster count — and
 //!   fall back to `u32` lanes (2 per word) beyond that.
-//! * Rows are padded with zero lanes to a whole word; a per-word
-//!   *valid-lane mask* (high bit of each real lane) keeps padding out of
-//!   missing-lane counts. Padding never inflates separation counts: both
-//!   rows hold `0` there, so the XOR is zero.
+//! * A per-word *valid-lane mask* (every bit of each real lane set, all
+//!   bits of each padding lane clear) keeps padding out of missing-lane
+//!   counts; the SIMD tiers AND it directly against compare masks, the
+//!   SWAR tier uses its high bits.
 //!
-//! ## Exact nonzero-lane detection
+//! ## Exact nonzero-lane detection (SWAR tier)
 //!
 //! The classic byte-zero trick `(x − k·1) & !x & hi` is *not* exact per
 //! lane (a borrow from one lane can leak into the next), so the kernels
@@ -38,7 +46,7 @@
 //! masked off before adding), so the high bit of every lane is set iff the
 //! lane is nonzero.
 //!
-//! ## Popcount-free reduction
+//! ## Popcount-free reduction (SWAR tier)
 //!
 //! Counting the set high bits with `count_ones` would compile to a ~15-op
 //! software popcount on baseline `x86-64` (no `-C target-feature=+popcnt`
@@ -50,6 +58,8 @@
 //! word plus two per row, all plain integer ALU. Accumulation is chunked
 //! every [`HSUM16_CHUNK`] words so neither the lane counters nor the final
 //! sum can overflow, keeping the count exact for any clustering count.
+//! The SIMD tiers instead use hardware `popcnt` over compare masks — see
+//! the [`simd`] module docs for that counting scheme.
 //!
 //! ## Weighted blocks
 //!
@@ -63,6 +73,11 @@
 
 use crate::clustering::{Clustering, PartialClustering};
 
+pub mod dispatch;
+pub mod simd;
+
+use dispatch::Tier;
+
 /// `u16` lanes per `u64` word.
 pub const U16_LANES: usize = 4;
 /// `u32` lanes per `u64` word.
@@ -70,9 +85,13 @@ pub const U32_LANES: usize = 2;
 /// Largest lane code (= cluster count) representable in a `u16` lane.
 pub const MAX_U16_CODE: u64 = u16::MAX as u64;
 
+/// Row strides are rounded up to this many words (one 256-bit AVX2
+/// vector) so every SIMD tier can load whole vector groups from any row.
+pub const STRIDE_WORDS: usize = 4;
+
 /// Column band width (in matrix rows) for cache-blocked condensed fills
-/// over packed rows: a 512-row band of short label rows stays L1-resident
-/// while a row chunk streams against it.
+/// over packed rows when no [`LabelMatrix`] is available to ask — see
+/// [`LabelMatrix::preferred_band`] for the tier-aware figure.
 pub const PACKED_BAND: usize = 512;
 
 /// Equal-weight groups smaller than this stay on the scalar tail instead
@@ -131,15 +150,23 @@ pub enum LaneWidth {
 /// The `m` input clusterings transposed into one cache-contiguous n×m
 /// row-major matrix of packed lane codes (see the module docs for the
 /// layout). Row `v` answers "which cluster does each input place `v` in?"
-/// in `ceil(m / lanes)` consecutive words.
+/// in `ceil(m / lanes)` consecutive words (strided to [`STRIDE_WORDS`]).
 #[derive(Clone, Debug)]
 pub struct LabelMatrix {
     n: usize,
     lanes: usize,
     words_per_row: usize,
+    /// Allocated words per row: `words_per_row` rounded up to
+    /// [`STRIDE_WORDS`]; the excess is zero in every row.
+    stride: usize,
     width: LaneWidth,
+    /// Kernel tier resolved via [`dispatch::selected`] on the thread that
+    /// built the matrix, pinned for the matrix's lifetime so worker
+    /// threads run the same code path the constructor chose.
+    tier: Tier,
     words: Vec<u64>,
-    /// Per-word mask with the high bit of every *real* (non-padding) lane.
+    /// Per-word mask with every bit of each *real* (non-padding) lane set,
+    /// `stride` words long.
     valid: Vec<u64>,
 }
 
@@ -155,22 +182,29 @@ impl LabelMatrix {
             LaneWidth::U32 => (U32_LANES, 32),
         };
         let words_per_row = m.div_ceil(lanes_per_word.max(1));
-        let mut words = vec![0u64; n * words_per_row];
-        for (v, row) in words.chunks_mut(words_per_row.max(1)).enumerate().take(n) {
-            for j in 0..m {
-                row[j / lanes_per_word] |= code(j, v) << ((j % lanes_per_word) * lane_bits);
+        let stride = words_per_row.next_multiple_of(STRIDE_WORDS);
+        let mut words = vec![0u64; n * stride];
+        if stride > 0 {
+            for (v, row) in words.chunks_mut(stride).enumerate() {
+                for j in 0..m {
+                    row[j / lanes_per_word] |= code(j, v) << ((j % lanes_per_word) * lane_bits);
+                }
             }
         }
-        let lane_hi = 1u64 << (lane_bits - 1);
-        let mut valid = vec![0u64; words_per_row];
-        for (j, _) in (0..m).enumerate() {
-            valid[j / lanes_per_word] |= lane_hi << ((j % lanes_per_word) * lane_bits);
+        let lane_mask = (1u128 << lane_bits) as u64 - 1;
+        let mut valid = vec![0u64; stride];
+        for j in 0..m {
+            valid[j / lanes_per_word] |= lane_mask << ((j % lanes_per_word) * lane_bits);
         }
+        let tier = dispatch::selected();
+        crate::telemetry::record_dispatch_tier(tier);
         LabelMatrix {
             n,
             lanes: m,
             words_per_row,
+            stride,
             width,
+            tier,
             words,
             valid,
         }
@@ -261,15 +295,166 @@ impl LabelMatrix {
         self.width
     }
 
+    /// The kernel tier this matrix dispatches to (resolved at build time
+    /// on the constructing thread).
+    #[inline]
+    pub fn tier(&self) -> Tier {
+        self.tier
+    }
+
     /// Heap bytes held by the packed words and masks (for `MemGauge`
     /// accounting on governed paths).
     pub fn bytes(&self) -> u64 {
         (self.words.len() as u64 + self.valid.len() as u64) * 8
     }
 
+    /// Cache-block band width (in rows) tuned for this matrix's tier and
+    /// row stride: the band should stay L1-resident while a row chunk
+    /// streams against it, and the SIMD tiers chew through rows fast
+    /// enough that a wider band amortizes the per-band loop overhead.
+    pub fn preferred_band(&self) -> usize {
+        let row_bytes = self.stride.max(STRIDE_WORDS) * 8;
+        let target_bytes = match self.tier {
+            Tier::Scalar | Tier::Swar => 16 * 1024,
+            Tier::Sse2 | Tier::Avx2 | Tier::Avx512 | Tier::Neon => 32 * 1024,
+        };
+        (target_bytes / row_bytes).clamp(64, 4096)
+    }
+
+    #[inline(always)]
+    fn lane_bits(&self) -> usize {
+        match self.width {
+            LaneWidth::U16 => 16,
+            LaneWidth::U32 => 32,
+        }
+    }
+
+    /// Logical row `v`: the `words_per_row` words holding real lanes.
     #[inline(always)]
     fn row(&self, v: usize) -> &[u64] {
-        &self.words[v * self.words_per_row..(v + 1) * self.words_per_row]
+        &self.words[v * self.stride..v * self.stride + self.words_per_row]
+    }
+
+    /// Stride-padded row `v` (what the SIMD kernels load).
+    #[inline(always)]
+    fn padded_row(&self, v: usize) -> &[u64] {
+        &self.words[v * self.stride..(v + 1) * self.stride]
+    }
+
+    /// Hand a row batch to this matrix's SIMD tier. Returns `false` when
+    /// the tier is universal (scalar/SWAR) or compiled out on this arch,
+    /// in which case the caller runs the portable path.
+    #[inline]
+    fn sep_rows_simd(&self, a: &[u64], rows: &[u64], out: &mut [u32]) -> bool {
+        match (self.tier, self.width) {
+            #[cfg(target_arch = "x86_64")]
+            (Tier::Avx2, LaneWidth::U16) => {
+                // SAFETY: `self.tier` passed `Tier::is_available` when it
+                // was selected (dispatch.rs never yields an unavailable
+                // tier), so AVX2 is present; `a` and each row of `rows`
+                // are exactly `stride` words, a positive multiple of 4.
+                unsafe { simd::x86::sep_rows16_avx2(a, rows, self.stride, out) }
+                true
+            }
+            #[cfg(target_arch = "x86_64")]
+            (Tier::Avx2, LaneWidth::U32) => {
+                // SAFETY: as above — AVX2 available, stride-sized slices.
+                unsafe { simd::x86::sep_rows32_avx2(a, rows, self.stride, out) }
+                true
+            }
+            #[cfg(target_arch = "x86_64")]
+            (Tier::Avx512, LaneWidth::U16) => {
+                // SAFETY: as above — AVX-512 F/BW/VL available,
+                // stride-sized slices.
+                unsafe { simd::x86::sep_rows16_avx512(a, rows, self.stride, out) }
+                true
+            }
+            #[cfg(target_arch = "x86_64")]
+            (Tier::Avx512, LaneWidth::U32) => {
+                // SAFETY: as above.
+                unsafe { simd::x86::sep_rows32_avx512(a, rows, self.stride, out) }
+                true
+            }
+            #[cfg(target_arch = "x86_64")]
+            (Tier::Sse2, LaneWidth::U16) => {
+                // SAFETY: as above — SSE2+POPCNT available, stride-sized
+                // slices (stride is a multiple of 4, hence of 2).
+                unsafe { simd::x86::sep_rows16_sse2(a, rows, self.stride, out) }
+                true
+            }
+            #[cfg(target_arch = "x86_64")]
+            (Tier::Sse2, LaneWidth::U32) => {
+                // SAFETY: as above.
+                unsafe { simd::x86::sep_rows32_sse2(a, rows, self.stride, out) }
+                true
+            }
+            #[cfg(target_arch = "aarch64")]
+            (Tier::Neon, LaneWidth::U16) => {
+                // SAFETY: NEON confirmed available at tier selection;
+                // stride-sized slices as above.
+                unsafe { simd::neon::sep_rows16_neon(a, rows, self.stride, out) }
+                true
+            }
+            #[cfg(target_arch = "aarch64")]
+            (Tier::Neon, LaneWidth::U32) => {
+                // SAFETY: as above.
+                unsafe { simd::neon::sep_rows32_neon(a, rows, self.stride, out) }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// `sep_missing` on this matrix's SIMD tier, or `None` on a universal
+    /// tier (see [`LabelMatrix::sep_rows_simd`]).
+    #[inline]
+    fn sep_missing_simd(&self, u: usize, v: usize) -> Option<(u32, u32)> {
+        let (a, b) = (self.padded_row(u), self.padded_row(v));
+        match (self.tier, self.width) {
+            #[cfg(target_arch = "x86_64")]
+            (Tier::Avx2, LaneWidth::U16) => {
+                // SAFETY: tier availability checked at selection; `a`,
+                // `b`, and `valid` are exactly `stride` words, a positive
+                // multiple of 4.
+                Some(unsafe { simd::x86::sep_missing16_avx2(a, b, &self.valid, self.stride) })
+            }
+            #[cfg(target_arch = "x86_64")]
+            (Tier::Avx2, LaneWidth::U32) => {
+                // SAFETY: as above.
+                Some(unsafe { simd::x86::sep_missing32_avx2(a, b, &self.valid, self.stride) })
+            }
+            #[cfg(target_arch = "x86_64")]
+            (Tier::Avx512, LaneWidth::U16) => {
+                // SAFETY: as above (AVX-512 F/BW/VL).
+                Some(unsafe { simd::x86::sep_missing16_avx512(a, b, &self.valid, self.stride) })
+            }
+            #[cfg(target_arch = "x86_64")]
+            (Tier::Avx512, LaneWidth::U32) => {
+                // SAFETY: as above.
+                Some(unsafe { simd::x86::sep_missing32_avx512(a, b, &self.valid, self.stride) })
+            }
+            #[cfg(target_arch = "x86_64")]
+            (Tier::Sse2, LaneWidth::U16) => {
+                // SAFETY: as above (SSE2+POPCNT).
+                Some(unsafe { simd::x86::sep_missing16_sse2(a, b, &self.valid, self.stride) })
+            }
+            #[cfg(target_arch = "x86_64")]
+            (Tier::Sse2, LaneWidth::U32) => {
+                // SAFETY: as above.
+                Some(unsafe { simd::x86::sep_missing32_sse2(a, b, &self.valid, self.stride) })
+            }
+            #[cfg(target_arch = "aarch64")]
+            (Tier::Neon, LaneWidth::U16) => {
+                // SAFETY: as above (NEON).
+                Some(unsafe { simd::neon::sep_missing16_neon(a, b, &self.valid, self.stride) })
+            }
+            #[cfg(target_arch = "aarch64")]
+            (Tier::Neon, LaneWidth::U32) => {
+                // SAFETY: as above.
+                Some(unsafe { simd::neon::sep_missing32_neon(a, b, &self.valid, self.stride) })
+            }
+            _ => None,
+        }
     }
 
     /// Number of lanes whose codes differ between rows `u` and `v`.
@@ -280,6 +465,26 @@ impl LabelMatrix {
     /// apart.)
     #[inline]
     pub fn sep(&self, u: usize, v: usize) -> u32 {
+        if self.words_per_row == 0 {
+            return 0;
+        }
+        match self.tier {
+            Tier::Scalar => simd::sep_pair_scalar(self.row(u), self.row(v), self.lane_bits()),
+            Tier::Swar => self.sep_swar(u, v),
+            _ => {
+                let mut out = [0u32; 1];
+                if self.sep_rows_simd(self.padded_row(u), self.padded_row(v), &mut out) {
+                    out[0]
+                } else {
+                    self.sep_swar(u, v)
+                }
+            }
+        }
+    }
+
+    /// The universal SWAR pair kernel (also the fallback when a SIMD tier
+    /// is compiled out on this target).
+    fn sep_swar(&self, u: usize, v: usize) -> u32 {
         let (a, b) = (self.row(u), self.row(v));
         match self.width {
             LaneWidth::U16 => {
@@ -305,31 +510,42 @@ impl LabelMatrix {
 
     /// Batch kernel behind the dense fills: writes `sep(u, lo + i)` into
     /// `out[i]` for every `i`. Row `u` is loaded into registers once and
-    /// the `v` rows stream sequentially through the packed words; short
-    /// rows (≤ 4 words) dispatch to fully unrolled inner loops.
+    /// the `v` rows stream sequentially through the packed words; the
+    /// SIMD tiers compare a whole vector group per op, the SWAR tier
+    /// dispatches short rows (≤ 4 words) to fully unrolled inner loops.
     ///
     /// # Panics
     /// Panics if `lo + out.len()` exceeds the number of rows.
     pub fn sep_row_into(&self, u: usize, lo: usize, out: &mut [u32]) {
-        let wpr = self.words_per_row;
-        if wpr == 0 {
+        crate::telemetry::count_row_batches();
+        if self.words_per_row == 0 || out.is_empty() {
             out.fill(0);
             return;
         }
-        let a = self.row(u);
-        let rows = &self.words[lo * wpr..(lo + out.len()) * wpr];
+        let a = self.padded_row(u);
+        let rows = &self.words[lo * self.stride..(lo + out.len()) * self.stride];
+        if self.sep_rows_simd(a, rows, out) {
+            return;
+        }
+        if self.tier == Tier::Scalar {
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = simd::sep_pair_scalar(self.row(u), self.row(lo + i), self.lane_bits());
+            }
+            return;
+        }
+        let wpr = self.words_per_row;
         match (self.width, wpr) {
-            (LaneWidth::U16, 1) => sep_rows16::<1>(a, rows, out),
-            (LaneWidth::U16, 2) => sep_rows16::<2>(a, rows, out),
-            (LaneWidth::U16, 3) => sep_rows16::<3>(a, rows, out),
-            (LaneWidth::U16, 4) => sep_rows16::<4>(a, rows, out),
-            (LaneWidth::U32, 1) => sep_rows32::<1>(a, rows, out),
-            (LaneWidth::U32, 2) => sep_rows32::<2>(a, rows, out),
-            (LaneWidth::U32, 3) => sep_rows32::<3>(a, rows, out),
-            (LaneWidth::U32, 4) => sep_rows32::<4>(a, rows, out),
+            (LaneWidth::U16, 1) => sep_rows16::<1>(a, rows, self.stride, out),
+            (LaneWidth::U16, 2) => sep_rows16::<2>(a, rows, self.stride, out),
+            (LaneWidth::U16, 3) => sep_rows16::<3>(a, rows, self.stride, out),
+            (LaneWidth::U16, 4) => sep_rows16::<4>(a, rows, self.stride, out),
+            (LaneWidth::U32, 1) => sep_rows32::<1>(a, rows, self.stride, out),
+            (LaneWidth::U32, 2) => sep_rows32::<2>(a, rows, self.stride, out),
+            (LaneWidth::U32, 3) => sep_rows32::<3>(a, rows, self.stride, out),
+            (LaneWidth::U32, 4) => sep_rows32::<4>(a, rows, self.stride, out),
             _ => {
                 for (i, o) in out.iter_mut().enumerate() {
-                    *o = self.sep(u, lo + i);
+                    *o = self.sep_swar(u, lo + i);
                 }
             }
         }
@@ -341,6 +557,25 @@ impl LabelMatrix {
     /// (padding lanes are masked out of both).
     #[inline]
     pub fn sep_missing(&self, u: usize, v: usize) -> (u32, u32) {
+        if self.words_per_row == 0 {
+            return (0, 0);
+        }
+        match self.tier {
+            Tier::Scalar => simd::sep_missing_scalar(
+                self.row(u),
+                self.row(v),
+                &self.valid[..self.words_per_row],
+                self.lane_bits(),
+            ),
+            Tier::Swar => self.sep_missing_swar(u, v),
+            _ => self
+                .sep_missing_simd(u, v)
+                .unwrap_or_else(|| self.sep_missing_swar(u, v)),
+        }
+    }
+
+    /// The universal SWAR `sep_missing` kernel.
+    fn sep_missing_swar(&self, u: usize, v: usize) -> (u32, u32) {
         let (a, b) = (self.row(u), self.row(v));
         let mut sep = 0u32;
         let mut missing = 0u32;
@@ -355,7 +590,7 @@ impl LabelMatrix {
                     let mut miss_acc = 0u64;
                     for ((&x, &y), &ok) in ca.iter().zip(cb).zip(cok) {
                         let zero_either = (HI16 ^ nonzero16(x)) | (HI16 ^ nonzero16(y));
-                        let miss = zero_either & ok;
+                        let miss = zero_either & ok & HI16;
                         sep_acc += (nonzero16(x ^ y) & !miss) >> 15;
                         miss_acc += miss >> 15;
                     }
@@ -368,7 +603,7 @@ impl LabelMatrix {
                 let mut miss_acc = 0u64;
                 for ((&x, &y), &ok) in a.iter().zip(b).zip(&self.valid) {
                     let zero_either = (HI32 ^ nonzero32(x)) | (HI32 ^ nonzero32(y));
-                    let miss = zero_either & ok;
+                    let miss = zero_either & ok & HI32;
                     sep_acc += (nonzero32(x ^ y) & !miss) >> 31;
                     miss_acc += miss >> 31;
                 }
@@ -380,14 +615,15 @@ impl LabelMatrix {
     }
 }
 
-/// Unrolled `u16`-lane row-batch kernel: `rows` is `out.len()` consecutive
-/// `W`-word label rows, compared against the fixed row `a`. `W ≤ 4` keeps
+/// Unrolled `u16`-lane row-batch kernel (SWAR tier): `rows` is
+/// `out.len()` consecutive `stride`-word label rows whose first `W` words
+/// carry real lanes, compared against the fixed row `a`. `W ≤ 4` keeps
 /// every lane counter ≤ 4, so a single horizontal sum per row is exact.
 #[inline(always)]
-fn sep_rows16<const W: usize>(a: &[u64], rows: &[u64], out: &mut [u32]) {
+fn sep_rows16<const W: usize>(a: &[u64], rows: &[u64], stride: usize, out: &mut [u32]) {
     let mut fixed = [0u64; W];
-    fixed.copy_from_slice(a);
-    for (o, row) in out.iter_mut().zip(rows.chunks_exact(W)) {
+    fixed.copy_from_slice(&a[..W]);
+    for (o, row) in out.iter_mut().zip(rows.chunks_exact(stride)) {
         let mut acc = 0u64;
         for j in 0..W {
             acc += nonzero16(fixed[j] ^ row[j]) >> 15;
@@ -398,10 +634,10 @@ fn sep_rows16<const W: usize>(a: &[u64], rows: &[u64], out: &mut [u32]) {
 
 /// Unrolled `u32`-lane row-batch kernel (see [`sep_rows16`]).
 #[inline(always)]
-fn sep_rows32<const W: usize>(a: &[u64], rows: &[u64], out: &mut [u32]) {
+fn sep_rows32<const W: usize>(a: &[u64], rows: &[u64], stride: usize, out: &mut [u32]) {
     let mut fixed = [0u64; W];
-    fixed.copy_from_slice(a);
-    for (o, row) in out.iter_mut().zip(rows.chunks_exact(W)) {
+    fixed.copy_from_slice(&a[..W]);
+    for (o, row) in out.iter_mut().zip(rows.chunks_exact(stride)) {
         let mut acc = 0u64;
         for j in 0..W {
             acc += nonzero32(fixed[j] ^ row[j]) >> 31;
@@ -427,7 +663,7 @@ pub fn weight_groups(weights: &[f64]) -> Vec<(f64, Vec<usize>)> {
 }
 
 /// Scalar reference implementations of the canonical per-pair distances —
-/// deliberately independent of the SWAR kernels (plain `same_cluster` /
+/// deliberately independent of the packed kernels (plain `same_cluster` /
 /// `label` walks) so the differential conformance suite compares two
 /// genuinely different code paths.
 pub mod reference {
@@ -552,13 +788,49 @@ mod tests {
             c(&[0, 0, 0, 0, 0, 0]),
             c(&[0, 1, 2, 3, 4, 5]),
         ];
-        let mx = LabelMatrix::from_total(&cs);
-        assert_eq!(mx.width(), LaneWidth::U16);
-        assert_eq!(mx.lanes(), 5);
-        for u in 0..6 {
-            for v in 0..6 {
-                let expected = cs.iter().filter(|ci| !ci.same_cluster(u, v)).count() as u32;
-                assert_eq!(mx.sep(u, v), expected, "pair ({u},{v})");
+        for tier in dispatch::reachable_tiers() {
+            let mx = dispatch::with_forced_tier(tier, || LabelMatrix::from_total(&cs));
+            assert_eq!(mx.tier(), tier);
+            assert_eq!(mx.width(), LaneWidth::U16);
+            assert_eq!(mx.lanes(), 5);
+            for u in 0..6 {
+                for v in 0..6 {
+                    let expected = cs.iter().filter(|ci| !ci.same_cluster(u, v)).count() as u32;
+                    assert_eq!(
+                        mx.sep(u, v),
+                        expected,
+                        "tier {} pair ({u},{v})",
+                        tier.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_batches_match_pairwise_under_every_tier() {
+        let n = 37usize;
+        let cs: Vec<Clustering> = (0..9)
+            .map(|j| {
+                c(&(0..n)
+                    .map(|v| ((v * (j + 2) + j) % 5) as u32)
+                    .collect::<Vec<_>>())
+            })
+            .collect();
+        let baseline = dispatch::with_forced_tier(Tier::Scalar, || LabelMatrix::from_total(&cs));
+        for tier in dispatch::reachable_tiers() {
+            let mx = dispatch::with_forced_tier(tier, || LabelMatrix::from_total(&cs));
+            let mut out = vec![0u32; n];
+            for u in 0..n {
+                mx.sep_row_into(u, 0, &mut out);
+                for (v, &got) in out.iter().enumerate() {
+                    assert_eq!(
+                        got,
+                        baseline.sep(u, v),
+                        "tier {} batch ({u},{v})",
+                        tier.name()
+                    );
+                }
             }
         }
     }
@@ -566,12 +838,14 @@ mod tests {
     #[test]
     fn sep_missing_masks_padding_lanes() {
         // m = 5 lanes → 3 padding lanes in the second word; both objects
-        // missing everywhere must report missing = 5, not 8.
+        // missing everywhere must report missing = 5, not more.
         let ps: Vec<PartialClustering> = (0..5)
             .map(|_| PartialClustering::from_labels(vec![None, None]))
             .collect();
-        let mx = LabelMatrix::from_partial(&ps);
-        assert_eq!(mx.sep_missing(0, 1), (0, 5));
+        for tier in dispatch::reachable_tiers() {
+            let mx = dispatch::with_forced_tier(tier, || LabelMatrix::from_partial(&ps));
+            assert_eq!(mx.sep_missing(0, 1), (0, 5), "tier {}", tier.name());
+        }
     }
 
     #[test]
@@ -581,13 +855,15 @@ mod tests {
             PartialClustering::from_labels(vec![Some(0), None, Some(0)]),
             PartialClustering::from_labels(vec![None, Some(2), Some(2)]),
         ];
-        let mx = LabelMatrix::from_partial(&ps);
-        // (0,1): c0 separates; c1 missing on 1; c2 missing on 0.
-        assert_eq!(mx.sep_missing(0, 1), (1, 2));
-        // (0,2): c0 joins, c1 joins, c2 missing on 0.
-        assert_eq!(mx.sep_missing(0, 2), (0, 1));
-        // (1,2): c0 separates, c1 missing on 1, c2 joins (both label 2).
-        assert_eq!(mx.sep_missing(1, 2), (1, 1));
+        for tier in dispatch::reachable_tiers() {
+            let mx = dispatch::with_forced_tier(tier, || LabelMatrix::from_partial(&ps));
+            // (0,1): c0 separates; c1 missing on 1; c2 missing on 0.
+            assert_eq!(mx.sep_missing(0, 1), (1, 2), "tier {}", tier.name());
+            // (0,2): c0 joins, c1 joins, c2 missing on 0.
+            assert_eq!(mx.sep_missing(0, 2), (0, 1), "tier {}", tier.name());
+            // (1,2): c0 separates, c1 missing on 1, c2 joins (both label 2).
+            assert_eq!(mx.sep_missing(1, 2), (1, 1), "tier {}", tier.name());
+        }
     }
 
     #[test]
@@ -606,6 +882,23 @@ mod tests {
             let expected32 = expected16 + u32::from(u % 65_536 != v % 65_536);
             assert_eq!(mx32.sep(u, v), expected32, "u32 pair ({u},{v})");
         }
+    }
+
+    #[test]
+    fn stride_pads_rows_to_whole_vector_groups() {
+        let cs = vec![c(&[0, 1, 2]); 5]; // m = 5 → 2 logical words, u16
+        let mx = LabelMatrix::from_total(&cs);
+        assert_eq!(mx.words_per_row, 2);
+        assert_eq!(mx.stride, STRIDE_WORDS);
+        assert_eq!(mx.valid.len(), STRIDE_WORDS);
+        // Padding words carry no valid lanes; the first word is fully
+        // valid, the second has one real lane.
+        assert_eq!(mx.valid[0], u64::MAX);
+        assert_eq!(mx.valid[1], 0xffff);
+        assert_eq!(mx.valid[2], 0);
+        assert_eq!(mx.valid[3], 0);
+        let band = mx.preferred_band();
+        assert!((64..=4096).contains(&band), "band {band}");
     }
 
     #[test]

@@ -80,11 +80,12 @@ pub mod telemetry;
 /// mockable [`telemetry::Clock`]. Downstream crates (cli, bench) use this
 /// instead of reaching into [`telemetry`] piecemeal.
 pub mod obs {
+    pub use crate::kernels::dispatch as simd_dispatch;
     pub use crate::telemetry::{
-        clear_collector, collector_active, dispatch_event, install_collector, metrics,
-        metrics_enabled, set_metrics_enabled, Clock, Collector, Counter, Event, JsonlSink, Level,
-        MaxGauge, MemoryCollector, MetricsSnapshot, SpanData, SpanGuard, StderrSink, TeeCollector,
-        Value,
+        clear_collector, collector_active, dispatch_event, host_report_json, install_collector,
+        metrics, metrics_enabled, run_report_json, set_metrics_enabled, Clock, Collector, Counter,
+        Event, Gauge, JsonlSink, Level, MaxGauge, MemoryCollector, MetricsSnapshot, SpanData,
+        SpanGuard, StderrSink, TeeCollector, Value,
     };
     pub use crate::{debug, error_event, event, info, span, trace, warn};
 }

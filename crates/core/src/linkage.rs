@@ -16,7 +16,6 @@ use std::sync::Arc;
 
 use crate::clustering::Clustering;
 use crate::instance::DistanceOracle;
-use crate::kernels;
 use crate::parallel;
 use crate::robust::{MemCharge, RunBudget, RunStatus};
 use crate::snapshot::{AgglomerativeSnapshot, AlgorithmSnapshot, Checkpointer, MergeRecord};
@@ -109,7 +108,7 @@ impl CondensedMatrix {
     pub fn from_oracle<O: DistanceOracle + Sync + ?Sized>(oracle: &O) -> Self {
         CondensedMatrix {
             n: oracle.len(),
-            data: parallel::fill_condensed_banded(oracle.len(), kernels::PACKED_BAND, |u, v| {
+            data: parallel::fill_condensed_banded(oracle.len(), oracle.preferred_band(), |u, v| {
                 oracle.dist(u, v)
             }),
             charge: None,
@@ -131,7 +130,7 @@ impl CondensedMatrix {
         let charge = budget.try_reserve(bytes)?;
         let data = parallel::try_fill_condensed_banded(
             n,
-            kernels::PACKED_BAND,
+            oracle.preferred_band(),
             |u, v| oracle.dist(u, v),
             budget,
         )?;

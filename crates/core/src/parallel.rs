@@ -333,6 +333,26 @@ pub fn fill_condensed_banded_rows<G>(n: usize, band: usize, g: G) -> Vec<f64>
 where
     G: Fn(usize, Range<usize>, &mut [f64]) + Sync,
 {
+    fill_condensed_banded_rows_scratch(n, band, || (), |(): &mut (), u, vs, seg| g(u, vs, seg))
+}
+
+/// Scratch-carrying variant of [`fill_condensed_banded_rows`]: each worker
+/// job calls `make_scratch()` once and threads the same `&mut S` through
+/// every `g` call it makes, so batch kernels can reuse one count buffer
+/// across all their row segments instead of allocating (or re-zeroing) per
+/// row. The scratch never influences segment boundaries or write indices,
+/// so the determinism guarantee of the scratch-free variant carries over
+/// unchanged.
+pub fn fill_condensed_banded_rows_scratch<S, M, G>(
+    n: usize,
+    band: usize,
+    make_scratch: M,
+    g: G,
+) -> Vec<f64>
+where
+    M: Fn() -> S + Sync,
+    G: Fn(&mut S, usize, Range<usize>, &mut [f64]) + Sync,
+{
     let band = band.max(1);
     let len = n * n.saturating_sub(1) / 2;
     let mut data = vec![0.0f64; len];
@@ -345,7 +365,8 @@ where
         rest = tail;
     }
     run_jobs(jobs, |(rows, out)| {
-        fill_rows_banded_segments(n, band, &rows, out, &g);
+        let mut scratch = make_scratch();
+        fill_rows_banded_scratch_segments(n, band, &rows, out, &mut scratch, &g);
     });
     data
 }
@@ -377,6 +398,22 @@ fn fill_rows_banded_segments<G>(n: usize, band: usize, rows: &Range<usize>, out:
 where
     G: Fn(usize, Range<usize>, &mut [f64]) + Sync,
 {
+    fill_rows_banded_scratch_segments(n, band, rows, out, &mut (), &|(): &mut (), u, vs, seg| {
+        g(u, vs, seg)
+    });
+}
+
+/// The scratch-threading core of the banded walks.
+fn fill_rows_banded_scratch_segments<S, G>(
+    n: usize,
+    band: usize,
+    rows: &Range<usize>,
+    out: &mut [f64],
+    scratch: &mut S,
+    g: &G,
+) where
+    G: Fn(&mut S, usize, Range<usize>, &mut [f64]) + Sync,
+{
     let mut band_start = rows.start + 1;
     while band_start < n {
         let band_end = (band_start + band).min(n);
@@ -385,7 +422,12 @@ where
             let lo = band_start.max(u + 1);
             if lo < band_end {
                 let idx0 = off + (lo - u - 1);
-                g(u, lo..band_end, &mut out[idx0..idx0 + (band_end - lo)]);
+                g(
+                    scratch,
+                    u,
+                    lo..band_end,
+                    &mut out[idx0..idx0 + (band_end - lo)],
+                );
             }
             off += n - 1 - u;
         }
@@ -499,6 +541,62 @@ where
             return;
         }
         fill_rows_banded(n, band, &rows, out, &f);
+    });
+    match tripped.load(Ordering::Relaxed) {
+        0 => Ok(data),
+        2 => Err(Interrupt::Cancelled),
+        _ => Err(Interrupt::Deadline),
+    }
+}
+
+/// Budget-aware [`fill_condensed_banded_rows_scratch`]: the same batched
+/// row-segment fill, polling the budget between chunk jobs exactly like
+/// [`try_fill_condensed_banded`]. Unlimited budgets take the unpolled
+/// fast path; segment boundaries and write indices are unchanged, so the
+/// result stays bit-identical to the unbudgeted fill at any thread count.
+pub fn try_fill_condensed_banded_rows_scratch<S, M, G>(
+    n: usize,
+    band: usize,
+    make_scratch: M,
+    g: G,
+    budget: &crate::robust::RunBudget,
+) -> Result<Vec<f64>, crate::robust::Interrupt>
+where
+    M: Fn() -> S + Sync,
+    G: Fn(&mut S, usize, Range<usize>, &mut [f64]) + Sync,
+{
+    use crate::robust::Interrupt;
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    if budget.is_unlimited() {
+        return Ok(fill_condensed_banded_rows_scratch(n, band, make_scratch, g));
+    }
+    let band = band.max(1);
+    let tripped = AtomicU8::new(0);
+    let len = n * n.saturating_sub(1) / 2;
+    let mut data = vec![0.0f64; len];
+    let mut jobs: Vec<(Range<usize>, &mut [f64])> = Vec::new();
+    let mut rest: &mut [f64] = &mut data;
+    for rows in row_ranges(n) {
+        let pairs: usize = rows.clone().map(|u| n - 1 - u).sum();
+        let (head, tail) = rest.split_at_mut(pairs);
+        jobs.push((rows, head));
+        rest = tail;
+    }
+    run_jobs(jobs, |(rows, out)| {
+        if tripped.load(Ordering::Relaxed) != 0 {
+            return;
+        }
+        if let Err(interrupt) = budget.poll() {
+            let code = match interrupt {
+                Interrupt::Cancelled => 2,
+                _ => 1,
+            };
+            tripped.store(code, Ordering::Relaxed);
+            return;
+        }
+        let mut scratch = make_scratch();
+        fill_rows_banded_scratch_segments(n, band, &rows, out, &mut scratch, &g);
     });
     match tripped.load(Ordering::Relaxed) {
         0 => Ok(data),

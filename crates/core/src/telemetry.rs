@@ -485,6 +485,27 @@ impl Counter {
     }
 }
 
+/// A last-value gauge (plain atomic store/load).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    const fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// A gauge that keeps the maximum value it has ever been offered
 /// (high-water marks).
 #[derive(Debug)]
@@ -610,6 +631,15 @@ pub struct Metrics {
     /// Scalar-lane pair evaluations on the weighted oracle's unpacked
     /// tail (equal-weight groups too small for a packed block).
     pub kernels_fallback_scalar: Counter,
+    /// `sep_row_into` batch invocations (one per row×band block in the
+    /// cache-blocked fills).
+    pub kernels_row_batches: Counter,
+    /// Code of the SIMD dispatch tier the most recent [`crate::kernels::LabelMatrix`]
+    /// was built with (see [`crate::kernels::dispatch::Tier::code`]; 0 =
+    /// no packed kernel has run). Recorded unconditionally — it is one
+    /// store per matrix build, and traces must state which code path
+    /// produced their numbers even when counters are off.
+    pub kernels_dispatch_tier: Gauge,
     /// LOCALSEARCH full passes over the node set.
     pub ls_passes: Counter,
     /// LOCALSEARCH node visits (one move evaluation each).
@@ -670,6 +700,8 @@ static METRICS: Metrics = Metrics {
     oracle_lazy_evals: Counter::new(),
     oracle_packed_evals: Counter::new(),
     kernels_fallback_scalar: Counter::new(),
+    kernels_row_batches: Counter::new(),
+    kernels_dispatch_tier: Gauge::new(),
     ls_passes: Counter::new(),
     ls_nodes_visited: Counter::new(),
     ls_moves: Counter::new(),
@@ -728,6 +760,11 @@ pub struct MetricsSnapshot {
     pub oracle_packed_evals: u64,
     /// See [`Metrics::kernels_fallback_scalar`].
     pub kernels_fallback_scalar: u64,
+    /// See [`Metrics::kernels_row_batches`].
+    pub kernels_row_batches: u64,
+    /// See [`Metrics::kernels_dispatch_tier`] (tier *code*; rendered as
+    /// the tier name in JSON).
+    pub kernels_dispatch_tier: u64,
     /// See [`Metrics::ls_passes`].
     pub ls_passes: u64,
     /// See [`Metrics::ls_nodes_visited`].
@@ -789,6 +826,8 @@ impl MetricsSnapshot {
             oracle_lazy_evals: m.oracle_lazy_evals.get(),
             oracle_packed_evals: m.oracle_packed_evals.get(),
             kernels_fallback_scalar: m.kernels_fallback_scalar.get(),
+            kernels_row_batches: m.kernels_row_batches.get(),
+            kernels_dispatch_tier: m.kernels_dispatch_tier.get(),
             ls_passes: m.ls_passes.get(),
             ls_nodes_visited: m.ls_nodes_visited.get(),
             ls_moves: m.ls_moves.get(),
@@ -844,6 +883,10 @@ impl MetricsSnapshot {
             kernels_fallback_scalar: self
                 .kernels_fallback_scalar
                 .saturating_sub(earlier.kernels_fallback_scalar),
+            kernels_row_batches: self
+                .kernels_row_batches
+                .saturating_sub(earlier.kernels_row_batches),
+            kernels_dispatch_tier: self.kernels_dispatch_tier,
             ls_passes: self.ls_passes.saturating_sub(earlier.ls_passes),
             ls_nodes_visited: self
                 .ls_nodes_visited
@@ -943,6 +986,18 @@ impl MetricsSnapshot {
         push(
             "kernels_fallback_scalar",
             self.kernels_fallback_scalar.to_string(),
+            false,
+        );
+        push(
+            "kernels_row_batches",
+            self.kernels_row_batches.to_string(),
+            false,
+        );
+        push(
+            "kernels_dispatch_tier",
+            json_string(crate::kernels::dispatch::tier_code_name(
+                self.kernels_dispatch_tier,
+            )),
             false,
         );
         push(
@@ -1064,6 +1119,23 @@ pub fn count_scalar_fallback(n: u64) {
     }
 }
 
+/// Count one `sep_row_into` batch invocation.
+#[inline]
+pub fn count_row_batches() {
+    if metrics_enabled() {
+        METRICS.kernels_row_batches.incr();
+    }
+}
+
+/// Record the dispatch tier a freshly built packed matrix will use.
+/// Deliberately *not* gated on [`metrics_enabled`]: one relaxed store per
+/// matrix build, and run reports must state which code path ran even when
+/// counters are off.
+#[inline]
+pub fn record_dispatch_tier(tier: crate::kernels::dispatch::Tier) {
+    METRICS.kernels_dispatch_tier.set(tier.code());
+}
+
 /// Record a tracked-memory level for the high-water gauge.
 #[inline]
 pub fn observe_mem_bytes(bytes: u64) {
@@ -1085,6 +1157,45 @@ pub fn count_interrupt(interrupt: crate::robust::Interrupt) {
         Interrupt::Cancelled => METRICS.interrupts_cancelled.incr(),
         Interrupt::MemoryExceeded { .. } => METRICS.interrupts_memory.incr(),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Run reports
+// ---------------------------------------------------------------------------
+
+/// JSON object describing the host the process is running on: arch, OS,
+/// CPU count, the CPU features relevant to kernel dispatch, and the
+/// requested/selected SIMD tier. Embedded in every run report so a
+/// benchmark number always states what hardware and code path produced it
+/// (e.g. "speedup measured on a 1-CPU host" is machine-readable).
+pub fn host_report_json() -> String {
+    use crate::kernels::dispatch;
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let features: Vec<String> = dispatch::detected_features()
+        .iter()
+        .map(|f| json_string(f))
+        .collect();
+    format!(
+        "{{\"arch\":{},\"os\":{},\"cpus\":{},\"features\":[{}],\"simd_requested\":{},\"simd_selected\":{}}}",
+        json_string(std::env::consts::ARCH),
+        json_string(std::env::consts::OS),
+        cpus,
+        features.join(","),
+        json_string(dispatch::requested()),
+        json_string(dispatch::selected().name()),
+    )
+}
+
+/// The standard run report: schema tag, host block, and the current
+/// metrics registry. This is the exact payload of the CLI's
+/// `--metrics-out`, the bench binaries' `--metrics-out`, and the
+/// `run_report` records embedded in `BENCH_*.json`.
+pub fn run_report_json() -> String {
+    format!(
+        "{{\"schema\":\"aggclust-run-report-v1\",\"host\":{},\"metrics\":{}}}",
+        host_report_json(),
+        MetricsSnapshot::capture().to_json()
+    )
 }
 
 // ---------------------------------------------------------------------------

@@ -1,14 +1,16 @@
-//! Differential conformance suite for the packed SWAR kernels
-//! (DESIGN.md §6f): every distance the packed path can produce is compared
-//! bit-for-bit (`f64::to_bits`) against the independent scalar reference
-//! implementations in `aggclust_core::kernels::reference`, across a size
-//! grid that straddles every layout boundary (empty, single object, word
-//! boundaries at m = 63/64/65, lane-width boundaries at 65535/65536
-//! clusters) and across thread counts.
+//! Differential conformance suite for the packed disagreement kernels
+//! (DESIGN.md §6f–§6g): every distance the packed path can produce is
+//! compared bit-for-bit (`f64::to_bits`) against the independent scalar
+//! reference implementations in `aggclust_core::kernels::reference`,
+//! across a size grid that straddles every layout boundary (empty, single
+//! object, word boundaries at m = 63/64/65, lane-width boundaries at
+//! 65535/65536 clusters), across thread counts, and — via
+//! [`dispatch::with_forced_tier`] — under **every SIMD dispatch tier the
+//! host can reach** (scalar, SWAR, SSE2, AVX2, NEON where available).
 
 use aggclust_core::clustering::{Clustering, PartialClustering};
 use aggclust_core::instance::{ClusteringsOracle, DenseOracle, DistanceOracle, MissingPolicy};
-use aggclust_core::kernels::{reference, LaneWidth};
+use aggclust_core::kernels::{dispatch, reference, LaneWidth};
 use aggclust_core::parallel::with_num_threads;
 use proptest::prelude::*;
 
@@ -73,22 +75,34 @@ fn assert_bits_eq(got: f64, want: f64, ctx: &str) {
 }
 
 #[test]
-fn packed_dense_matches_reference_across_the_size_grid() {
+fn packed_dense_matches_reference_across_the_size_grid_under_every_tier() {
     for &n in &N_GRID {
         for &m in &M_GRID {
             // Cluster counts vary with the cell so tiny-k (dense ties) and
             // larger-k (mostly separated) regimes are both covered.
             let k = 1 + ((n + 7 * m) % 17) as u32;
             let cs = random_clusterings(n, m, k, (n as u64) << 32 | m as u64);
-            let dense = DenseOracle::from_clusterings(&cs);
-            assert_eq!(dense.len(), n);
+            // The reference values are tier-independent; compute them once
+            // per cell and replay against every tier's packed build.
+            let mut want = Vec::with_capacity(n.saturating_sub(1) * n / 2);
             for u in 0..n {
                 for v in (u + 1)..n {
-                    assert_bits_eq(
-                        dense.dist(u, v),
-                        reference::xuv_total(&cs, u, v),
-                        &format!("n={n} m={m} pair ({u},{v})"),
-                    );
+                    want.push(reference::xuv_total(&cs, u, v));
+                }
+            }
+            for tier in dispatch::reachable_tiers() {
+                let dense = dispatch::with_forced_tier(tier, || DenseOracle::from_clusterings(&cs));
+                assert_eq!(dense.len(), n);
+                let mut i = 0usize;
+                for u in 0..n {
+                    for v in (u + 1)..n {
+                        assert_bits_eq(
+                            dense.dist(u, v),
+                            want[i],
+                            &format!("tier={} n={n} m={m} pair ({u},{v})", tier.name()),
+                        );
+                        i += 1;
+                    }
                 }
             }
         }
@@ -96,7 +110,7 @@ fn packed_dense_matches_reference_across_the_size_grid() {
 }
 
 #[test]
-fn packed_lazy_matches_reference_across_the_size_grid() {
+fn packed_lazy_matches_reference_across_the_size_grid_under_every_tier() {
     for &n in &N_GRID {
         if n == 0 {
             continue; // ClusteringsOracle rejects zero-length inputs lists only; n=0 is fine, but there are no pairs.
@@ -105,20 +119,28 @@ fn packed_lazy_matches_reference_across_the_size_grid() {
             let k = 1 + ((3 * n + m) % 13) as u32;
             let ps = random_partials(n, m, k, 20, (m as u64) << 32 | n as u64);
             for policy in [MissingPolicy::Ignore, MissingPolicy::Coin(0.5)] {
-                let oracle = ClusteringsOracle::new(ps.clone(), policy);
-                // The full grid is quadratic; stride the larger sizes.
+                // The full grid is quadratic; stride the larger sizes and
+                // compute each reference value once across all tiers.
                 let stride = if n >= 1024 { 7 } else { 1 };
+                let mut pairs = Vec::new();
                 let mut pair = 0usize;
                 for u in 0..n {
                     for v in (u + 1)..n {
                         pair += 1;
-                        if !pair.is_multiple_of(stride) {
-                            continue;
+                        if pair.is_multiple_of(stride) {
+                            pairs.push((u, v, reference::xuv_partial(&ps, policy, u, v)));
                         }
+                    }
+                }
+                for tier in dispatch::reachable_tiers() {
+                    let oracle = dispatch::with_forced_tier(tier, || {
+                        ClusteringsOracle::new(ps.clone(), policy)
+                    });
+                    for &(u, v, want) in &pairs {
                         assert_bits_eq(
                             oracle.dist(u, v),
-                            reference::xuv_partial(&ps, policy, u, v),
-                            &format!("n={n} m={m} {policy:?} pair ({u},{v})"),
+                            want,
+                            &format!("tier={} n={n} m={m} {policy:?} pair ({u},{v})", tier.name()),
                         );
                     }
                 }
@@ -144,14 +166,21 @@ proptest! {
         if weights.iter().sum::<f64>() <= 0.0 {
             weights[0] = 1.0;
         }
-        let dense = DenseOracle::from_weighted_clusterings(&cs, &weights);
-        for u in 0..n {
-            for v in (u + 1)..n {
-                assert_bits_eq(
-                    dense.dist(u, v),
-                    reference::xuv_weighted(&cs, &weights, u, v),
-                    &format!("n={n} weights={weights:?} pair ({u},{v})"),
-                );
+        for tier in dispatch::reachable_tiers() {
+            let dense = dispatch::with_forced_tier(tier, || {
+                DenseOracle::from_weighted_clusterings(&cs, &weights)
+            });
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    assert_bits_eq(
+                        dense.dist(u, v),
+                        reference::xuv_weighted(&cs, &weights, u, v),
+                        &format!(
+                            "tier={} n={n} weights={weights:?} pair ({u},{v})",
+                            tier.name()
+                        ),
+                    );
+                }
             }
         }
     }
@@ -164,44 +193,67 @@ proptest! {
         let coins = [0.0, 0.25, 0.5, 1.0];
         let p = coins[(splitmix(&mut state) % coins.len() as u64) as usize];
         for policy in [MissingPolicy::Ignore, MissingPolicy::Coin(p)] {
-            let oracle = ClusteringsOracle::new(ps.clone(), policy);
-            for u in 0..n {
-                for v in (u + 1)..n {
-                    assert_bits_eq(
-                        oracle.dist(u, v),
-                        reference::xuv_partial(&ps, policy, u, v),
-                        &format!("n={n} m={m} {policy:?} pair ({u},{v})"),
-                    );
+            for tier in dispatch::reachable_tiers() {
+                let oracle =
+                    dispatch::with_forced_tier(tier, || ClusteringsOracle::new(ps.clone(), policy));
+                for u in 0..n {
+                    for v in (u + 1)..n {
+                        assert_bits_eq(
+                            oracle.dist(u, v),
+                            reference::xuv_partial(&ps, policy, u, v),
+                            &format!(
+                                "tier={} n={n} m={m} {policy:?} pair ({u},{v})",
+                                tier.name()
+                            ),
+                        );
+                    }
                 }
             }
         }
     }
 }
 
+/// The strongest cross-check in the suite: the forced-**scalar** build at
+/// one thread is the baseline, and every reachable tier (SWAR and each
+/// SIMD level) at 1, 2, and 4 threads must reproduce it bit-for-bit —
+/// both totals and weighted sums. This is the forced-scalar vs
+/// forced-SIMD differential from DESIGN.md §6g.
 #[test]
-fn packed_dense_identical_across_thread_counts() {
+fn every_tier_matches_forced_scalar_across_thread_counts() {
     for (n, m) in [(257usize, 65usize), (1024, 2)] {
         let cs = random_clusterings(n, m, 16, 99);
         let weights: Vec<f64> = (0..m).map(|i| [1.0, 2.0][i % 2]).collect();
-        let base = with_num_threads(1, || DenseOracle::from_clusterings(&cs));
-        let base_w = with_num_threads(1, || DenseOracle::from_weighted_clusterings(&cs, &weights));
-        for threads in [2usize, 4] {
-            let other = with_num_threads(threads, || DenseOracle::from_clusterings(&cs));
-            let other_w = with_num_threads(threads, || {
-                DenseOracle::from_weighted_clusterings(&cs, &weights)
-            });
-            for u in 0..n {
-                for v in (u + 1)..n {
-                    assert_eq!(
-                        base.dist(u, v).to_bits(),
-                        other.dist(u, v).to_bits(),
-                        "n={n} m={m} t={threads} pair ({u},{v})"
-                    );
-                    assert_eq!(
-                        base_w.dist(u, v).to_bits(),
-                        other_w.dist(u, v).to_bits(),
-                        "weighted n={n} m={m} t={threads} pair ({u},{v})"
-                    );
+        let base = dispatch::with_forced_tier(dispatch::Tier::Scalar, || {
+            with_num_threads(1, || DenseOracle::from_clusterings(&cs))
+        });
+        let base_w = dispatch::with_forced_tier(dispatch::Tier::Scalar, || {
+            with_num_threads(1, || DenseOracle::from_weighted_clusterings(&cs, &weights))
+        });
+        for tier in dispatch::reachable_tiers() {
+            for threads in [1usize, 2, 4] {
+                let (other, other_w) = dispatch::with_forced_tier(tier, || {
+                    with_num_threads(threads, || {
+                        (
+                            DenseOracle::from_clusterings(&cs),
+                            DenseOracle::from_weighted_clusterings(&cs, &weights),
+                        )
+                    })
+                });
+                for u in 0..n {
+                    for v in (u + 1)..n {
+                        assert_eq!(
+                            base.dist(u, v).to_bits(),
+                            other.dist(u, v).to_bits(),
+                            "tier={} n={n} m={m} t={threads} pair ({u},{v})",
+                            tier.name()
+                        );
+                        assert_eq!(
+                            base_w.dist(u, v).to_bits(),
+                            other_w.dist(u, v).to_bits(),
+                            "weighted tier={} n={n} m={m} t={threads} pair ({u},{v})",
+                            tier.name()
+                        );
+                    }
                 }
             }
         }
@@ -217,29 +269,34 @@ fn lane_boundary_cluster_counts_pick_the_right_width() {
         let c1 = Clustering::from_labels((0..n).map(|v| (v as u32) % k).collect());
         let c2 = Clustering::from_labels((0..n).map(|v| (v as u32) % 7).collect());
         assert_eq!(c1.num_clusters(), k as usize);
-        let oracle = ClusteringsOracle::from_total(&[c1.clone(), c2.clone()]);
-        assert_eq!(oracle.packed().width(), width, "k={k}");
         let ps = [
             PartialClustering::from_total(&c1),
             PartialClustering::from_total(&c2),
         ];
-        // The full O(n²) sweep is infeasible at this size; a deterministic
-        // sample plus the wrap-around pair covers both lane widths.
-        let mut state = 0x5eed ^ k as u64;
-        for case in 0..500 {
-            let u = (splitmix(&mut state) % n as u64) as usize;
-            let v = (splitmix(&mut state) % n as u64) as usize;
-            if u == v {
-                continue;
+        for tier in dispatch::reachable_tiers() {
+            let oracle = dispatch::with_forced_tier(tier, || {
+                ClusteringsOracle::from_total(&[c1.clone(), c2.clone()])
+            });
+            assert_eq!(oracle.packed().width(), width, "k={k}");
+            // The full O(n²) sweep is infeasible at this size; a
+            // deterministic sample plus the wrap-around pair covers both
+            // lane widths under each tier.
+            let mut state = 0x5eed ^ k as u64;
+            for case in 0..500 {
+                let u = (splitmix(&mut state) % n as u64) as usize;
+                let v = (splitmix(&mut state) % n as u64) as usize;
+                if u == v {
+                    continue;
+                }
+                assert_bits_eq(
+                    oracle.dist(u, v),
+                    reference::xuv_partial(&ps, oracle.policy(), u, v),
+                    &format!("tier={} k={k} case={case} pair ({u},{v})", tier.name()),
+                );
             }
-            assert_bits_eq(
-                oracle.dist(u, v),
-                reference::xuv_partial(&ps, oracle.policy(), u, v),
-                &format!("k={k} case={case} pair ({u},{v})"),
-            );
+            // Objects 0 and k wrap onto the same label in c1, different in c2.
+            assert_eq!(oracle.dist(0, k as usize), 0.5);
         }
-        // Objects 0 and k wrap onto the same label in c1, different in c2.
-        assert_eq!(oracle.dist(0, k as usize), 0.5);
     }
 }
 

@@ -4,10 +4,13 @@
 //! inequality claimed in §3 of the paper, invariance under per-clustering
 //! label renaming, equivariance under object permutation, and the
 //! weighted/repeated-input equivalence. Where a transformation changes
-//! nothing, the comparison is bit-exact (`f64::to_bits`).
+//! nothing, the comparison is bit-exact (`f64::to_bits`). Every property
+//! runs under every SIMD dispatch tier the host can reach (DESIGN.md
+//! §6g), via [`dispatch::with_forced_tier`].
 
 use aggclust_core::clustering::Clustering;
 use aggclust_core::instance::{DenseOracle, DistanceOracle};
+use aggclust_core::kernels::dispatch;
 use proptest::prelude::*;
 
 fn splitmix(state: &mut u64) -> u64 {
@@ -50,14 +53,16 @@ proptest! {
         (n, m, seed) in (3usize..24, 1usize..7, any::<u64>())
     ) {
         let cs = random_clusterings(n, m, 5, seed);
-        let x = DenseOracle::from_clusterings(&cs);
-        for u in 0..n {
-            for v in 0..n {
-                for w in 0..n {
-                    prop_assert!(
-                        x.dist(u, w) <= x.dist(u, v) + x.dist(v, w) + 1e-12,
-                        "triangle violated at ({u},{v},{w})"
-                    );
+        for tier in dispatch::reachable_tiers() {
+            let x = dispatch::with_forced_tier(tier, || DenseOracle::from_clusterings(&cs));
+            for u in 0..n {
+                for v in 0..n {
+                    for w in 0..n {
+                        prop_assert!(
+                            x.dist(u, w) <= x.dist(u, v) + x.dist(v, w) + 1e-12,
+                            "tier={} triangle violated at ({u},{v},{w})", tier.name()
+                        );
+                    }
                 }
             }
         }
@@ -80,15 +85,21 @@ proptest! {
                 )
             })
             .collect();
-        let x = DenseOracle::from_clusterings(&cs);
-        let y = DenseOracle::from_clusterings(&renamed);
-        for u in 0..n {
-            for v in (u + 1)..n {
-                prop_assert_eq!(
-                    x.dist(u, v).to_bits(),
-                    y.dist(u, v).to_bits(),
-                    "label renaming changed X[{},{}]", u, v
-                );
+        for tier in dispatch::reachable_tiers() {
+            let (x, y) = dispatch::with_forced_tier(tier, || {
+                (
+                    DenseOracle::from_clusterings(&cs),
+                    DenseOracle::from_clusterings(&renamed),
+                )
+            });
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    prop_assert_eq!(
+                        x.dist(u, v).to_bits(),
+                        y.dist(u, v).to_bits(),
+                        "tier={} label renaming changed X[{},{}]", tier.name(), u, v
+                    );
+                }
             }
         }
     }
@@ -111,15 +122,21 @@ proptest! {
                 Clustering::from_labels(labels)
             })
             .collect();
-        let x = DenseOracle::from_clusterings(&cs);
-        let y = DenseOracle::from_clusterings(&permuted);
-        for u in 0..n {
-            for v in (u + 1)..n {
-                prop_assert_eq!(
-                    x.dist(u, v).to_bits(),
-                    y.dist(pi[u], pi[v]).to_bits(),
-                    "object permutation broke X[{},{}]", u, v
-                );
+        for tier in dispatch::reachable_tiers() {
+            let (x, y) = dispatch::with_forced_tier(tier, || {
+                (
+                    DenseOracle::from_clusterings(&cs),
+                    DenseOracle::from_clusterings(&permuted),
+                )
+            });
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    prop_assert_eq!(
+                        x.dist(u, v).to_bits(),
+                        y.dist(pi[u], pi[v]).to_bits(),
+                        "tier={} object permutation broke X[{},{}]", tier.name(), u, v
+                    );
+                }
             }
         }
     }
@@ -139,23 +156,31 @@ proptest! {
             .zip(&mults)
             .flat_map(|(c, &k)| std::iter::repeat_n(c.clone(), k))
             .collect();
-        let unweighted = DenseOracle::from_clusterings(&duplicated);
         let unit_weights = vec![1.0; duplicated.len()];
-        let unit_weighted = DenseOracle::from_weighted_clusterings(&duplicated, &unit_weights);
         let int_weights: Vec<f64> = mults.iter().map(|&k| k as f64).collect();
-        let int_weighted = DenseOracle::from_weighted_clusterings(&cs, &int_weights);
-        for u in 0..n {
-            for v in (u + 1)..n {
-                prop_assert_eq!(
-                    unit_weighted.dist(u, v).to_bits(),
-                    unweighted.dist(u, v).to_bits(),
-                    "w=1 duplicates diverged at ({},{})", u, v
-                );
-                prop_assert_eq!(
-                    int_weighted.dist(u, v).to_bits(),
-                    unweighted.dist(u, v).to_bits(),
-                    "integer weights diverged from repetition at ({},{})", u, v
-                );
+        for tier in dispatch::reachable_tiers() {
+            let (unweighted, unit_weighted, int_weighted) =
+                dispatch::with_forced_tier(tier, || {
+                    (
+                        DenseOracle::from_clusterings(&duplicated),
+                        DenseOracle::from_weighted_clusterings(&duplicated, &unit_weights),
+                        DenseOracle::from_weighted_clusterings(&cs, &int_weights),
+                    )
+                });
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    prop_assert_eq!(
+                        unit_weighted.dist(u, v).to_bits(),
+                        unweighted.dist(u, v).to_bits(),
+                        "tier={} w=1 duplicates diverged at ({},{})", tier.name(), u, v
+                    );
+                    prop_assert_eq!(
+                        int_weighted.dist(u, v).to_bits(),
+                        unweighted.dist(u, v).to_bits(),
+                        "tier={} integer weights diverged from repetition at ({},{})",
+                        tier.name(), u, v
+                    );
+                }
             }
         }
     }
