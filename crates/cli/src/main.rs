@@ -21,6 +21,7 @@ use aggclust_core::consensus::ConsensusBuilder;
 use aggclust_core::instance::MissingPolicy;
 use aggclust_core::obs;
 use aggclust_core::snapshot::{load_snapshot, retry_with_backoff, SnapshotLoad};
+use aggclust_core::spill::cleanup_spill_dir;
 use aggclust_core::{AggError, CancelToken, RunStatus};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -64,13 +65,25 @@ AGGREGATE OPTIONS:
     --exact               prefer exact branch-and-bound when n <= 24
                           (degrades to Balls with a warning when larger)
     --sample N            force SAMPLING with this sample size
+    --sampling-threshold N
+                          switch to SAMPLING above this many objects
+                          (default 6000); raise it to keep large instances
+                          on the dense/spilled path
     --seed N              RNG seed (default 0)
     --deadline-ms N       wall-clock run budget; on expiry the best
                           clustering found so far is still written
     --max-iters N         iteration budget (same anytime semantics)
     --mem-budget-mb N     tracked-memory cap; runs that would exceed it
-                          degrade (dense matrix -> lazy oracle / sampling)
-                          instead of allocating past the cap
+                          degrade (dense matrix -> disk spill -> lazy
+                          oracle / sampling) instead of allocating past
+                          the cap
+    --spill-dir PATH      directory for out-of-core condensed-matrix tiles
+                          when the memory cap refuses the dense matrix
+                          (checksummed frames, bit-identical distances;
+                          default: '<checkpoint>.spill' when --checkpoint
+                          is set, otherwise spilling is off); tiles are
+                          removed on converged success and valid orphans
+                          are reclaimed on --resume
     --checkpoint PATH     crash-safe checkpoint file, written atomically
                           while the run is in flight and deleted on
                           converged success; SIGINT also flushes a final
@@ -388,6 +401,12 @@ fn cmd_aggregate(args: &Args) -> Result<(), CliError> {
             .map_err(|_| CliError::Usage("--sample must be an integer".to_string()))?;
         builder = builder.sampling_threshold(0).sample_size(sample);
     }
+    if let Some(threshold) = args.get("sampling-threshold") {
+        let threshold: usize = threshold
+            .parse()
+            .map_err(|_| CliError::Usage("--sampling-threshold must be an integer".to_string()))?;
+        builder = builder.sampling_threshold(threshold);
+    }
     let checkpoint_path = args.get("checkpoint").map(PathBuf::from);
     if let Some(path) = &checkpoint_path {
         let every = Duration::from_millis(args.get_or("checkpoint-every-ms", 250u64));
@@ -416,6 +435,19 @@ fn cmd_aggregate(args: &Args) -> Result<(), CliError> {
         return Err(CliError::Usage(
             "--resume requires --checkpoint PATH".to_string(),
         ));
+    }
+    // Out-of-core spill: explicit --spill-dir wins; otherwise checkpointed
+    // runs default to a sibling '<checkpoint>.spill' directory so a killed
+    // spilled run leaves its tiles where --resume will reclaim them.
+    let spill_dir = args.get("spill-dir").map(PathBuf::from).or_else(|| {
+        checkpoint_path.as_ref().map(|p| {
+            let mut os = p.as_os_str().to_os_string();
+            os.push(".spill");
+            PathBuf::from(os)
+        })
+    });
+    if let Some(dir) = &spill_dir {
+        builder = builder.spill_dir(dir);
     }
     let result = builder.try_aggregate_partial(inputs)?;
     // Degradation warnings surface through the telemetry layer: the core
@@ -451,7 +483,8 @@ fn cmd_aggregate(args: &Args) -> Result<(), CliError> {
     }
     match result.status {
         RunStatus::Converged => {
-            // The run finished; the checkpoint has nothing left to resume.
+            // The run finished; the checkpoint has nothing left to resume
+            // and any spilled tiles have nothing left to serve.
             if let Some(path) = &checkpoint_path {
                 if let Err(e) = std::fs::remove_file(path) {
                     if e.kind() != std::io::ErrorKind::NotFound {
@@ -460,6 +493,15 @@ fn cmd_aggregate(args: &Args) -> Result<(), CliError> {
                             path.display()
                         ));
                     }
+                }
+            }
+            if let Some(dir) = &spill_dir {
+                let removed = cleanup_spill_dir(dir);
+                if removed > 0 {
+                    obs::info!(format!(
+                        "removed {removed} spilled tiles from {}",
+                        dir.display()
+                    ));
                 }
             }
             Ok(())

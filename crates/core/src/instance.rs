@@ -133,7 +133,7 @@ pub trait DistanceOracle {
 
 /// Index into the condensed upper-triangle representation for `u < v`.
 #[inline]
-fn condensed_index(n: usize, u: usize, v: usize) -> usize {
+pub(crate) fn condensed_index(n: usize, u: usize, v: usize) -> usize {
     debug_assert!(u < v && v < n);
     u * (2 * n - u - 1) / 2 + (v - u - 1)
 }
@@ -723,7 +723,7 @@ impl CorrelationInstance {
     /// [`MissingPolicy::Coin`]: `missing == 0` contributes exactly
     /// `+0.0`), bit-for-bit — which lets the dense fills use the batched
     /// row kernel instead of per-pair `sep_missing`.
-    fn all_total(&self) -> bool {
+    pub(crate) fn all_total(&self) -> bool {
         self.inputs.iter().all(|c| c.num_missing() == 0)
     }
 

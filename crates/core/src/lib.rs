@@ -72,6 +72,7 @@ pub mod linkage;
 pub mod parallel;
 pub mod robust;
 pub mod snapshot;
+pub mod spill;
 pub mod telemetry;
 
 /// Thin observability facade: one import (`use aggclust_core::obs;` or
@@ -97,5 +98,6 @@ pub use instance::{CorrelationInstance, DenseOracle, DistanceOracle, MissingPoli
 pub use robust::{
     CancelToken, MemCharge, MemGauge, ResourceBudget, RunBudget, RunOutcome, RunStatus,
 };
-pub use snapshot::{Checkpointer, Snapshot, SnapshotLoad};
+pub use snapshot::{Checkpointer, RetryPolicy, Snapshot, SnapshotLoad};
+pub use spill::{cleanup_spill_dir, SpillConfig, SpillError, SpilledOracle};
 pub use telemetry::{Clock, Collector, Level, MetricsSnapshot};

@@ -371,6 +371,46 @@ where
     data
 }
 
+/// Restriction of [`fill_condensed_banded_rows_scratch`] to one row range:
+/// returns only the condensed slice covering rows `rows.start..rows.end`
+/// (pairs `(u, v)` with `u` in `rows`, `u < v < n`), filled with the same
+/// banded walk and therefore bit-identical to the matching slice of the
+/// full fill at any thread count. This is the tile-construction primitive
+/// of [`crate::spill`]: each tile is one row range, built independently.
+pub fn fill_condensed_rows_banded_scratch<S, M, G>(
+    n: usize,
+    band: usize,
+    rows: Range<usize>,
+    make_scratch: M,
+    g: G,
+) -> Vec<f64>
+where
+    M: Fn() -> S + Sync,
+    G: Fn(&mut S, usize, Range<usize>, &mut [f64]) + Sync,
+{
+    let band = band.max(1);
+    let rows = rows.start.min(n)..rows.end.min(n);
+    let len: usize = rows.clone().map(|u| n - 1 - u).sum();
+    let mut data = vec![0.0f64; len];
+    // Split the row range into pair-balanced sub-jobs exactly like the full
+    // fill splits 0..n, so a wide tile still uses every worker.
+    let sub = balanced_ranges(rows.len(), MIN_CHUNK_PAIRS, |i| n - 1 - (rows.start + i));
+    let mut jobs: Vec<(Range<usize>, &mut [f64])> = Vec::new();
+    let mut rest: &mut [f64] = &mut data;
+    for r in sub {
+        let abs = rows.start + r.start..rows.start + r.end;
+        let pairs: usize = abs.clone().map(|u| n - 1 - u).sum();
+        let (head, tail) = rest.split_at_mut(pairs);
+        jobs.push((abs, head));
+        rest = tail;
+    }
+    run_jobs(jobs, |(abs, out)| {
+        let mut scratch = make_scratch();
+        fill_rows_banded_scratch_segments(n, band, &abs, out, &mut scratch, &g);
+    });
+    data
+}
+
 /// One row chunk of [`fill_condensed_banded`]: fill `out` (the chunk's
 /// condensed slice, row `rows.start`'s pairs first) in column bands.
 /// `out[row_offset(u) + (v − u − 1)]` holds `f(u, v)`, matching the
@@ -834,6 +874,38 @@ mod tests {
             try_fill_condensed(n, f, &cancelled),
             Err(Interrupt::Cancelled)
         );
+    }
+
+    #[test]
+    fn row_range_fill_matches_the_full_fill_slice() {
+        let n = 400;
+        let f = |u: usize, v: usize| (u * 10_007 + v) as f64;
+        let full = fill_condensed(n, f);
+        let g = |(): &mut (), u: usize, vs: Range<usize>, seg: &mut [f64]| {
+            for (entry, v) in seg.iter_mut().zip(vs) {
+                *entry = f(u, v);
+            }
+        };
+        for rows in [0..0, 0..1, 0..n, 3..17, 100..250, n - 1..n, 250..n] {
+            let offset: usize = (0..rows.start).map(|u| n - 1 - u).sum();
+            let pairs: usize = rows.clone().map(|u| n - 1 - u).sum();
+            for band in [1usize, 64, 512] {
+                let tile = fill_condensed_rows_banded_scratch(n, band, rows.clone(), || (), g);
+                assert_eq!(tile.len(), pairs, "rows={rows:?} band={band}");
+                assert_eq!(
+                    tile,
+                    full[offset..offset + pairs],
+                    "rows={rows:?} band={band}"
+                );
+            }
+            let one = with_num_threads(1, || {
+                fill_condensed_rows_banded_scratch(n, 64, rows.clone(), || (), g)
+            });
+            let four = with_num_threads(4, || {
+                fill_condensed_rows_banded_scratch(n, 64, rows.clone(), || (), g)
+            });
+            assert_eq!(one, four, "rows={rows:?}");
+        }
     }
 
     #[test]

@@ -209,39 +209,39 @@ pub fn crc32(data: &[u8]) -> u32 {
 // Payload encoding / decoding
 // ---------------------------------------------------------------------------
 
-struct Writer {
-    buf: Vec<u8>,
+pub(crate) struct Writer {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Writer {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Writer { buf: Vec::new() }
     }
 
-    fn put_u8(&mut self, v: u8) {
+    pub(crate) fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    fn put_u32(&mut self, v: u32) {
+    pub(crate) fn put_u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn put_u64(&mut self, v: u64) {
+    pub(crate) fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn put_f64(&mut self, v: f64) {
+    pub(crate) fn put_f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
     }
 
-    fn put_u32_slice(&mut self, vs: &[u32]) {
+    pub(crate) fn put_u32_slice(&mut self, vs: &[u32]) {
         self.put_u64(vs.len() as u64);
         for &v in vs {
             self.put_u32(v);
         }
     }
 
-    fn put_u64_slice(&mut self, vs: &[u64]) {
+    pub(crate) fn put_u64_slice(&mut self, vs: &[u64]) {
         self.put_u64(vs.len() as u64);
         for &v in vs {
             self.put_u64(v);
@@ -249,17 +249,17 @@ impl Writer {
     }
 }
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
 
-    fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+    pub(crate) fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
         let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
         match end {
             Some(end) => {
@@ -275,29 +275,29 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn take_u8(&mut self, what: &str) -> Result<u8, String> {
+    pub(crate) fn take_u8(&mut self, what: &str) -> Result<u8, String> {
         Ok(self.bytes(1, what)?[0])
     }
 
-    fn take_u32(&mut self, what: &str) -> Result<u32, String> {
+    pub(crate) fn take_u32(&mut self, what: &str) -> Result<u32, String> {
         let b = self.bytes(4, what)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn take_u64(&mut self, what: &str) -> Result<u64, String> {
+    pub(crate) fn take_u64(&mut self, what: &str) -> Result<u64, String> {
         let b = self.bytes(8, what)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
 
-    fn take_f64(&mut self, what: &str) -> Result<f64, String> {
+    pub(crate) fn take_f64(&mut self, what: &str) -> Result<f64, String> {
         Ok(f64::from_bits(self.take_u64(what)?))
     }
 
     /// A length prefix, validated against the bytes actually remaining so a
     /// corrupt length can never trigger a huge allocation.
-    fn take_len(&mut self, item_bytes: usize, what: &str) -> Result<usize, String> {
+    pub(crate) fn take_len(&mut self, item_bytes: usize, what: &str) -> Result<usize, String> {
         let len = self.take_u64(what)?;
         let len = usize::try_from(len).map_err(|_| format!("{what} length {len} overflows"))?;
         let needed = len
@@ -312,7 +312,7 @@ impl<'a> Reader<'a> {
         Ok(len)
     }
 
-    fn take_u32_vec(&mut self, what: &str) -> Result<Vec<u32>, String> {
+    pub(crate) fn take_u32_vec(&mut self, what: &str) -> Result<Vec<u32>, String> {
         let len = self.take_len(4, what)?;
         let mut out = Vec::with_capacity(len);
         for _ in 0..len {
@@ -321,7 +321,7 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
-    fn take_u64_vec(&mut self, what: &str) -> Result<Vec<u64>, String> {
+    pub(crate) fn take_u64_vec(&mut self, what: &str) -> Result<Vec<u64>, String> {
         let len = self.take_len(8, what)?;
         let mut out = Vec::with_capacity(len);
         for _ in 0..len {
@@ -330,9 +330,69 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
+}
+
+// ---------------------------------------------------------------------------
+// Shared envelope codec (snapshots, spill tiles)
+// ---------------------------------------------------------------------------
+
+/// Wrap `payload` in the standard envelope: `magic | version | payload length
+/// (u64) | CRC32(payload) | payload`. The same layout guards both checkpoint
+/// files and spilled condensed-matrix tiles; only the magic differs.
+pub(crate) fn encode_envelope(magic: &[u8; 8], version: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(magic);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validate the envelope around `bytes` and return the checksummed payload.
+/// Every failure mode — short file, wrong magic, version mismatch, length
+/// mismatch, CRC failure — is a reason string, never a panic.
+pub(crate) fn decode_envelope<'a>(
+    magic: &[u8; 8],
+    version: u32,
+    bytes: &'a [u8],
+) -> Result<&'a [u8], String> {
+    if bytes.len() < HEADER_LEN {
+        return Err(format!(
+            "file too short: {} bytes, envelope needs {HEADER_LEN}",
+            bytes.len()
+        ));
+    }
+    if &bytes[..8] != magic {
+        return Err("bad magic: not the expected file type".to_string());
+    }
+    let found = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    if found != version {
+        return Err(format!(
+            "unsupported format version {found} (this build reads {version})"
+        ));
+    }
+    let payload_len = u64::from_le_bytes([
+        bytes[12], bytes[13], bytes[14], bytes[15], bytes[16], bytes[17], bytes[18], bytes[19],
+    ]);
+    let stored_crc = u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]);
+    let body = &bytes[HEADER_LEN..];
+    if payload_len != body.len() as u64 {
+        return Err(format!(
+            "truncated file: header claims {payload_len} payload bytes, found {}",
+            body.len()
+        ));
+    }
+    let actual_crc = crc32(body);
+    if actual_crc != stored_crc {
+        return Err(format!(
+            "checksum mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+        ));
+    }
+    Ok(body)
 }
 
 const TAG_LOCAL_SEARCH: u8 = 1;
@@ -378,51 +438,13 @@ pub fn encode(snapshot: &Snapshot) -> Vec<u8> {
             w.put_u64(s.iterations);
         }
     }
-    let payload = w.buf;
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-    out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    out.extend_from_slice(&crc32(&payload).to_le_bytes());
-    out.extend_from_slice(&payload);
-    out
+    encode_envelope(&MAGIC, VERSION, &w.buf)
 }
 
 /// Decode snapshot bytes (envelope included). Every failure mode returns a
 /// reason string; this function never panics on any input.
 pub fn decode(bytes: &[u8]) -> Result<Snapshot, String> {
-    if bytes.len() < HEADER_LEN {
-        return Err(format!(
-            "file too short: {} bytes, envelope needs {HEADER_LEN}",
-            bytes.len()
-        ));
-    }
-    if bytes[..8] != MAGIC {
-        return Err("bad magic: not a snapshot file".to_string());
-    }
-    let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
-    if version != VERSION {
-        return Err(format!(
-            "unsupported snapshot version {version} (this build reads {VERSION})"
-        ));
-    }
-    let payload_len = u64::from_le_bytes([
-        bytes[12], bytes[13], bytes[14], bytes[15], bytes[16], bytes[17], bytes[18], bytes[19],
-    ]);
-    let stored_crc = u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]);
-    let body = &bytes[HEADER_LEN..];
-    if payload_len != body.len() as u64 {
-        return Err(format!(
-            "truncated file: header claims {payload_len} payload bytes, found {}",
-            body.len()
-        ));
-    }
-    let actual_crc = crc32(body);
-    if actual_crc != stored_crc {
-        return Err(format!(
-            "checksum mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
-        ));
-    }
+    let body = decode_envelope(&MAGIC, VERSION, bytes)?;
     let mut r = Reader::new(body);
     let stage = r.take_u32("stage")?;
     let tag = r.take_u8("algorithm tag")?;
@@ -524,18 +546,26 @@ pub fn save_snapshot(path: &Path, snapshot: &Snapshot) -> std::io::Result<()> {
             .checkpoint_bytes_hist
             .observe(bytes.len() as f64);
     }
+    write_file_atomic(path, &bytes)
+}
+
+/// Write `bytes` to `path` atomically: `<path>.tmp` + fsync + rename, then a
+/// best-effort fsync of the parent directory. A crash leaves either the
+/// previous complete file or the new one, never a torn file. Shared by the
+/// checkpoint writer and the spill tile store.
+pub(crate) fn write_file_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let tmp: PathBuf = {
         let mut os = path.as_os_str().to_os_string();
         os.push(".tmp");
         PathBuf::from(os)
     };
     let mut file = std::fs::File::create(&tmp)?;
-    file.write_all(&bytes)?;
+    file.write_all(bytes)?;
     file.sync_all()?;
     drop(file);
     std::fs::rename(&tmp, path)?;
     // Persist the rename itself. Failure to fsync the directory only risks
-    // losing the *newest* snapshot on power loss, so it is best-effort.
+    // losing the *newest* file on power loss, so it is best-effort.
     if let Some(parent) = path.parent() {
         if let Ok(dir) = std::fs::File::open(parent) {
             let _ = dir.sync_all();
@@ -574,31 +604,97 @@ pub fn load_snapshot(path: &Path) -> SnapshotLoad {
 // Retry with bounded, jittered exponential backoff
 // ---------------------------------------------------------------------------
 
+/// How transient-I/O retries behave: total attempts, base backoff, and
+/// whether each sleep gains deterministic jitter.
+///
+/// The default — 3 attempts, 10 ms base, jitter on — is the policy every
+/// caller used before it became configurable; [`retry_with_backoff`] keeps
+/// the old signature as a thin wrapper. The sleep before retry `i` is
+/// `base * 2^i` plus (when jitter is on) up to 100% extra drawn from a
+/// seeded RNG, so concurrent writers against the same contended resource
+/// desynchronize without losing reproducibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total tries before the last error is returned (minimum 1).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub base: Duration,
+    /// Add up to 100% seeded jitter to each backoff sleep.
+    pub jitter: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: SAVE_ATTEMPTS,
+            base: BACKOFF_BASE,
+            jitter: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with the given attempt count and the default base/jitter.
+    pub fn with_attempts(attempts: u32) -> Self {
+        RetryPolicy {
+            attempts,
+            ..Default::default()
+        }
+    }
+
+    /// The sleep before retry number `attempt` (zero-based): `base * 2^i`,
+    /// plus up to 100% jitter drawn from `rng` when jitter is enabled. The
+    /// exponent saturates at 2^16 so huge attempt counts cannot overflow.
+    fn backoff_delay(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let backoff = self.base.saturating_mul(1u32 << attempt.min(16));
+        if !self.jitter {
+            return backoff;
+        }
+        let jitter_ns = rng.gen_range(0..backoff.as_nanos().max(1) as u64);
+        backoff + Duration::from_nanos(jitter_ns)
+    }
+
+    /// Run `op` until it succeeds or the attempt budget is exhausted,
+    /// sleeping [`Self::backoff_delay`] between failures. Returns the first
+    /// success or the last error. `jitter_seed` makes the jitter sequence
+    /// reproducible.
+    pub fn run<T, E>(
+        &self,
+        jitter_seed: u64,
+        mut op: impl FnMut() -> Result<T, E>,
+    ) -> Result<T, E> {
+        let mut rng = StdRng::seed_from_u64(jitter_seed);
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(e) if attempt + 1 >= self.attempts.max(1) => return Err(e),
+                Err(_) => {
+                    std::thread::sleep(self.backoff_delay(attempt, &mut rng));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
 /// Run `op` up to `attempts` times, sleeping `base * 2^i` plus up to 100%
 /// deterministic jitter between failures. Returns the first success or the
 /// last error. Used for checkpoint writes and dataset reads, where
 /// transient I/O errors (NFS hiccup, antivirus lock) resolve in
-/// milliseconds.
+/// milliseconds. Equivalent to [`RetryPolicy::run`] with jitter enabled.
 pub fn retry_with_backoff<T, E>(
     attempts: u32,
     base: Duration,
     jitter_seed: u64,
-    mut op: impl FnMut() -> Result<T, E>,
+    op: impl FnMut() -> Result<T, E>,
 ) -> Result<T, E> {
-    let mut rng = StdRng::seed_from_u64(jitter_seed);
-    let mut attempt = 0u32;
-    loop {
-        match op() {
-            Ok(value) => return Ok(value),
-            Err(e) if attempt + 1 >= attempts.max(1) => return Err(e),
-            Err(_) => {
-                let backoff = base.saturating_mul(1u32 << attempt.min(16));
-                let jitter_ns = rng.gen_range(0..backoff.as_nanos().max(1) as u64);
-                std::thread::sleep(backoff + Duration::from_nanos(jitter_ns));
-                attempt += 1;
-            }
-        }
+    RetryPolicy {
+        attempts,
+        base,
+        jitter: true,
     }
+    .run(jitter_seed, op)
 }
 
 // ---------------------------------------------------------------------------
@@ -959,5 +1055,113 @@ mod tests {
         });
         assert_eq!(result, Err("permanent"));
         assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn retry_policy_default_matches_the_legacy_constants() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.attempts, SAVE_ATTEMPTS);
+        assert_eq!(policy.base, BACKOFF_BASE);
+        assert!(policy.jitter);
+        assert_eq!(RetryPolicy::with_attempts(5).base, BACKOFF_BASE);
+    }
+
+    #[test]
+    fn retry_policy_exhaustion_returns_the_last_error() {
+        let mut calls = 0;
+        let result: Result<(), String> = RetryPolicy::with_attempts(4).run(11, || {
+            calls += 1;
+            Err(format!("failure {calls}"))
+        });
+        assert_eq!(result, Err("failure 4".to_string()));
+        assert_eq!(calls, 4);
+
+        // Zero attempts still runs the op once (attempts.max(1)).
+        let mut calls = 0;
+        let result: Result<(), &str> = RetryPolicy {
+            attempts: 0,
+            base: Duration::ZERO,
+            jitter: false,
+        }
+        .run(0, || {
+            calls += 1;
+            Err("never retried")
+        });
+        assert_eq!(result, Err("never retried"));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn retry_policy_succeeds_after_transient_failures() {
+        let mut calls = 0;
+        let result: Result<u32, &str> = RetryPolicy {
+            attempts: 5,
+            base: Duration::ZERO,
+            jitter: true,
+        }
+        .run(99, || {
+            calls += 1;
+            if calls < 4 {
+                Err("transient")
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(result, Ok(7));
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn retry_policy_jitter_stays_within_one_backoff_period() {
+        let base = Duration::from_millis(10);
+        let jittered = RetryPolicy {
+            attempts: 3,
+            base,
+            jitter: true,
+        };
+        let plain = RetryPolicy {
+            attempts: 3,
+            base,
+            jitter: false,
+        };
+        let mut rng = StdRng::seed_from_u64(42);
+        for attempt in 0..6 {
+            let expected = base.saturating_mul(1u32 << attempt.min(16));
+            // No jitter: exactly the exponential schedule.
+            assert_eq!(plain.backoff_delay(attempt, &mut rng), expected);
+            // Jitter: within [backoff, 2 * backoff).
+            for seed in 0..20 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let delay = jittered.backoff_delay(attempt, &mut rng);
+                assert!(delay >= expected, "attempt {attempt}: {delay:?} < base");
+                assert!(
+                    delay < expected * 2,
+                    "attempt {attempt}: {delay:?} >= 2x base"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_round_trips_for_foreign_magic() {
+        let magic = *b"AGGTILE\0";
+        let payload = vec![1u8, 2, 3, 4, 5];
+        let bytes = encode_envelope(&magic, 7, &payload);
+        assert_eq!(
+            decode_envelope(&magic, 7, &bytes).expect("round trip"),
+            &payload[..]
+        );
+        // Wrong magic, wrong version, and any bit flip are all rejected.
+        assert!(decode_envelope(&MAGIC, 7, &bytes).is_err());
+        assert!(decode_envelope(&magic, 8, &bytes).is_err());
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[byte] ^= 1 << bit;
+                if let Ok(decoded) = decode_envelope(&magic, 7, &corrupt) {
+                    assert_eq!(decoded, &payload[..], "flip {byte}:{bit} changed payload");
+                }
+            }
+        }
     }
 }

@@ -469,3 +469,180 @@ fn consensus_degradation_chain_survives_a_zero_budget() {
     assert_eq!(result.status, RunStatus::BudgetExceeded);
     assert!(!result.warnings.is_empty());
 }
+
+// ---------------------------------------------------------------------------
+// Out-of-core spill: tile corruption, torn writes, and dead disks must
+// rebuild or degrade with a typed warning — never panic, never wrong labels
+// ---------------------------------------------------------------------------
+
+use aggclust_core::consensus::Warning;
+use aggclust_core::{cleanup_spill_dir, SpillConfig, SpilledOracle};
+use std::path::{Path, PathBuf};
+
+/// A memory cap tight enough that the dense matrix is refused but the
+/// packed labels and a tile or two still fit.
+const SPILL_TEST_CAP: u64 = 16 * 1024;
+
+fn spill_builder(dir: &Path) -> ConsensusBuilder {
+    ConsensusBuilder::new()
+        .algorithm(Algorithm::Balls(BallsParams::default()))
+        .budget(RunBudget::unlimited().with_mem_limit_bytes(SPILL_TEST_CAP))
+        .spill_dir(dir)
+}
+
+fn spill_temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aggclust_fault_spill_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tile_paths(dir: &Path) -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("spill dir")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .is_some_and(|f| f.to_string_lossy().starts_with("tile-"))
+        })
+        .collect();
+    paths.sort();
+    paths
+}
+
+#[test]
+fn spilled_consensus_matches_the_unconstrained_run() {
+    let inputs = adversarial_disagreeing(120, 5);
+    let reference = ConsensusBuilder::new()
+        .algorithm(Algorithm::Balls(BallsParams::default()))
+        .try_aggregate(&inputs)
+        .unwrap();
+    assert!(reference.warnings.is_empty());
+    let dir = spill_temp_dir("match");
+    let spilled = spill_builder(&dir).try_aggregate(&inputs).unwrap();
+    assert_eq!(spilled.clustering, reference.clustering);
+    assert!(spilled
+        .warnings
+        .iter()
+        .any(|w| matches!(w, Warning::MemoryDegradedToSpill { .. })));
+    assert!(!spilled.warnings.iter().any(|w| matches!(
+        w,
+        Warning::MemoryDegradedToSampling { .. } | Warning::MemoryDegradedToLazyOracle { .. }
+    )));
+    cleanup_spill_dir(&dir);
+}
+
+#[test]
+fn corrupted_orphan_tiles_are_rebuilt_never_trusted() {
+    // A killed spilled run leaves tile frames behind; a rerun reclaims the
+    // valid ones. Corrupt every orphan in a different way — bit flips in
+    // the envelope, the payload, and the CRC — and the rerun must still
+    // produce the reference labels by rejecting and rebuilding each frame.
+    let inputs = adversarial_disagreeing(100, 4);
+    let dir = spill_temp_dir("corrupt_orphans");
+    let reference = spill_builder(&dir).try_aggregate(&inputs).unwrap();
+    let tiles = tile_paths(&dir);
+    assert!(tiles.len() > 1, "expected several tiles, got {tiles:?}");
+    for (i, path) in tiles.iter().enumerate() {
+        let mut bytes = std::fs::read(path).expect("read tile");
+        let at = (i * 13) % bytes.len();
+        bytes[at] ^= 1 << (i % 8);
+        std::fs::write(path, &bytes).expect("write corrupt tile");
+    }
+    let rerun = spill_builder(&dir).try_aggregate(&inputs).unwrap();
+    assert_eq!(rerun.clustering, reference.clustering);
+    cleanup_spill_dir(&dir);
+}
+
+#[test]
+fn torn_and_truncated_tiles_are_rebuilt_at_every_cut_point() {
+    let inputs = adversarial_disagreeing(100, 4);
+    let dir = spill_temp_dir("torn");
+    let reference = spill_builder(&dir).try_aggregate(&inputs).unwrap();
+    let tiles = tile_paths(&dir);
+    assert!(!tiles.is_empty());
+    let pristine = std::fs::read(&tiles[0]).expect("read tile");
+    // Sweep truncation lengths (torn write = prefix of the frame), plus a
+    // zero-length file and garbage that is not a frame at all. The stride
+    // keeps the number of full consensus reruns bounded while still cutting
+    // inside the envelope header, the frame fields, and the payload.
+    let cuts: Vec<usize> = (0..pristine.len()).step_by(199).chain([0]).collect();
+    for len in cuts {
+        std::fs::write(&tiles[0], &pristine[..len]).expect("write torn tile");
+        let rerun = spill_builder(&dir).try_aggregate(&inputs).unwrap();
+        assert_eq!(rerun.clustering, reference.clustering, "cut at {len}");
+    }
+    std::fs::write(&tiles[0], b"not a tile frame").expect("write garbage");
+    let rerun = spill_builder(&dir).try_aggregate(&inputs).unwrap();
+    assert_eq!(rerun.clustering, reference.clustering);
+    cleanup_spill_dir(&dir);
+}
+
+#[test]
+fn every_bit_flip_in_a_tile_frame_is_rejected_or_identical() {
+    // Exhaustive single-bit sweep over a whole frame, through the public
+    // oracle API: each flip must either be caught (CRC/field validation →
+    // rebuild) or, never, accepted with different values. Uses a tiny
+    // instance so the sweep stays fast.
+    let cs = adversarial_disagreeing(16, 3);
+    let instance = CorrelationInstance::try_from_partial(
+        cs.iter()
+            .map(aggclust_core::clustering::PartialClustering::from_total)
+            .collect(),
+        MissingPolicy::default(),
+    )
+    .unwrap();
+    use aggclust_core::instance::DistanceOracle as _;
+    let dense = instance.dense_oracle();
+    let dir = spill_temp_dir("bitflip");
+    let budget = RunBudget::unlimited().with_mem_limit_bytes(512);
+    let config = SpillConfig::new(&dir).with_tile_bytes(256);
+    let spilled = SpilledOracle::try_build(&instance, &budget, &config).unwrap();
+    let tiles = tile_paths(&dir);
+    let pristine = std::fs::read(&tiles[0]).expect("read tile");
+    for byte in 0..pristine.len() {
+        for bit in 0..8 {
+            let mut corrupted = pristine.clone();
+            corrupted[byte] ^= 1 << bit;
+            std::fs::write(&tiles[0], &corrupted).expect("write");
+            for u in 0..16 {
+                for v in 0..16 {
+                    assert_eq!(
+                        spilled.dist(u, v).to_bits(),
+                        dense.dist(u, v).to_bits(),
+                        "flip {byte}:{bit} changed dist({u},{v})"
+                    );
+                }
+            }
+        }
+    }
+    drop(spilled);
+    cleanup_spill_dir(&dir);
+}
+
+#[test]
+fn dead_spill_disk_degrades_to_lazy_with_typed_warnings() {
+    // Simulate a persistently failing disk by pointing the spill dir at a
+    // path under a regular file: every create/write fails, as with ENOSPC.
+    let inputs = adversarial_disagreeing(80, 4);
+    let blocker = std::env::temp_dir().join("aggclust_fault_spill_dead_disk");
+    std::fs::write(&blocker, b"file, not dir").expect("write blocker");
+    let result = spill_builder(&blocker.join("tiles"))
+        .try_aggregate(&inputs)
+        .unwrap();
+    std::fs::remove_file(&blocker).ok();
+    assert!(result
+        .warnings
+        .iter()
+        .any(|w| matches!(w, Warning::SpillFailed { .. })));
+    assert!(result
+        .warnings
+        .iter()
+        .any(|w| matches!(w, Warning::MemoryDegradedToLazyOracle { .. })));
+    // Degraded, yes — but never silently and never to garbage.
+    let reference = ConsensusBuilder::new()
+        .algorithm(Algorithm::Balls(BallsParams::default()))
+        .try_aggregate(&inputs)
+        .unwrap();
+    assert_eq!(result.clustering, reference.clustering);
+}
