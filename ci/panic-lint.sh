@@ -15,6 +15,12 @@
 # must be justified by a `// SAFETY:` comment or a `/// # Safety` doc
 # section within the six preceding lines.
 #
+# Filesystem facade: every fs touch in the core and CLI crates must go
+# through `aggclust_core::iofs` so fault plans (DESIGN.md §6i) can reach
+# it — a bare `std::fs::` call (or `use std::fs` import) outside iofs.rs
+# is a hole in the injection surface. Deliberate exceptions carry a
+# `lint:allow-fs` marker on the same line.
+#
 # Scope: crates/*/src — test modules (everything at and after the first
 # `#[cfg(test)]` in a file) are exempt, and the offline dependency shims
 # under crates/shims/ are exempt (they mirror external crates' APIs).
@@ -71,6 +77,26 @@ for file in crates/*/src/**/*.rs; do
   fi
 done
 
+fs_status=0
+for file in crates/core/src/**/*.rs crates/cli/src/**/*.rs; do
+  [ -f "$file" ] || continue
+  case "$file" in
+    */iofs.rs) continue ;;
+  esac
+  hits=$(awk '
+    /#\[cfg\(test\)\]/ { exit }
+    /std::fs/ {
+      if ($0 ~ /^[[:space:]]*\/\//) next   # doc comments mentioning it
+      if ($0 ~ /lint:allow-fs/) next
+      print FILENAME ":" FNR ": " $0
+    }
+  ' "$file")
+  if [ -n "$hits" ]; then
+    echo "$hits"
+    fs_status=1
+  fi
+done
+
 if [ "$status" -ne 0 ]; then
   echo
   echo "panic-lint: forbidden .unwrap()/.expect()/panic!/bare eprintln! in non-test sources." >&2
@@ -84,4 +110,10 @@ if [ "$unsafe_status" -ne 0 ]; then
   echo "Put a '// SAFETY: ...' comment (or a '/// # Safety' doc section for" >&2
   echo "unsafe fns) within the six lines above each unsafe keyword." >&2
 fi
-exit $((status | unsafe_status))
+if [ "$fs_status" -ne 0 ]; then
+  echo
+  echo "panic-lint: bare std::fs use outside the iofs facade in core/cli sources." >&2
+  echo "Route file I/O through aggclust_core::iofs so fault plans can reach it," >&2
+  echo "or mark a deliberate exception with 'lint:allow-fs' on the same line." >&2
+fi
+exit $((status | unsafe_status | fs_status))

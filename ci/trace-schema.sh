@@ -121,6 +121,7 @@ REQUIRED = [
     "spill_evictions",
     "interrupts_deadline", "interrupts_iteration_cap",
     "interrupts_cancelled", "interrupts_memory",
+    "faults_injected",
     "mem_high_water_bytes",
 ]
 for key in REQUIRED:

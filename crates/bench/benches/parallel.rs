@@ -125,6 +125,12 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
         b.iter(|| obs::metrics().ls_moves.add_if_enabled(black_box(0)))
     });
     obs::set_metrics_enabled(was_enabled);
+    // Same contract for fault injection: with no plan armed, a failpoint
+    // check is one relaxed load and an untaken branch, so routing every
+    // fs touch through the facade costs nothing in production runs.
+    group.bench_function("failpoint_disarmed", |b| {
+        b.iter(|| aggclust_core::fp!(black_box("snapshot.rename"), black_box(4096)))
+    });
     group.finish();
 }
 

@@ -18,11 +18,13 @@ use aggclust_core::algorithms::{
 };
 use aggclust_core::clustering::PartialClustering;
 use aggclust_core::consensus::ConsensusBuilder;
+use aggclust_core::failpoint::{self, FaultPlan};
 use aggclust_core::instance::MissingPolicy;
+use aggclust_core::iofs;
 use aggclust_core::obs;
-use aggclust_core::snapshot::{load_snapshot, retry_with_backoff, SnapshotLoad};
+use aggclust_core::snapshot::{load_snapshot, RetryPolicy, SnapshotLoad};
 use aggclust_core::spill::cleanup_spill_dir;
-use aggclust_core::{AggError, CancelToken, RunStatus};
+use aggclust_core::{AggError, CancelToken, RunBudget, RunStatus};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -56,6 +58,13 @@ COMMON OPTIONS:
                           object per span/event) alongside the run
     --metrics-out PATH    write a JSON run report of the algorithm counters
                           (oracle evaluations, moves, merges, checkpoints)
+    --fault-plan SPEC     arm deterministic fault injection for this run
+                          (robustness testing): comma-separated clauses
+                          like snapshot.rename=io_error:nth=3 or
+                          spill.write=torn:prob=0.25:seed=7; see DESIGN.md
+                          section 6i for the site catalog and grammar. The
+                          AGGCLUST_FAULTS environment variable sets the
+                          default, the flag wins
 
 AGGREGATE OPTIONS:
     --algorithm NAME      agglomerative (default) | balls | furthest |
@@ -191,6 +200,15 @@ fn main() -> ExitCode {
             return ExitCode::from(e.exit_code());
         }
     };
+    // Armed for the whole process so every site the run touches is in
+    // scope; dropping the guard at exit disarms them again.
+    let _fault_guard = match arm_fault_plan(&args) {
+        Ok(guard) => guard,
+        Err(e) => {
+            eprintln!("error: {}", e.message()); // lint:allow-eprintln
+            return ExitCode::from(e.exit_code());
+        }
+    };
     let run = || match command.as_str() {
         "aggregate" => cmd_aggregate(&args),
         "eval" => cmd_eval(&args),
@@ -267,12 +285,23 @@ fn setup_telemetry(args: &Args) -> Result<Option<PathBuf>, CliError> {
 fn write_metrics_report(path: &Path) {
     let mut json = obs::run_report_json();
     json.push('\n');
-    if let Err(e) = std::fs::write(path, json) {
+    if let Err(e) = iofs::write("cli.metrics", path, json) {
         obs::warn!(format!(
             "could not write metrics report {}: {e}",
             path.display()
         ));
     }
+}
+
+/// Parse the fault plan from `--fault-plan` (the flag wins) or the
+/// `AGGCLUST_FAULTS` environment variable and arm it. `None` when neither
+/// is set; a malformed spec is a usage error, never a silent no-op.
+fn arm_fault_plan(args: &Args) -> Result<Option<failpoint::ArmedGuard>, CliError> {
+    let plan = match args.get("fault-plan") {
+        Some(spec) => Some(FaultPlan::parse(spec)?),
+        None => FaultPlan::from_env()?,
+    };
+    Ok(plan.map(failpoint::arm))
 }
 
 /// Install a SIGINT handler that flips `token`, so Ctrl-C turns into a
@@ -318,14 +347,20 @@ fn install_sigint_cancel(_token: CancelToken) {}
 const IO_RETRY_ATTEMPTS: u32 = 3;
 const IO_RETRY_BASE: Duration = Duration::from_millis(10);
 
-fn load_inputs(args: &Args) -> Result<Vec<PartialClustering>, CliError> {
+fn load_inputs(args: &Args, budget: Option<&RunBudget>) -> Result<Vec<PartialClustering>, CliError> {
     let path = args
         .get("input")
         .ok_or_else(|| CliError::Usage("--input PATH is required".to_string()))?;
-    let text = retry_with_backoff(IO_RETRY_ATTEMPTS, IO_RETRY_BASE, 0x5eed_da7a, || {
-        std::fs::read_to_string(path)
-    })
-    .map_err(|e| CliError::Io(format!("reading {path}: {e}")))?;
+    let policy = RetryPolicy {
+        attempts: IO_RETRY_ATTEMPTS,
+        base: IO_RETRY_BASE,
+        jitter: true,
+    };
+    let text = policy
+        .run_supervised(0x5eed_da7a, budget, || {
+            iofs::read_to_string("cli.input", Path::new(path))
+        })
+        .map_err(|e| CliError::Io(format!("reading {path}: {e}")))?;
     let separator = parse_separator(args)?;
     csv::parse_label_matrix(&text, separator, args.flag("header"))
         .map_err(|e| CliError::Parse(format!("parsing {path}: {e}")))
@@ -384,16 +419,19 @@ fn parse_algorithm(args: &Args) -> Result<Algorithm, CliError> {
 }
 
 fn cmd_aggregate(args: &Args) -> Result<(), CliError> {
-    let inputs = load_inputs(args)?;
-    let n = inputs[0].len();
     let cancel = CancelToken::new();
     install_sigint_cancel(cancel.clone());
+    // One budget for the whole run: dataset-read retries, checkpoint-write
+    // retries, and the solve itself all draw down the same deadline.
+    let budget = args.run_budget().with_cancel_token(cancel);
+    let inputs = load_inputs(args, Some(&budget))?;
+    let n = inputs[0].len();
     let mut builder = ConsensusBuilder::new()
         .algorithm(parse_algorithm(args)?)
         .missing_policy(parse_policy(args)?)
         .refine(!args.flag("no-refine"))
         .prefer_exact(args.flag("exact"))
-        .budget(args.run_budget().with_cancel_token(cancel))
+        .budget(budget)
         .seed(args.get_or("seed", 0u64));
     if let Some(sample) = args.get("sample") {
         let sample: usize = sample
@@ -475,7 +513,7 @@ fn cmd_aggregate(args: &Args) -> Result<(), CliError> {
     let rendered = csv::render_labels(&result.clustering);
     match args.get("output") {
         Some(path) => {
-            std::fs::write(path, rendered)
+            iofs::write("cli.output", Path::new(path), rendered)
                 .map_err(|e| CliError::Io(format!("writing {path}: {e}")))?;
             obs::info!(format!("labels written to {path}"));
         }
@@ -486,7 +524,7 @@ fn cmd_aggregate(args: &Args) -> Result<(), CliError> {
             // The run finished; the checkpoint has nothing left to resume
             // and any spilled tiles have nothing left to serve.
             if let Some(path) = &checkpoint_path {
-                if let Err(e) = std::fs::remove_file(path) {
+                if let Err(e) = iofs::remove_file("cli.cleanup", path) {
                     if e.kind() != std::io::ErrorKind::NotFound {
                         obs::warn!(format!(
                             "could not remove checkpoint {}: {e}",
@@ -516,11 +554,12 @@ fn cmd_aggregate(args: &Args) -> Result<(), CliError> {
 }
 
 fn cmd_eval(args: &Args) -> Result<(), CliError> {
-    let inputs = load_inputs(args)?;
+    let budget = args.run_budget();
+    let inputs = load_inputs(args, Some(&budget))?;
     let candidate_path = args
         .get("candidate")
         .ok_or_else(|| CliError::Usage("--candidate PATH is required".to_string()))?;
-    let text = std::fs::read_to_string(candidate_path)
+    let text = iofs::read_to_string("cli.candidate", Path::new(candidate_path))
         .map_err(|e| CliError::Io(format!("{candidate_path}: {e}")))?;
     let candidate =
         csv::parse_single_clustering(&text, parse_separator(args)?, args.flag("header"))
@@ -559,7 +598,8 @@ fn cmd_eval(args: &Args) -> Result<(), CliError> {
 }
 
 fn cmd_diagnose(args: &Args) -> Result<(), CliError> {
-    let inputs = load_inputs(args)?;
+    let budget = args.run_budget();
+    let inputs = load_inputs(args, Some(&budget))?;
     let instance = aggclust_core::instance::CorrelationInstance::try_from_partial(
         inputs,
         parse_policy(args)?,

@@ -488,7 +488,7 @@ impl ConsensusBuilder {
         let mut ckpt = self
             .checkpoint_path
             .as_ref()
-            .map(|p| Checkpointer::new(p, self.checkpoint_every));
+            .map(|p| Checkpointer::new(p, self.checkpoint_every).with_budget(&self.budget));
 
         // Split the resume snapshot by pipeline stage. A stage-1 snapshot
         // holds the refinement pass's own labels, so the main stage does

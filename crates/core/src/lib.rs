@@ -66,7 +66,9 @@ pub mod cost;
 pub mod distance;
 pub mod error;
 pub mod exact;
+pub mod failpoint;
 pub mod instance;
+pub mod iofs;
 pub mod kernels;
 pub mod linkage;
 pub mod parallel;
@@ -74,6 +76,7 @@ pub mod robust;
 pub mod snapshot;
 pub mod spill;
 pub mod telemetry;
+pub mod test_support;
 
 /// Thin observability facade: one import (`use aggclust_core::obs;` or
 /// `use aggclust_core::obs::*;`) brings in the span/event macros, the
@@ -94,6 +97,7 @@ pub mod obs {
 pub use clustering::{Clustering, PartialClustering};
 pub use consensus::{aggregate, ConsensusBuilder, ConsensusResult, Warning};
 pub use error::{AggError, AggResult};
+pub use failpoint::{ArmedGuard, Fault, FaultPlan};
 pub use instance::{CorrelationInstance, DenseOracle, DistanceOracle, MissingPolicy};
 pub use robust::{
     CancelToken, MemCharge, MemGauge, ResourceBudget, RunBudget, RunOutcome, RunStatus,

@@ -337,7 +337,28 @@ impl ResourceBudget {
                 });
             }
         }
+        // An armed `alloc=fail:after_mb=N` failpoint simulates memory
+        // pressure the gauge cannot see (the rest of the process, another
+        // tenant): past the threshold, reserves refuse exactly as if a
+        // cap were hit, driving the same degradation chain.
+        if let Some(crate::failpoint::Fault::AllocFail { limit }) =
+            crate::failpoint::alloc_check(bytes)
+        {
+            return Err(Interrupt::MemoryExceeded {
+                requested: bytes,
+                limit,
+            });
+        }
         Ok(self.gauge.charge(bytes))
+    }
+
+    /// Wall-clock time left before the deadline: `None` when no deadline
+    /// is set, [`Duration::ZERO`] once it has passed. Retry/backoff
+    /// supervision caps its sleeps with this (see
+    /// [`crate::snapshot::RetryPolicy::run_supervised`]).
+    pub fn remaining_deadline(&self) -> Option<Duration> {
+        self.deadline_ns
+            .map(|d| Duration::from_nanos(d.saturating_sub(self.clock.now_ns())))
     }
 
     /// `true` when no deadline, cap, token, or memory limit is set — checks

@@ -35,10 +35,10 @@
 //! never a torn file. [`Checkpointer`] adds a wall-clock cadence and a
 //! bounded, jittered exponential-backoff retry (3 attempts) on top.
 
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
+use crate::robust::ResourceBudget;
 use crate::telemetry::{self, Clock};
 
 use rand::rngs::StdRng;
@@ -546,32 +546,7 @@ pub fn save_snapshot(path: &Path, snapshot: &Snapshot) -> std::io::Result<()> {
             .checkpoint_bytes_hist
             .observe(bytes.len() as f64);
     }
-    write_file_atomic(path, &bytes)
-}
-
-/// Write `bytes` to `path` atomically: `<path>.tmp` + fsync + rename, then a
-/// best-effort fsync of the parent directory. A crash leaves either the
-/// previous complete file or the new one, never a torn file. Shared by the
-/// checkpoint writer and the spill tile store.
-pub(crate) fn write_file_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let tmp: PathBuf = {
-        let mut os = path.as_os_str().to_os_string();
-        os.push(".tmp");
-        PathBuf::from(os)
-    };
-    let mut file = std::fs::File::create(&tmp)?;
-    file.write_all(bytes)?;
-    file.sync_all()?;
-    drop(file);
-    std::fs::rename(&tmp, path)?;
-    // Persist the rename itself. Failure to fsync the directory only risks
-    // losing the *newest* file on power loss, so it is best-effort.
-    if let Some(parent) = path.parent() {
-        if let Ok(dir) = std::fs::File::open(parent) {
-            let _ = dir.sync_all();
-        }
-    }
-    Ok(())
+    crate::iofs::write_file_atomic("snapshot", path, &bytes)
 }
 
 /// Read and validate the snapshot at `path`. Corruption of any kind —
@@ -579,7 +554,7 @@ pub(crate) fn write_file_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()
 /// [`SnapshotLoad::Corrupt`], never an `Err` or a panic: the caller's
 /// recovery is always "fall back to a fresh run with a warning".
 pub fn load_snapshot(path: &Path) -> SnapshotLoad {
-    let bytes = match std::fs::read(path) {
+    let bytes = match crate::iofs::read("snapshot.read", path) {
         Ok(bytes) => bytes,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return SnapshotLoad::Missing,
         Err(e) => {
@@ -663,14 +638,40 @@ impl RetryPolicy {
         jitter_seed: u64,
         mut op: impl FnMut() -> Result<T, E>,
     ) -> Result<T, E> {
+        self.run_supervised(jitter_seed, None, &mut op)
+    }
+
+    /// [`RetryPolicy::run`] under deadline supervision: every backoff
+    /// sleep is capped at `budget`'s remaining deadline, and once the
+    /// deadline has expired the current error is returned *without*
+    /// sleeping. Retrying exists to ride out transient I/O hiccups; it
+    /// must never spend wall-clock time the run no longer has — before
+    /// this cap, three exponential backoffs could overshoot a short
+    /// `--deadline-ms` several times over.
+    pub fn run_supervised<T, E>(
+        &self,
+        jitter_seed: u64,
+        budget: Option<&ResourceBudget>,
+        mut op: impl FnMut() -> Result<T, E>,
+    ) -> Result<T, E> {
         let mut rng = StdRng::seed_from_u64(jitter_seed);
         let mut attempt = 0u32;
         loop {
             match op() {
                 Ok(value) => return Ok(value),
                 Err(e) if attempt + 1 >= self.attempts.max(1) => return Err(e),
-                Err(_) => {
-                    std::thread::sleep(self.backoff_delay(attempt, &mut rng));
+                Err(e) => {
+                    let mut delay = self.backoff_delay(attempt, &mut rng);
+                    if let Some(remaining) = budget.and_then(ResourceBudget::remaining_deadline) {
+                        if remaining.is_zero() {
+                            // No time left to wait for the disk to heal:
+                            // surface the error and let the anytime
+                            // machinery produce best-so-far output.
+                            return Err(e);
+                        }
+                        delay = delay.min(remaining);
+                    }
+                    std::thread::sleep(delay);
                     attempt += 1;
                 }
             }
@@ -723,6 +724,7 @@ pub struct Checkpointer {
     rng: StdRng,
     saves: u64,
     last_error: Option<String>,
+    budget: Option<ResourceBudget>,
 }
 
 impl Checkpointer {
@@ -740,6 +742,7 @@ impl Checkpointer {
             rng: StdRng::seed_from_u64(0xc4ec_4b01),
             saves: 0,
             last_error: None,
+            budget: None,
         }
     }
 
@@ -748,6 +751,14 @@ impl Checkpointer {
     pub fn with_clock(mut self, clock: Clock) -> Self {
         self.last_ns = clock.now_ns();
         self.clock = clock;
+        self
+    }
+
+    /// Supervise save retries with `budget` (builder style): backoff
+    /// sleeps are capped at the budget's remaining deadline, so a failing
+    /// disk cannot make checkpointing overshoot `--deadline-ms`.
+    pub fn with_budget(mut self, budget: &ResourceBudget) -> Self {
+        self.budget = Some(budget.clone());
         self
     }
 
@@ -798,9 +809,10 @@ impl Checkpointer {
         };
         let jitter_seed = self.rng.gen::<u64>();
         let mut attempts = 0u64;
-        let result = retry_with_backoff(SAVE_ATTEMPTS, BACKOFF_BASE, jitter_seed, || {
+        let path = &self.path;
+        let result = RetryPolicy::default().run_supervised(jitter_seed, self.budget.as_ref(), || {
             attempts += 1;
-            save_snapshot(&self.path, &snapshot)
+            save_snapshot(path, &snapshot)
         });
         self.last_ns = self.clock.now_ns();
         if telemetry::metrics_enabled() {
@@ -908,29 +920,29 @@ mod tests {
     #[test]
     fn every_truncation_is_corrupt_not_panic() {
         let bytes = encode(&sample_snapshot());
-        for len in 0..bytes.len() {
-            assert!(decode(&bytes[..len]).is_err(), "prefix of {len} decoded");
-        }
+        crate::test_support::for_each_truncation(&bytes, |len, prefix| {
+            assert!(decode(prefix).is_err(), "prefix of {len} decoded");
+        });
     }
 
     #[test]
     fn every_single_bit_flip_is_detected() {
         let bytes = encode(&agglomerative_snapshot());
         let original = decode(&bytes).expect("clean");
-        for byte in 0..bytes.len() {
-            for bit in 0..8 {
-                let mut corrupt = bytes.clone();
-                corrupt[byte] ^= 1 << bit;
+        crate::test_support::for_each_bit_flip(
+            &bytes,
+            &crate::test_support::ALL_BITS,
+            |byte, bit, corrupt| {
                 // Either rejected, or (never, for a single flip over CRC32)
                 // decoded back to the identical snapshot.
-                if let Ok(decoded) = decode(&corrupt) {
+                if let Ok(decoded) = decode(corrupt) {
                     assert_eq!(
                         decoded, original,
                         "flip {byte}:{bit} silently changed state"
                     );
                 }
-            }
-        }
+            },
+        );
     }
 
     #[test]
@@ -1109,6 +1121,62 @@ mod tests {
         });
         assert_eq!(result, Ok(7));
         assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn supervised_retry_returns_immediately_once_the_deadline_is_spent() {
+        // An expired budget must not buy the op any backoff sleeps: the
+        // first error comes straight back. Before supervision, a retry
+        // storm here would have slept through attempts.max(1) - 1 backoffs
+        // after the run deadline had already passed.
+        let clock = Clock::mock();
+        let budget = ResourceBudget::unlimited()
+            .with_clock(clock.clone())
+            .with_deadline_ms(10);
+        clock.advance(Duration::from_millis(11));
+        let policy = RetryPolicy {
+            attempts: 10,
+            base: Duration::from_secs(3600),
+            jitter: false,
+        };
+        let started = std::time::Instant::now();
+        let mut calls = 0;
+        let result: Result<(), &str> = policy.run_supervised(7, Some(&budget), || {
+            calls += 1;
+            Err("disk on fire")
+        });
+        assert_eq!(result, Err("disk on fire"));
+        assert_eq!(calls, 1, "no retries once the deadline is spent");
+        assert!(started.elapsed() < Duration::from_secs(60), "must not sleep");
+    }
+
+    #[test]
+    fn supervised_retry_caps_each_backoff_at_the_remaining_budget() {
+        // With 5ms left on the deadline and a 1-hour backoff base, each
+        // sleep is clamped to the remaining window. The mock clock never
+        // advances, so every attempt still runs — but in real milliseconds,
+        // not hours.
+        let clock = Clock::mock();
+        let budget = ResourceBudget::unlimited()
+            .with_clock(clock.clone())
+            .with_deadline_ms(5);
+        let policy = RetryPolicy {
+            attempts: 3,
+            base: Duration::from_secs(3600),
+            jitter: false,
+        };
+        let started = std::time::Instant::now();
+        let mut calls = 0;
+        let result: Result<(), &str> = policy.run_supervised(7, Some(&budget), || {
+            calls += 1;
+            Err("transient")
+        });
+        assert_eq!(result, Err("transient"));
+        assert_eq!(calls, 3, "attempts still exhausted, just without the wait");
+        assert!(
+            started.elapsed() < Duration::from_secs(60),
+            "backoff must be capped at the ~5ms remaining, not 1h doubling"
+        );
     }
 
     #[test]

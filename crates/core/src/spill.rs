@@ -59,9 +59,7 @@ use crate::instance::{
     condensed_index, ClusteringsOracle, CorrelationInstance, DistanceOracle, MissingPolicy,
 };
 use crate::robust::{Interrupt, MemCharge, RunBudget};
-use crate::snapshot::{
-    decode_envelope, encode_envelope, write_file_atomic, Reader, RetryPolicy, Writer,
-};
+use crate::snapshot::{decode_envelope, encode_envelope, Reader, RetryPolicy, Writer};
 use crate::telemetry;
 
 /// Magic bytes identifying a spilled tile frame.
@@ -271,7 +269,7 @@ impl SpilledOracle {
             (headroom / 4).clamp(MIN_TILE_BYTES, DEFAULT_TILE_BYTES)
         };
         let (row_starts, pair_offsets, tile_pairs) = tile_layout(n, (tile_bytes / 8).max(1));
-        std::fs::create_dir_all(&config.dir).map_err(|e| SpillError::Io {
+        crate::iofs::create_dir_all("spill.create_dir", &config.dir).map_err(|e| SpillError::Io {
             path: config.dir.clone(),
             error: e.to_string(),
         })?;
@@ -454,17 +452,21 @@ impl SpilledOracle {
     /// Read a frame and return its data only if it validates completely;
     /// any failure (missing, torn, corrupt, wrong instance) is `None`.
     fn read_valid_frame(&self, path: &Path, tile: u32) -> Option<Vec<f64>> {
-        let bytes = std::fs::read(path).ok()?;
+        let bytes = crate::iofs::read("spill.read", path).ok()?;
         self.decode_frame(tile, &bytes).ok()
     }
 
     /// Write a tile frame with retries; persistent failure is the one
-    /// spill error that is not recoverable from the labels.
+    /// spill error that is not recoverable from the labels. Retry backoff
+    /// is supervised by the run budget, so a dying disk cannot sleep the
+    /// run past its deadline.
     fn write_tile(&self, path: &Path, tile: u32, data: &[f64]) -> Result<(), SpillError> {
         let bytes = self.encode_frame(tile, data);
         let seed = self.fingerprint ^ u64::from(tile);
         self.retry
-            .run(seed, || write_file_atomic(path, &bytes))
+            .run_supervised(seed, Some(&self.budget), || {
+                crate::iofs::write_file_atomic("spill", path, &bytes)
+            })
             .map_err(|e| SpillError::Io {
                 path: path.to_path_buf(),
                 error: e.to_string(),
@@ -689,7 +691,7 @@ fn instance_fingerprint(inputs: &[PartialClustering], policy: MissingPolicy) -> 
 /// number of frames removed.
 pub fn cleanup_spill_dir(dir: &Path) -> usize {
     let mut removed = 0usize;
-    let entries = match std::fs::read_dir(dir) {
+    let entries = match crate::iofs::read_dir("spill.cleanup", dir) {
         Ok(entries) => entries,
         Err(_) => return 0,
     };
@@ -698,12 +700,12 @@ pub fn cleanup_spill_dir(dir: &Path) -> usize {
         let name = name.to_string_lossy();
         if name.starts_with("tile-")
             && (name.ends_with(".bin") || name.ends_with(".bin.tmp"))
-            && std::fs::remove_file(entry.path()).is_ok()
+            && crate::iofs::remove_file("spill.cleanup", &entry.path()).is_ok()
         {
             removed += 1;
         }
     }
-    let _ = std::fs::remove_dir(dir);
+    let _ = crate::iofs::remove_dir("spill.cleanup", dir);
     removed
 }
 
@@ -863,11 +865,11 @@ mod tests {
         let spilled = SpilledOracle::try_build(&instance, &budget, &config).expect("build");
         let path = spilled.tile_path(0);
         let clean = std::fs::read(&path).expect("read frame");
-        for byte in 0..clean.len() {
-            for bit in 0..8 {
-                let mut corrupt = clean.clone();
-                corrupt[byte] ^= 1 << bit;
-                std::fs::write(&path, &corrupt).expect("write corrupt");
+        crate::test_support::for_each_bit_flip(
+            &clean,
+            &crate::test_support::ALL_BITS,
+            |byte, bit, corrupt| {
+                std::fs::write(&path, corrupt).expect("write corrupt");
                 // A fresh read either validates (flip was in slack the CRC
                 // does not cover — impossible for a single flip) or
                 // rebuilds; both must produce the dense values.
@@ -884,14 +886,14 @@ mod tests {
                         i += 1;
                     }
                 }
-            }
-        }
+            },
+        );
         // Truncations likewise: never a panic, always correct values.
-        for len in 0..clean.len() {
-            std::fs::write(&path, &clean[..len]).expect("write truncated");
+        crate::test_support::for_each_truncation(&clean, |_len, prefix| {
+            std::fs::write(&path, prefix).expect("write truncated");
             let data = spilled.load_or_rebuild(0);
             assert_eq!(data.len(), spilled.tile_pairs[0]);
-        }
+        });
         cleanup_spill_dir(&dir);
     }
 

@@ -415,11 +415,13 @@ impl Clock {
         }
     }
 
-    /// Nanoseconds since this clock's epoch.
+    /// Nanoseconds since this clock's epoch. System clocks include any
+    /// armed [`crate::failpoint`] skew (a `clock=skew:ms=N` clause); mock
+    /// clocks are exempt so deadline tests keep full control of time.
     pub fn now_ns(&self) -> u64 {
         match &self.mock {
             Some(t) => t.load(Ordering::Relaxed),
-            None => system_now_ns(),
+            None => system_now_ns().saturating_add(crate::failpoint::clock_skew_ns()),
         }
     }
 
@@ -700,6 +702,8 @@ pub struct Metrics {
     pub interrupts_cancelled: Counter,
     /// Refused allocations (memory ceiling would have been exceeded).
     pub interrupts_memory: Counter,
+    /// Faults injected by an armed [`crate::failpoint`] plan.
+    pub faults_injected: Counter,
     /// High-water mark of tracked [`crate::robust::MemGauge`] bytes.
     pub mem_high_water_bytes: MaxGauge,
 }
@@ -742,6 +746,7 @@ static METRICS: Metrics = Metrics {
     interrupts_iteration_cap: Counter::new(),
     interrupts_cancelled: Counter::new(),
     interrupts_memory: Counter::new(),
+    faults_injected: Counter::new(),
     mem_high_water_bytes: MaxGauge::new(),
 };
 
@@ -839,6 +844,8 @@ pub struct MetricsSnapshot {
     pub interrupts_cancelled: u64,
     /// See [`Metrics::interrupts_memory`].
     pub interrupts_memory: u64,
+    /// See [`Metrics::faults_injected`].
+    pub faults_injected: u64,
     /// See [`Metrics::mem_high_water_bytes`].
     pub mem_high_water_bytes: u64,
 }
@@ -883,6 +890,7 @@ impl MetricsSnapshot {
             interrupts_iteration_cap: m.interrupts_iteration_cap.get(),
             interrupts_cancelled: m.interrupts_cancelled.get(),
             interrupts_memory: m.interrupts_memory.get(),
+            faults_injected: m.faults_injected.get(),
             mem_high_water_bytes: m.mem_high_water_bytes.get(),
         }
     }
@@ -984,6 +992,7 @@ impl MetricsSnapshot {
             interrupts_memory: self
                 .interrupts_memory
                 .saturating_sub(earlier.interrupts_memory),
+            faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
             mem_high_water_bytes: self.mem_high_water_bytes,
         }
     }
@@ -1128,6 +1137,7 @@ impl MetricsSnapshot {
             self.interrupts_memory.to_string(),
             false,
         );
+        push("faults_injected", self.faults_injected.to_string(), false);
         push(
             "mem_high_water_bytes",
             self.mem_high_water_bytes.to_string(),
@@ -1230,6 +1240,14 @@ pub fn count_spill_evictions(n: u64) {
 pub fn observe_mem_bytes(bytes: u64) {
     if metrics_enabled() {
         METRICS.mem_high_water_bytes.observe(bytes);
+    }
+}
+
+/// Count one fault injected by an armed [`crate::failpoint`] plan.
+#[inline]
+pub fn count_fault_injected() {
+    if metrics_enabled() {
+        METRICS.faults_injected.incr();
     }
 }
 
@@ -1461,7 +1479,7 @@ impl JsonlSink {
 
     /// Trace into a freshly created (truncated) file.
     pub fn to_file(path: &std::path::Path, max: Level) -> std::io::Result<JsonlSink> {
-        let file = std::fs::File::create(path)?;
+        let file = crate::iofs::create("trace.create", path)?;
         Ok(JsonlSink::new(Box::new(std::io::BufWriter::new(file)), max))
     }
 

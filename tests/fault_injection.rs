@@ -15,6 +15,7 @@ use aggclust_core::clustering::{Clustering, PartialClustering};
 use aggclust_core::consensus::ConsensusBuilder;
 use aggclust_core::cost::correlation_cost;
 use aggclust_core::instance::{ClusteringsOracle, CorrelationInstance, DenseOracle, MissingPolicy};
+use aggclust_core::test_support::{for_each_bit_flip, for_each_truncation, strided_cuts, ALL_BITS, SPOT_BITS};
 use aggclust_core::{AggError, CancelToken, RunBudget, RunStatus};
 use aggclust_tests::{adversarial_disagreeing, clustering, corrupt_bytes, truncate_text};
 use proptest::prelude::*;
@@ -234,13 +235,13 @@ fn sample_snapshot() -> Snapshot {
 #[test]
 fn truncated_checkpoints_are_detected_at_every_length() {
     let bytes = encode(&sample_snapshot());
-    for len in 0..bytes.len() {
+    for_each_truncation(&bytes, |len, prefix| {
         assert!(
-            decode(&bytes[..len]).is_err(),
+            decode(prefix).is_err(),
             "truncation to {len} of {} bytes went undetected",
             bytes.len()
         );
-    }
+    });
 }
 
 #[test]
@@ -251,16 +252,12 @@ fn bit_flipped_checkpoints_never_load_garbage() {
     // must therefore be rejected — silently loading mutated labels would
     // poison the resumed run.
     let bytes = encode(&sample_snapshot());
-    for i in 0..bytes.len() {
-        for bit in [0u32, 3, 7] {
-            let mut corrupted = bytes.clone();
-            corrupted[i] ^= 1 << bit;
-            assert!(
-                decode(&corrupted).is_err(),
-                "flip at byte {i} bit {bit} was accepted"
-            );
-        }
-    }
+    for_each_bit_flip(&bytes, &SPOT_BITS, |i, bit, corrupted| {
+        assert!(
+            decode(corrupted).is_err(),
+            "flip at byte {i} bit {bit} was accepted"
+        );
+    });
 }
 
 #[test]
@@ -566,7 +563,7 @@ fn torn_and_truncated_tiles_are_rebuilt_at_every_cut_point() {
     // zero-length file and garbage that is not a frame at all. The stride
     // keeps the number of full consensus reruns bounded while still cutting
     // inside the envelope header, the frame fields, and the payload.
-    let cuts: Vec<usize> = (0..pristine.len()).step_by(199).chain([0]).collect();
+    let cuts = strided_cuts(pristine.len(), 199);
     for len in cuts {
         std::fs::write(&tiles[0], &pristine[..len]).expect("write torn tile");
         let rerun = spill_builder(&dir).try_aggregate(&inputs).unwrap();
@@ -600,22 +597,18 @@ fn every_bit_flip_in_a_tile_frame_is_rejected_or_identical() {
     let spilled = SpilledOracle::try_build(&instance, &budget, &config).unwrap();
     let tiles = tile_paths(&dir);
     let pristine = std::fs::read(&tiles[0]).expect("read tile");
-    for byte in 0..pristine.len() {
-        for bit in 0..8 {
-            let mut corrupted = pristine.clone();
-            corrupted[byte] ^= 1 << bit;
-            std::fs::write(&tiles[0], &corrupted).expect("write");
-            for u in 0..16 {
-                for v in 0..16 {
-                    assert_eq!(
-                        spilled.dist(u, v).to_bits(),
-                        dense.dist(u, v).to_bits(),
-                        "flip {byte}:{bit} changed dist({u},{v})"
-                    );
-                }
+    for_each_bit_flip(&pristine, &ALL_BITS, |byte, bit, corrupted| {
+        std::fs::write(&tiles[0], corrupted).expect("write");
+        for u in 0..16 {
+            for v in 0..16 {
+                assert_eq!(
+                    spilled.dist(u, v).to_bits(),
+                    dense.dist(u, v).to_bits(),
+                    "flip {byte}:{bit} changed dist({u},{v})"
+                );
             }
         }
-    }
+    });
     drop(spilled);
     cleanup_spill_dir(&dir);
 }
