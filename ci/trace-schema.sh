@@ -67,6 +67,7 @@ with open(trace_path) as f:
         assert kind in counts, f"line {lineno}: unknown type {kind!r}"
         counts[kind] += 1
         assert is_uint(rec.get("ts_ns")), f"line {lineno}: bad ts_ns"
+        assert is_uint(rec.get("tid")) and rec["tid"] >= 1, f"line {lineno}: bad tid"
         assert isinstance(rec.get("fields"), dict), f"line {lineno}: bad fields"
         if kind == "event":
             assert rec.get("level") in LEVELS, f"line {lineno}: bad level"
@@ -118,7 +119,7 @@ REQUIRED = [
     "checkpoint_saves", "checkpoint_retries", "checkpoint_failures",
     "checkpoint_corruptions",
     "spill_tiles_written", "spill_tiles_read", "spill_tiles_rebuilt",
-    "spill_evictions",
+    "spill_evictions", "spill_cache_hits", "spill_cache_bypass",
     "interrupts_deadline", "interrupts_iteration_cap",
     "interrupts_cancelled", "interrupts_memory",
     "faults_injected",
@@ -137,8 +138,40 @@ assert metrics["oracle_packed_evals"] > 0, \
     "packed SWAR kernel counters did not fire -- dense build not on the packed path?"
 assert metrics["kernels_row_batches"] > 0, \
     "kernels_row_batches did not fire -- banded fill not batching rows?"
+
+# Timings block (ISSUE 9): per-span count/total/self/max aggregates, the
+# self/total split consistent, and the spans this workload must traverse
+# present with real time attributed.
+timings = report.get("timings")
+assert isinstance(timings, dict) and timings, "report: missing timings block"
+for name, span in timings.items():
+    assert isinstance(name, str) and name, "timings: empty span name"
+    for key in ("count", "total_ns", "self_ns", "max_ns"):
+        assert is_uint(span.get(key)), f"timings[{name!r}]: bad {key}"
+    assert span["count"] > 0, f"timings[{name!r}]: zero count"
+    assert span["self_ns"] <= span["total_ns"], \
+        f"timings[{name!r}]: self_ns exceeds total_ns"
+    assert span["max_ns"] <= span["total_ns"], \
+        f"timings[{name!r}]: max_ns exceeds total_ns"
+    hist = span.get("ns_hist")
+    assert isinstance(hist, list) and len(hist) == 9 and all(map(is_uint, hist)), \
+        f"timings[{name!r}]: bad ns_hist"
+    assert sum(hist) == span["count"], \
+        f"timings[{name!r}]: ns_hist does not sum to count"
+for required_span in ("local_search", "dense_build", "condensed_alloc"):
+    assert required_span in timings, f"timings: {required_span!r} span missing"
+assert timings["local_search"]["total_ns"] > 0, "local_search span untimed"
+assert timings["dense_build"]["total_ns"] >= \
+    timings["condensed_alloc"]["total_ns"], \
+    "condensed_alloc must nest inside dense_build"
+
+# Faults array: a clean run records no injections.
+faults = report.get("faults")
+assert isinstance(faults, list), "report: missing faults array"
+assert faults == [], f"clean run recorded injections: {faults}"
+
 print(f"trace OK: {counts['event']} events, {spans} balanced spans; "
-      f"report OK: {len(REQUIRED) + 3} metrics validated; "
+      f"report OK: {len(REQUIRED) + 3} metrics, {len(timings)} timed spans; "
       f"host OK: {host['arch']}/{host['cpus']}cpu tier={tier}")
 EOF
 
@@ -203,3 +236,31 @@ assert metrics["kernels_dispatch_tier"] == "swar", \
     f"dispatch tier {metrics['kernels_dispatch_tier']!r} ignored AGGCLUST_SIMD=swar"
 print("OK: AGGCLUST_SIMD=swar selected, recorded in host block and metrics")
 EOF
+
+echo "== faulted run: injections must land in the report's faults array =="
+"$BIN" aggregate --input "$WORK/in2000.csv" --algorithm local-search \
+    --no-refine --fault-plan "cli.input=delay:ms=5" \
+    --metrics-out "$WORK/faulted.json" --output /dev/null --log-level error
+python3 - "$WORK/faulted.json" <<'EOF'
+import json
+import sys
+
+report = json.load(open(sys.argv[1]))
+faults, metrics = report["faults"], report["metrics"]
+assert isinstance(faults, list) and faults, "armed run recorded no injections"
+assert all(isinstance(f, str) and f for f in faults), f"bad fault entries: {faults}"
+assert any("cli.input" in f and "delay" in f for f in faults), \
+    f"expected a cli.input delay injection, got: {faults}"
+assert metrics["faults_injected"] == len(faults), \
+    f"faults_injected={metrics['faults_injected']} != len(faults)={len(faults)}"
+print(f"OK: {len(faults)} injections embedded, matching faults_injected")
+EOF
+
+echo "== --progress: heartbeats render as single stderr lines =="
+"$BIN" aggregate --input "$WORK/in5000.csv" --algorithm local-search \
+    --no-refine --threads 1 --progress --output /dev/null \
+    --log-level error 2> "$WORK/progress.txt"
+grep -q "^progress: local_search " "$WORK/progress.txt"
+awk '!/^progress: [a-z_]+ [0-9]+\/[0-9]+ / { print "bad progress line: " $0; bad = 1 }
+     END { exit bad }' "$WORK/progress.txt"
+echo "OK: $(wc -l < "$WORK/progress.txt") progress heartbeats, format valid"

@@ -108,13 +108,25 @@ fn bench_parallel(c: &mut Criterion) {
 fn bench_telemetry_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("telemetry_overhead");
     obs::clear_collector();
+    let was_enabled = obs::metrics_enabled();
+    // Spans also time themselves into the metrics registry now, so the
+    // "off" row must switch metrics off for the measurement — main()
+    // enables them for the kernel benches above.
+    obs::set_metrics_enabled(false);
     group.bench_function("span_event_collector_off", |b| {
         b.iter(|| {
             let _span = aggclust_core::span!("bench_noop", n = black_box(1usize));
             aggclust_core::event!(obs::Level::Debug, "noop");
         })
     });
-    let was_enabled = obs::metrics_enabled();
+    obs::set_metrics_enabled(true);
+    // The live per-span timing path: clock read, child-time stack frame,
+    // and the per-name count/total/self/max/histogram updates.
+    group.bench_function("span_timed_metrics_on", |b| {
+        b.iter(|| {
+            let _span = aggclust_core::span!("bench_timed", n = black_box(1usize));
+        })
+    });
     obs::set_metrics_enabled(false);
     group.bench_function("counter_metrics_off", |b| {
         b.iter(|| obs::metrics().ls_moves.add_if_enabled(black_box(1)))

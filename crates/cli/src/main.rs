@@ -56,6 +56,10 @@ COMMON OPTIONS:
                           variable sets the default, the flag wins
     --trace-out PATH      write a machine-readable JSONL trace (one JSON
                           object per span/event) alongside the run
+    --progress            render rate-limited progress heartbeats (phase,
+                          done/total, ETA, tracked memory, remaining
+                          deadline) as single stderr lines, without the
+                          debug-level firehose
     --metrics-out PATH    write a JSON run report of the algorithm counters
                           (oracle evaluations, moves, merges, checkpoints)
     --fault-plan SPEC     arm deterministic fault injection for this run
@@ -259,16 +263,26 @@ fn setup_telemetry(args: &Args) -> Result<Option<PathBuf>, CliError> {
         None => obs::Level::from_env().unwrap_or(obs::Level::Info),
     };
     let stderr_sink: Arc<dyn obs::Collector> = Arc::new(obs::StderrSink::new(level));
-    match args.get("trace-out") {
-        Some(path) => {
-            let trace = obs::JsonlSink::to_file(Path::new(path), obs::Level::Trace)
-                .map_err(|e| CliError::Io(format!("creating trace file {path}: {e}")))?;
-            let mut tee = obs::TeeCollector::new();
-            tee.push(stderr_sink);
-            tee.push(Arc::new(trace));
-            obs::install_collector(Arc::new(tee));
+    let mut extra_sinks: Vec<Arc<dyn obs::Collector>> = Vec::new();
+    if let Some(path) = args.get("trace-out") {
+        let trace = obs::JsonlSink::to_file(Path::new(path), obs::Level::Trace)
+            .map_err(|e| CliError::Io(format!("creating trace file {path}: {e}")))?;
+        extra_sinks.push(Arc::new(trace));
+    }
+    // The heartbeat renderer rides next to the human logger: it only
+    // reacts to `progress` events, so the stderr log stays at `level`.
+    if args.flag("progress") {
+        extra_sinks.push(Arc::new(obs::ProgressSink::new()));
+    }
+    if extra_sinks.is_empty() {
+        obs::install_collector(stderr_sink);
+    } else {
+        let mut tee = obs::TeeCollector::new();
+        tee.push(stderr_sink);
+        for sink in extra_sinks {
+            tee.push(sink);
         }
-        None => obs::install_collector(stderr_sink),
+        obs::install_collector(Arc::new(tee));
     }
     let metrics_out = args.get("metrics-out").map(PathBuf::from);
     if metrics_out.is_some() || args.get("trace-out").is_some() {
@@ -347,7 +361,10 @@ fn install_sigint_cancel(_token: CancelToken) {}
 const IO_RETRY_ATTEMPTS: u32 = 3;
 const IO_RETRY_BASE: Duration = Duration::from_millis(10);
 
-fn load_inputs(args: &Args, budget: Option<&RunBudget>) -> Result<Vec<PartialClustering>, CliError> {
+fn load_inputs(
+    args: &Args,
+    budget: Option<&RunBudget>,
+) -> Result<Vec<PartialClustering>, CliError> {
     let path = args
         .get("input")
         .ok_or_else(|| CliError::Usage("--input PATH is required".to_string()))?;

@@ -186,7 +186,9 @@ fn run<O: DistanceOracle + Sync + ?Sized>(
     let mut candidates: Vec<usize> = Vec::new();
     let mut cand_dist: Vec<f64> = Vec::new();
 
-    for &u in &order {
+    let mut heartbeat = telemetry::Heartbeat::new("balls", n as u64).with_budget(budget);
+    for (visited, &u) in order.iter().enumerate() {
+        heartbeat.tick(visited as u64);
         if labels[u] != u32::MAX {
             continue;
         }

@@ -125,7 +125,9 @@ fn run<O: DistanceOracle + Sync + ?Sized>(
         oracle.dist(v, ca).min(oracle.dist(v, cb))
     });
 
+    let mut heartbeat = telemetry::Heartbeat::new("furthest", cap as u64).with_budget(budget);
     loop {
+        heartbeat.tick(centers.len() as u64);
         if let Err(interrupt) = meter.tick() {
             return (best, interrupt.status(), meter.iterations());
         }

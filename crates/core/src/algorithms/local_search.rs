@@ -370,6 +370,7 @@ fn descend_resumable<O: DistanceOracle + Sync + ?Sized>(
 
     let mut m_sums: Vec<f64> = Vec::new();
     let mut meter = budget.meter_from(done);
+    let mut heartbeat = telemetry::Heartbeat::new("local_search", n as u64).with_budget(budget);
     for pass in first_pass..max_passes {
         // The pass in progress when the snapshot was taken resumes its
         // node cursor and its pass-level convergence flag.
@@ -427,6 +428,9 @@ fn descend_resumable<O: DistanceOracle + Sync + ?Sized>(
                 ) {
                     moved = true;
                 }
+                // Progress within the current pass; each pass restarts the
+                // cursor, so `done/total` reads as pass completion.
+                heartbeat.tick((v + 1) as u64);
                 if let Some(c) = ckpt.as_deref_mut() {
                     c.maybe_save(|| {
                         AlgorithmSnapshot::LocalSearch(LocalSearchSnapshot {

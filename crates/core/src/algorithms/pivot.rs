@@ -148,7 +148,9 @@ fn pivot_once<O: DistanceOracle + Sync + ?Sized>(
     let mut labels = vec![u32::MAX; n];
     let mut next = 0u32;
     let mut tripped = None;
-    for &u in &order {
+    let mut heartbeat = telemetry::Heartbeat::new("pivot", n as u64);
+    for (visited, &u) in order.iter().enumerate() {
+        heartbeat.tick(visited as u64);
         if labels[u] != u32::MAX {
             continue;
         }

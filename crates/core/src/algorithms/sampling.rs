@@ -236,7 +236,9 @@ pub fn sampling_resumable<O: DistanceOracle + Sync>(
     let mut meter = budget.meter_from(done);
     let mut m_sums = vec![0.0f64; ell];
     let mut tripped = false;
+    let mut heartbeat = telemetry::Heartbeat::new("sampling_assign", n as u64).with_budget(budget);
     for v in start_node..n {
+        heartbeat.tick(v as u64);
         if in_sample[v] {
             continue;
         }

@@ -274,10 +274,7 @@ impl FaultPlan {
             "torn" => Kind::Torn,
             "delay" => Kind::Delay {
                 ms: ms.ok_or_else(|| {
-                    AggError::invalid_parameter(
-                        "fault-plan",
-                        format!("delay needs ms= in {raw:?}"),
-                    )
+                    AggError::invalid_parameter("fault-plan", format!("delay needs ms= in {raw:?}"))
                 })?,
             },
             "skew" => Kind::Skew {
@@ -379,10 +376,19 @@ impl ArmedGuard {
     /// fault, in order. Used by determinism tests (same plan + seed must
     /// reproduce the same log).
     pub fn injection_log(&self) -> Vec<String> {
-        match ACTIVE.lock() {
-            Ok(active) => active.as_ref().map(|s| s.log.clone()).unwrap_or_default(),
-            Err(_) => Vec::new(),
-        }
+        injection_log()
+    }
+}
+
+/// The injection log of the currently armed plan: one `site:kind` entry
+/// per injected fault, in order. Empty when no plan is armed — which
+/// lets run reports embed the log unconditionally
+/// ([`crate::telemetry::run_report_json`]'s `faults` array), making
+/// chaos runs self-describing without scraping stderr.
+pub fn injection_log() -> Vec<String> {
+    match ACTIVE.lock() {
+        Ok(active) => active.as_ref().map(|s| s.log.clone()).unwrap_or_default(),
+        Err(_) => Vec::new(),
     }
 }
 
@@ -631,7 +637,12 @@ fn alloc_hit(bytes: u64) -> Option<Fault> {
         let cs = &mut state.states[i];
         cs.charged = cs.charged.saturating_add(bytes);
         if cs.charged > after_mb << 20 {
-            injected = Some((i, Fault::AllocFail { limit: after_mb << 20 }));
+            injected = Some((
+                i,
+                Fault::AllocFail {
+                    limit: after_mb << 20,
+                },
+            ));
             break;
         }
     }
@@ -884,7 +895,9 @@ mod tests {
     #[test]
     fn rearming_replays_the_same_storm() {
         let run = || -> Vec<String> {
-            let guard = arm(plan("s.write=torn:prob=0.4:seed=11,s.rename=io_error:nth=2"));
+            let guard = arm(plan(
+                "s.write=torn:prob=0.4:seed=11,s.rename=io_error:nth=2",
+            ));
             for _ in 0..16 {
                 let _ = check("s.write", 256);
                 let _ = check("s.rename", 0);

@@ -287,6 +287,7 @@ impl DenseOracle {
             clusterings.iter().all(|c| c.len() == n),
             "all clusterings must cover the same objects"
         );
+        let _span = crate::span!("dense_build", n = n, m = clusterings.len());
         let m = clusterings.len() as f64;
         let matrix = LabelMatrix::from_total(clusterings);
         let band = matrix.preferred_band();
@@ -354,6 +355,7 @@ impl DenseOracle {
             clusterings.iter().all(|c| c.len() == n),
             "all clusterings must cover the same objects"
         );
+        let _span = crate::span!("dense_build", n = n, m = clusterings.len());
         enum Block {
             Packed(f64, LabelMatrix),
             Scalar(f64, Vec<usize>),
@@ -734,6 +736,7 @@ impl CorrelationInstance {
     /// (one scratch buffer per worker, counted by `kernels_row_batches`);
     /// genuinely partial inputs stay on the per-pair `sep_missing` path.
     pub fn dense_oracle(&self) -> DenseOracle {
+        let _span = crate::span!("dense_build", n = self.n, m = self.inputs.len());
         let lazy = self.lazy_oracle();
         let band = lazy.preferred_band();
         let data = if self.all_total() {
@@ -783,6 +786,7 @@ impl CorrelationInstance {
     /// interrupt instead of blowing through a deadline on a large instance.
     /// The returned oracle holds its memory charge for as long as it lives.
     pub fn try_dense_oracle(&self, budget: &RunBudget) -> Result<DenseOracle, Interrupt> {
+        let _span = crate::span!("dense_build", n = self.n, m = self.inputs.len());
         let charge = budget.try_reserve(self.dense_bytes())?;
         let lazy = self.lazy_oracle();
         // The packed label matrix is transient scratch for the fill:

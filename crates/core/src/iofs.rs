@@ -189,10 +189,7 @@ mod tests {
     use crate::failpoint::{arm, FaultPlan};
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "aggclust-iofs-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("aggclust-iofs-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).expect("temp dir must be creatable");
         dir

@@ -86,10 +86,12 @@ pub mod test_support;
 pub mod obs {
     pub use crate::kernels::dispatch as simd_dispatch;
     pub use crate::telemetry::{
-        clear_collector, collector_active, dispatch_event, host_report_json, install_collector,
-        metrics, metrics_enabled, run_report_json, set_metrics_enabled, Clock, Collector, Counter,
-        Event, Gauge, JsonlSink, Level, MaxGauge, MemoryCollector, MetricsSnapshot, SpanData,
-        SpanGuard, StderrSink, TeeCollector, Value,
+        clear_collector, collector_active, current_tid, dispatch_event, host_report_json,
+        install_collector, metrics, metrics_enabled, run_report_json, set_metrics_enabled,
+        set_timing_clock, span_stats, timing_now_ns, Cadence, Clock, Collector, Counter, Event,
+        Gauge, Heartbeat, JsonlSink, Level, MaxGauge, MemoryCollector, MetricsSnapshot,
+        ProgressSink, SpanData, SpanGuard, SpanStats, SpanTiming, StderrSink, TeeCollector,
+        TimingsSnapshot, Value,
     };
     pub use crate::{debug, error_event, event, info, span, trace, warn};
 }

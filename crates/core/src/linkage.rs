@@ -494,7 +494,10 @@ pub fn linkage_resumable(
     };
 
     let mut meter = budget.meter_from(merges.len() as u64);
+    let mut heartbeat =
+        telemetry::Heartbeat::new("linkage", n.saturating_sub(1) as u64).with_budget(budget);
     for _ in merges.len()..n.saturating_sub(1) {
+        heartbeat.tick(merges.len() as u64);
         if let Err(interrupt) = meter.tick() {
             if let Some(ckpt) = ckpt.as_deref_mut() {
                 let _ = ckpt.save_now(snapshot_state(&merges, &chain));

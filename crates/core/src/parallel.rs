@@ -264,6 +264,29 @@ where
     })
 }
 
+/// Allocate the condensed vector and pre-fault its pages under a
+/// `condensed_alloc` span.
+///
+/// `vec![0.0; len]` is served by lazily zeroed pages, so without this
+/// the page faults — the tier-independent floor that dominates the
+/// dense build at large `n` (~40 ms for the 100 MB triangle at n=5000)
+/// — would fire at first write inside the worker fill jobs and be
+/// smeared across `condensed_fill`. Touching one element per 4 KiB page
+/// here moves that cost into its own span, so the run report's
+/// `timings` block puts a number on the alloc/fault/write floor. The
+/// store goes through [`std::hint::black_box`] so the write of "0.0
+/// over fresh zeroes" cannot be optimized out, taking the fault with
+/// it.
+fn alloc_condensed(len: usize) -> Vec<f64> {
+    let _span = crate::span!("condensed_alloc", len = len);
+    let mut data = vec![0.0f64; len];
+    const PAGE_STRIDE: usize = 4096 / std::mem::size_of::<f64>();
+    for i in (0..data.len()).step_by(PAGE_STRIDE) {
+        data[i] = std::hint::black_box(0.0);
+    }
+    data
+}
+
 /// Build the condensed upper-triangle vector `[f(u, v) for u < v]` of
 /// length `n(n−1)/2` in parallel row chunks. Every entry is written exactly
 /// once, so the result is trivially independent of thread count.
@@ -272,7 +295,7 @@ where
     F: Fn(usize, usize) -> f64 + Sync,
 {
     let len = n * n.saturating_sub(1) / 2;
-    let mut data = vec![0.0f64; len];
+    let mut data = alloc_condensed(len);
     let mut jobs: Vec<(Range<usize>, &mut [f64])> = Vec::new();
     let mut rest: &mut [f64] = &mut data;
     for rows in row_ranges(n) {
@@ -281,6 +304,7 @@ where
         jobs.push((rows, head));
         rest = tail;
     }
+    let _fill = crate::span!("condensed_fill", len = len);
     run_jobs(jobs, |(rows, out)| {
         let mut i = 0usize;
         for u in rows {
@@ -306,7 +330,7 @@ where
 {
     let band = band.max(1);
     let len = n * n.saturating_sub(1) / 2;
-    let mut data = vec![0.0f64; len];
+    let mut data = alloc_condensed(len);
     let mut jobs: Vec<(Range<usize>, &mut [f64])> = Vec::new();
     let mut rest: &mut [f64] = &mut data;
     for rows in row_ranges(n) {
@@ -315,6 +339,7 @@ where
         jobs.push((rows, head));
         rest = tail;
     }
+    let _fill = crate::span!("condensed_fill", len = len);
     run_jobs(jobs, |(rows, out)| {
         fill_rows_banded(n, band, &rows, out, &f);
     });
@@ -355,7 +380,7 @@ where
 {
     let band = band.max(1);
     let len = n * n.saturating_sub(1) / 2;
-    let mut data = vec![0.0f64; len];
+    let mut data = alloc_condensed(len);
     let mut jobs: Vec<(Range<usize>, &mut [f64])> = Vec::new();
     let mut rest: &mut [f64] = &mut data;
     for rows in row_ranges(n) {
@@ -364,6 +389,7 @@ where
         jobs.push((rows, head));
         rest = tail;
     }
+    let _fill = crate::span!("condensed_fill", len = len);
     run_jobs(jobs, |(rows, out)| {
         let mut scratch = make_scratch();
         fill_rows_banded_scratch_segments(n, band, &rows, out, &mut scratch, &g);
@@ -391,7 +417,7 @@ where
     let band = band.max(1);
     let rows = rows.start.min(n)..rows.end.min(n);
     let len: usize = rows.clone().map(|u| n - 1 - u).sum();
-    let mut data = vec![0.0f64; len];
+    let mut data = alloc_condensed(len);
     // Split the row range into pair-balanced sub-jobs exactly like the full
     // fill splits 0..n, so a wide tile still uses every worker.
     let sub = balanced_ranges(rows.len(), MIN_CHUNK_PAIRS, |i| n - 1 - (rows.start + i));
@@ -404,6 +430,7 @@ where
         jobs.push((abs, head));
         rest = tail;
     }
+    let _fill = crate::span!("condensed_fill", len = len);
     run_jobs(jobs, |(abs, out)| {
         let mut scratch = make_scratch();
         fill_rows_banded_scratch_segments(n, band, &abs, out, &mut scratch, &g);
@@ -502,7 +529,7 @@ where
     // jobs see the flag and return immediately without touching the clock.
     let tripped = AtomicU8::new(0);
     let len = n * n.saturating_sub(1) / 2;
-    let mut data = vec![0.0f64; len];
+    let mut data = alloc_condensed(len);
     let mut jobs: Vec<(Range<usize>, &mut [f64])> = Vec::new();
     let mut rest: &mut [f64] = &mut data;
     for rows in row_ranges(n) {
@@ -511,6 +538,7 @@ where
         jobs.push((rows, head));
         rest = tail;
     }
+    let _fill = crate::span!("condensed_fill", len = len);
     run_jobs(jobs, |(rows, out)| {
         if tripped.load(Ordering::Relaxed) != 0 {
             return;
@@ -559,7 +587,7 @@ where
     let band = band.max(1);
     let tripped = AtomicU8::new(0);
     let len = n * n.saturating_sub(1) / 2;
-    let mut data = vec![0.0f64; len];
+    let mut data = alloc_condensed(len);
     let mut jobs: Vec<(Range<usize>, &mut [f64])> = Vec::new();
     let mut rest: &mut [f64] = &mut data;
     for rows in row_ranges(n) {
@@ -568,6 +596,7 @@ where
         jobs.push((rows, head));
         rest = tail;
     }
+    let _fill = crate::span!("condensed_fill", len = len);
     run_jobs(jobs, |(rows, out)| {
         if tripped.load(Ordering::Relaxed) != 0 {
             return;
@@ -614,7 +643,7 @@ where
     let band = band.max(1);
     let tripped = AtomicU8::new(0);
     let len = n * n.saturating_sub(1) / 2;
-    let mut data = vec![0.0f64; len];
+    let mut data = alloc_condensed(len);
     let mut jobs: Vec<(Range<usize>, &mut [f64])> = Vec::new();
     let mut rest: &mut [f64] = &mut data;
     for rows in row_ranges(n) {
@@ -623,6 +652,7 @@ where
         jobs.push((rows, head));
         rest = tail;
     }
+    let _fill = crate::span!("condensed_fill", len = len);
     run_jobs(jobs, |(rows, out)| {
         if tripped.load(Ordering::Relaxed) != 0 {
             return;

@@ -39,7 +39,7 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use crate::robust::ResourceBudget;
-use crate::telemetry::{self, Clock};
+use crate::telemetry::{self, Cadence, Clock};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -712,14 +712,14 @@ pub fn retry_with_backoff<T, E>(
 /// than aborting the run — a checkpointing failure must never take down the
 /// computation it protects.
 ///
-/// Cadence runs on a [`telemetry::Clock`], so tests can drive it with a
-/// mock clock instead of real sleeps (see [`Checkpointer::with_clock`]).
+/// Cadence is a [`telemetry::Cadence`] on a [`telemetry::Clock`] — the
+/// same ticker behind [`telemetry::Heartbeat`] — so tests can drive it
+/// with a mock clock instead of real sleeps (see
+/// [`Checkpointer::with_clock`]).
 #[derive(Debug)]
 pub struct Checkpointer {
     path: PathBuf,
-    every: Duration,
-    clock: Clock,
-    last_ns: u64,
+    cadence: Cadence,
     stage: u32,
     rng: StdRng,
     saves: u64,
@@ -731,13 +731,9 @@ impl Checkpointer {
     /// Checkpoint to `path` no more often than `every`. The first save
     /// becomes due `every` after construction.
     pub fn new(path: impl Into<PathBuf>, every: Duration) -> Self {
-        let clock = Clock::system();
-        let last_ns = clock.now_ns();
         Checkpointer {
             path: path.into(),
-            every,
-            clock,
-            last_ns,
+            cadence: Cadence::new(every),
             stage: 0,
             rng: StdRng::seed_from_u64(0xc4ec_4b01),
             saves: 0,
@@ -749,8 +745,7 @@ impl Checkpointer {
     /// Replace the cadence clock (builder style). The cadence restarts at
     /// the new clock's current reading.
     pub fn with_clock(mut self, clock: Clock) -> Self {
-        self.last_ns = clock.now_ns();
-        self.clock = clock;
+        self.cadence = Cadence::with_clock(clock, self.cadence.every());
         self
     }
 
@@ -791,8 +786,7 @@ impl Checkpointer {
     /// Save a checkpoint if the cadence is due. `make` is evaluated only
     /// when a save actually happens. Returns `true` on a successful save.
     pub fn maybe_save(&mut self, make: impl FnOnce() -> AlgorithmSnapshot) -> bool {
-        let elapsed_ns = self.clock.now_ns().saturating_sub(self.last_ns);
-        if elapsed_ns < self.every.as_nanos() as u64 {
+        if !self.cadence.due() {
             return false;
         }
         self.save_now(make()).is_ok()
@@ -810,11 +804,12 @@ impl Checkpointer {
         let jitter_seed = self.rng.gen::<u64>();
         let mut attempts = 0u64;
         let path = &self.path;
-        let result = RetryPolicy::default().run_supervised(jitter_seed, self.budget.as_ref(), || {
-            attempts += 1;
-            save_snapshot(path, &snapshot)
-        });
-        self.last_ns = self.clock.now_ns();
+        let result =
+            RetryPolicy::default().run_supervised(jitter_seed, self.budget.as_ref(), || {
+                attempts += 1;
+                save_snapshot(path, &snapshot)
+            });
+        self.cadence.reset();
         if telemetry::metrics_enabled() {
             telemetry::metrics()
                 .checkpoint_retries
@@ -1147,7 +1142,10 @@ mod tests {
         });
         assert_eq!(result, Err("disk on fire"));
         assert_eq!(calls, 1, "no retries once the deadline is spent");
-        assert!(started.elapsed() < Duration::from_secs(60), "must not sleep");
+        assert!(
+            started.elapsed() < Duration::from_secs(60),
+            "must not sleep"
+        );
     }
 
     #[test]

@@ -269,9 +269,11 @@ impl SpilledOracle {
             (headroom / 4).clamp(MIN_TILE_BYTES, DEFAULT_TILE_BYTES)
         };
         let (row_starts, pair_offsets, tile_pairs) = tile_layout(n, (tile_bytes / 8).max(1));
-        crate::iofs::create_dir_all("spill.create_dir", &config.dir).map_err(|e| SpillError::Io {
-            path: config.dir.clone(),
-            error: e.to_string(),
+        crate::iofs::create_dir_all("spill.create_dir", &config.dir).map_err(|e| {
+            SpillError::Io {
+                path: config.dir.clone(),
+                error: e.to_string(),
+            }
         })?;
 
         let oracle = SpilledOracle {
@@ -509,6 +511,7 @@ impl SpilledOracle {
         {
             let mut cache = lock_cache(&self.cache);
             if let Some(hit) = cache.touch(tile) {
+                telemetry::count_spill_cache_hit();
                 return Some(hit);
             }
         }
@@ -595,6 +598,7 @@ impl DistanceOracle for SpilledOracle {
             }
         });
         if let Some(pinned) = memoized {
+            telemetry::count_spill_cache_hit();
             telemetry::count_dense_evals(1);
             return pinned.data[local];
         }
@@ -610,7 +614,10 @@ impl DistanceOracle for SpilledOracle {
             // Bypass: recompute the single pair from the packed labels —
             // bit-identical to the stored entry (both are the same pure
             // per-pair function of the inputs).
-            None => self.lazy.dist(a, b),
+            None => {
+                telemetry::count_spill_cache_bypass();
+                self.lazy.dist(a, b)
+            }
         }
     }
 
@@ -980,6 +987,59 @@ mod tests {
             fa,
             instance_fingerprint(a.inputs(), MissingPolicy::Coin(0.25))
         );
+    }
+
+    #[test]
+    fn cache_hits_and_bypass_are_counted() {
+        let instance = adversarial_instance(60, 5);
+        // Roomy budget: every tile stays pinned from the build, so reads
+        // are LRU/memo hits.
+        let roomy_dir = temp_dir("hitcount-roomy");
+        let roomy_budget = RunBudget::unlimited().with_mem_limit_bytes(1 << 20);
+        let roomy_config = SpillConfig::new(&roomy_dir).with_tile_bytes(512);
+        let roomy =
+            SpilledOracle::try_build(&instance, &roomy_budget, &roomy_config).expect("build");
+        crate::telemetry::set_metrics_enabled(true);
+        let before = crate::telemetry::MetricsSnapshot::capture();
+        let mut scan = 0.0;
+        for u in 0..60 {
+            for v in u + 1..60 {
+                scan += roomy.dist(u, v);
+            }
+        }
+        assert!(scan > 0.0);
+        let delta = crate::telemetry::MetricsSnapshot::capture().diff(&before);
+        crate::telemetry::set_metrics_enabled(false);
+        assert!(
+            delta.spill_cache_hits > 0,
+            "resident-tile lookups must count as cache hits"
+        );
+        cleanup_spill_dir(&roomy_dir);
+
+        // Tight cap: the scan runs past the pinned set and the anti-thrash
+        // policy serves most misses from the lazy bypass.
+        let tight_dir = temp_dir("hitcount-tight");
+        let tight_budget = RunBudget::unlimited().with_mem_limit_bytes(2048);
+        let tight_config = SpillConfig::new(&tight_dir).with_tile_bytes(512);
+        let tight =
+            SpilledOracle::try_build(&instance, &tight_budget, &tight_config).expect("build");
+        assert!(tight.tiles() > 1, "need multiple tiles to observe misses");
+        crate::telemetry::set_metrics_enabled(true);
+        let before = crate::telemetry::MetricsSnapshot::capture();
+        let mut scan = 0.0;
+        for u in 0..60 {
+            for v in u + 1..60 {
+                scan += tight.dist(u, v);
+            }
+        }
+        assert!(scan > 0.0);
+        let delta = crate::telemetry::MetricsSnapshot::capture().diff(&before);
+        crate::telemetry::set_metrics_enabled(false);
+        assert!(
+            delta.spill_cache_bypass > 0,
+            "anti-thrash misses must count as bypasses"
+        );
+        cleanup_spill_dir(&tight_dir);
     }
 
     #[test]

@@ -19,6 +19,17 @@
 //!   deterministic: the deterministic kernels perform the same multiset of
 //!   counted operations at any `--threads` setting, and integer atomic
 //!   adds commute, so totals are bit-identical across thread counts.
+//! * **Span timings** — when metrics are enabled every closing span also
+//!   records count / total-ns / self-ns / max-ns / histogram aggregates
+//!   into a per-span-name [`SpanStats`] registry ([`span_stats`]),
+//!   rendered as the `timings` block of the run report
+//!   ([`TimingsSnapshot`]). Self time is elapsed time minus time spent in
+//!   child spans on the same thread, so a parent's own work (e.g. the
+//!   dense build's alloc/fault/write floor) gets its own number.
+//! * **Heartbeats** — [`Heartbeat`] emits cadence-limited `progress`
+//!   events (phase, done/total, memory, deadline remaining, ETA) from
+//!   the algorithm loops; [`Cadence`] is the shared "has the period
+//!   elapsed" ticker also used by [`crate::snapshot::Checkpointer`].
 //! * **Sinks** — [`StderrSink`] (a leveled human logger, filterable via
 //!   the `AGGCLUST_LOG` environment variable or CLI `--log-level`),
 //!   [`JsonlSink`] (one JSON object per span/event for `--trace-out`),
@@ -31,6 +42,7 @@
 //!   tests a manually advanced clock so deadline behavior can be tested
 //!   without real sleeps.
 
+use std::cell::RefCell;
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
@@ -281,46 +293,93 @@ pub fn dispatch_event(level: Level, message: &str, fields: &[(&'static str, Valu
 
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 
+thread_local! {
+    // One slot per open timed span on this thread: the accumulated
+    // elapsed time of its already-closed children. Closing a span pops
+    // its slot (its child time, for self-time) and adds its own elapsed
+    // time to the new top — the parent's slot — so self/total
+    // attribution needs no tree walk and no allocation per span.
+    static SPAN_CHILD_NS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
 /// RAII guard for an open span; created by [`crate::span!`]. Reports the
-/// span's duration to the collector when dropped. Inert (holds nothing,
-/// does nothing) when no collector was installed at entry.
+/// span's duration to the collector when dropped, and — when metrics are
+/// enabled — records it into the per-span-name [`SpanStats`] aggregates
+/// (count, total ns, self ns, max, histogram). Inert (holds nothing,
+/// does nothing) when neither a collector nor metrics were active at
+/// entry. Guards must be dropped on the thread that created them: the
+/// self-time bookkeeping is a per-thread stack.
 #[derive(Debug)]
 pub struct SpanGuard {
-    inner: Option<(SpanData, Instant)>,
+    inner: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    data: SpanData,
+    start_ns: u64,
+    dispatched: bool,
 }
 
 impl SpanGuard {
     /// Enter a span (macro plumbing; prefer [`crate::span!`]). The field
-    /// closure is only evaluated when a collector is installed.
+    /// closure is only evaluated when a collector is installed — a
+    /// metrics-only span records timings but carries no fields.
     pub fn enter(
         name: &'static str,
         fields: impl FnOnce() -> Vec<(&'static str, Value)>,
     ) -> SpanGuard {
-        if !collector_active() {
+        let dispatched = collector_active();
+        if !dispatched && !metrics_enabled() {
             return SpanGuard { inner: None };
         }
         let data = SpanData {
             name,
             id: NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed),
-            fields: fields(),
+            fields: if dispatched { fields() } else { Vec::new() },
         };
-        with_collector(|c| c.span_start(&data));
+        if dispatched {
+            with_collector(|c| c.span_start(&data));
+        }
+        SPAN_CHILD_NS.with(|s| s.borrow_mut().push(0));
         SpanGuard {
-            inner: Some((data, Instant::now())),
+            inner: Some(SpanInner {
+                data,
+                start_ns: timing_now_ns(),
+                dispatched,
+            }),
         }
     }
 
     /// The span's process-unique id, or `None` for an inert guard.
     pub fn id(&self) -> Option<u64> {
-        self.inner.as_ref().map(|(d, _)| d.id)
+        self.inner.as_ref().map(|i| i.data.id)
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some((data, start)) = self.inner.take() {
-            let elapsed = start.elapsed();
-            with_collector(|c| c.span_end(&data, elapsed));
+        if let Some(inner) = self.inner.take() {
+            let elapsed_ns = timing_now_ns().saturating_sub(inner.start_ns);
+            let child_ns = SPAN_CHILD_NS.with(|s| {
+                let mut stack = s.borrow_mut();
+                let child = stack.pop().unwrap_or(0);
+                if let Some(parent) = stack.last_mut() {
+                    *parent = parent.saturating_add(elapsed_ns);
+                }
+                child
+            });
+            if metrics_enabled() {
+                let stats = span_stats(inner.data.name);
+                stats.count.incr();
+                stats.total_ns.add(elapsed_ns);
+                stats.self_ns.add(elapsed_ns.saturating_sub(child_ns));
+                stats.max_ns.observe(elapsed_ns);
+                stats.ns_hist.observe(elapsed_ns as f64);
+            }
+            if inner.dispatched {
+                with_collector(|c| c.span_end(&inner.data, Duration::from_nanos(elapsed_ns)));
+            }
         }
     }
 }
@@ -437,6 +496,193 @@ impl Clock {
     /// `true` for a [`Clock::mock`] clock.
     pub fn is_mock(&self) -> bool {
         self.mock.is_some()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timing clock (span durations)
+// ---------------------------------------------------------------------------
+
+static TIMING_MOCKED: AtomicBool = AtomicBool::new(false);
+
+fn timing_clock_slot() -> &'static RwLock<Clock> {
+    static SLOT: OnceLock<RwLock<Clock>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(Clock::system()))
+}
+
+/// Replace the clock that timestamps span durations process-wide. Tests
+/// hand in a [`Clock::mock`] so span timings become deterministic;
+/// installing a system clock restores the default. The unmocked path
+/// reads the raw monotonic clock and deliberately ignores any armed
+/// failpoint skew — injected clock jumps must trip *deadlines*, not
+/// corrupt the timing profile.
+pub fn set_timing_clock(clock: Clock) {
+    TIMING_MOCKED.store(clock.is_mock(), Ordering::Release);
+    if let Ok(mut slot) = timing_clock_slot().write() {
+        *slot = clock;
+    }
+}
+
+/// Nanoseconds on the span-timing clock (see [`set_timing_clock`]).
+#[inline]
+pub fn timing_now_ns() -> u64 {
+    if TIMING_MOCKED.load(Ordering::Relaxed) {
+        timing_clock_slot().read().map(|c| c.now_ns()).unwrap_or(0)
+    } else {
+        system_now_ns()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cadence and heartbeats
+// ---------------------------------------------------------------------------
+
+/// A "has the period elapsed" ticker over a [`Clock`]: [`Cadence::due`]
+/// returns `true` at most once per period. This is the cadence machinery
+/// shared by [`crate::snapshot::Checkpointer`] (checkpoint every N
+/// seconds) and [`Heartbeat`] (progress event every N milliseconds);
+/// both stay fully testable through a mock clock.
+#[derive(Clone, Debug)]
+pub struct Cadence {
+    clock: Clock,
+    every_ns: u64,
+    last_ns: u64,
+}
+
+impl Cadence {
+    /// A cadence on the system clock, first due after one `every` period.
+    pub fn new(every: Duration) -> Cadence {
+        Cadence::with_clock(Clock::system(), every)
+    }
+
+    /// A cadence on an explicit (possibly mock) clock.
+    pub fn with_clock(clock: Clock, every: Duration) -> Cadence {
+        let last_ns = clock.now_ns();
+        Cadence {
+            clock,
+            every_ns: u64::try_from(every.as_nanos()).unwrap_or(u64::MAX),
+            last_ns,
+        }
+    }
+
+    /// `true` — and the countdown restarts — when at least one period has
+    /// elapsed since construction or the last due tick.
+    pub fn due(&mut self) -> bool {
+        let now = self.clock.now_ns();
+        if now.saturating_sub(self.last_ns) < self.every_ns {
+            return false;
+        }
+        self.last_ns = now;
+        true
+    }
+
+    /// Restart the countdown from now without firing (a caller did the
+    /// periodic work through another path, e.g. `save_now`).
+    pub fn reset(&mut self) {
+        self.last_ns = self.clock.now_ns();
+    }
+
+    /// The period between due ticks.
+    pub fn every(&self) -> Duration {
+        Duration::from_nanos(self.every_ns)
+    }
+
+    /// The clock this cadence ticks on.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+}
+
+/// Default emission period for [`Heartbeat`] progress events.
+pub const HEARTBEAT_EVERY: Duration = Duration::from_millis(200);
+
+/// A budget-aware progress ticker for the algorithm loops: call
+/// [`Heartbeat::tick`] once per unit of work and, at most once per
+/// cadence period, a `progress` event is emitted at [`Level::Debug`]
+/// with fields `phase`, `done`, `total`, `elapsed_ms`, `mem_bytes`, an
+/// `eta_ms` extrapolation once progress is nonzero, and
+/// `deadline_remaining_ms` when a budget with a deadline is attached.
+///
+/// With no collector installed a tick is one relaxed load and an untaken
+/// branch — the same disabled-path cost contract as the metrics
+/// counters, held to by the `telemetry_overhead` bench.
+#[derive(Debug)]
+pub struct Heartbeat<'a> {
+    phase: &'static str,
+    total: u64,
+    cadence: Cadence,
+    start_ns: u64,
+    budget: Option<&'a crate::robust::ResourceBudget>,
+}
+
+impl<'a> Heartbeat<'a> {
+    /// A heartbeat for `phase` expecting `total` units of work, on the
+    /// system clock at the default cadence.
+    pub fn new(phase: &'static str, total: u64) -> Heartbeat<'a> {
+        Heartbeat::with_cadence(phase, total, Cadence::new(HEARTBEAT_EVERY))
+    }
+
+    /// A heartbeat on an explicit cadence (tests use a mock clock).
+    pub fn with_cadence(phase: &'static str, total: u64, cadence: Cadence) -> Heartbeat<'a> {
+        let start_ns = cadence.clock.now_ns();
+        Heartbeat {
+            phase,
+            total,
+            cadence,
+            start_ns,
+            budget: None,
+        }
+    }
+
+    /// Attach the run's budget so heartbeats carry live memory usage and
+    /// the remaining deadline.
+    pub fn with_budget(mut self, budget: &'a crate::robust::ResourceBudget) -> Heartbeat<'a> {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Report `done` units complete. Free (one relaxed load and a
+    /// branch) unless a collector is installed; rate-limited by the
+    /// cadence otherwise.
+    #[inline]
+    pub fn tick(&mut self, done: u64) {
+        if collector_active() {
+            self.beat(done);
+        }
+    }
+
+    #[cold]
+    fn beat(&mut self, done: u64) {
+        if !self.cadence.due() {
+            return;
+        }
+        let elapsed_ns = self.cadence.clock.now_ns().saturating_sub(self.start_ns);
+        let mut fields: Vec<(&'static str, Value)> = Vec::with_capacity(7);
+        fields.push(("phase", Value::Str(self.phase.to_owned())));
+        fields.push(("done", Value::U64(done)));
+        fields.push(("total", Value::U64(self.total)));
+        fields.push(("elapsed_ms", Value::U64(elapsed_ns / 1_000_000)));
+        if done > 0 && self.total > done {
+            let eta_ns = (u128::from(elapsed_ns) * u128::from(self.total - done) / u128::from(done))
+                .min(u128::from(u64::MAX)) as u64;
+            fields.push(("eta_ms", Value::U64(eta_ns / 1_000_000)));
+        }
+        match self.budget {
+            Some(budget) => {
+                fields.push(("mem_bytes", Value::U64(budget.mem_gauge().used_bytes())));
+                if let Some(left) = budget.remaining_deadline() {
+                    let ms = left.as_millis().min(u128::from(u64::MAX)) as u64;
+                    fields.push(("deadline_remaining_ms", Value::U64(ms)));
+                }
+            }
+            None => {
+                fields.push((
+                    "mem_bytes",
+                    Value::U64(metrics().mem_high_water_bytes.get()),
+                ));
+            }
+        }
+        dispatch_event(Level::Debug, "progress", &fields);
     }
 }
 
@@ -692,6 +938,13 @@ pub struct Metrics {
     pub spill_tiles_rebuilt: Counter,
     /// Pinned tiles evicted from RAM to stay under the memory budget.
     pub spill_evictions: Counter,
+    /// Spilled-oracle lookups served from a tile already pinned in RAM
+    /// (the thread-local memo or the LRU cache) — no disk touch.
+    pub spill_cache_hits: Counter,
+    /// Spilled-oracle lookups that bypassed the tile store to the lazy
+    /// `O(m)` oracle (tile not resident and the anti-thrash policy
+    /// declined to reload it).
+    pub spill_cache_bypass: Counter,
     /// Encoded spill-frame sizes in bytes (power-of-ten buckets).
     pub spill_bytes_hist: Histogram,
     /// Anytime stops caused by the wall-clock deadline.
@@ -741,6 +994,8 @@ static METRICS: Metrics = Metrics {
     spill_tiles_read: Counter::new(),
     spill_tiles_rebuilt: Counter::new(),
     spill_evictions: Counter::new(),
+    spill_cache_hits: Counter::new(),
+    spill_cache_bypass: Counter::new(),
     spill_bytes_hist: Histogram::new(POW10_BOUNDS),
     interrupts_deadline: Counter::new(),
     interrupts_iteration_cap: Counter::new(),
@@ -834,6 +1089,10 @@ pub struct MetricsSnapshot {
     pub spill_tiles_rebuilt: u64,
     /// See [`Metrics::spill_evictions`].
     pub spill_evictions: u64,
+    /// See [`Metrics::spill_cache_hits`].
+    pub spill_cache_hits: u64,
+    /// See [`Metrics::spill_cache_bypass`].
+    pub spill_cache_bypass: u64,
     /// See [`Metrics::spill_bytes_hist`].
     pub spill_bytes_hist: [u64; HISTOGRAM_BUCKETS],
     /// See [`Metrics::interrupts_deadline`].
@@ -885,6 +1144,8 @@ impl MetricsSnapshot {
             spill_tiles_read: m.spill_tiles_read.get(),
             spill_tiles_rebuilt: m.spill_tiles_rebuilt.get(),
             spill_evictions: m.spill_evictions.get(),
+            spill_cache_hits: m.spill_cache_hits.get(),
+            spill_cache_bypass: m.spill_cache_bypass.get(),
             spill_bytes_hist: m.spill_bytes_hist.counts(),
             interrupts_deadline: m.interrupts_deadline.get(),
             interrupts_iteration_cap: m.interrupts_iteration_cap.get(),
@@ -979,6 +1240,12 @@ impl MetricsSnapshot {
                 .spill_tiles_rebuilt
                 .saturating_sub(earlier.spill_tiles_rebuilt),
             spill_evictions: self.spill_evictions.saturating_sub(earlier.spill_evictions),
+            spill_cache_hits: self
+                .spill_cache_hits
+                .saturating_sub(earlier.spill_cache_hits),
+            spill_cache_bypass: self
+                .spill_cache_bypass
+                .saturating_sub(earlier.spill_cache_bypass),
             spill_bytes_hist: hist_diff(&self.spill_bytes_hist, &earlier.spill_bytes_hist),
             interrupts_deadline: self
                 .interrupts_deadline
@@ -1116,6 +1383,12 @@ impl MetricsSnapshot {
             false,
         );
         push("spill_evictions", self.spill_evictions.to_string(), false);
+        push("spill_cache_hits", self.spill_cache_hits.to_string(), false);
+        push(
+            "spill_cache_bypass",
+            self.spill_cache_bypass.to_string(),
+            false,
+        );
         push("spill_bytes_hist", hist(&self.spill_bytes_hist), false);
         push(
             "interrupts_deadline",
@@ -1235,6 +1508,24 @@ pub fn count_spill_evictions(n: u64) {
     }
 }
 
+/// Count one spilled-oracle lookup served from a resident tile (memo or
+/// LRU cache hit — no disk touch).
+#[inline]
+pub fn count_spill_cache_hit() {
+    if metrics_enabled() {
+        METRICS.spill_cache_hits.incr();
+    }
+}
+
+/// Count one spilled-oracle lookup that bypassed the tile store to the
+/// lazy oracle.
+#[inline]
+pub fn count_spill_cache_bypass() {
+    if metrics_enabled() {
+        METRICS.spill_cache_bypass.incr();
+    }
+}
+
 /// Record a tracked-memory level for the high-water gauge.
 #[inline]
 pub fn observe_mem_bytes(bytes: u64) {
@@ -1267,6 +1558,150 @@ pub fn count_interrupt(interrupt: crate::robust::Interrupt) {
 }
 
 // ---------------------------------------------------------------------------
+// Span timing aggregates
+// ---------------------------------------------------------------------------
+
+/// Histogram bounds for span durations, in nanoseconds (1 µs … 10 s;
+/// the 9th bucket catches anything longer).
+pub const TIMING_NS_BOUNDS: [f64; HISTOGRAM_BUCKETS - 1] =
+    [1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10];
+
+/// Wall-clock aggregates for one span name, recorded by closing
+/// [`SpanGuard`]s while metrics are enabled.
+#[derive(Debug)]
+pub struct SpanStats {
+    /// Number of closes.
+    pub count: Counter,
+    /// Total elapsed nanoseconds across all closes, children included.
+    pub total_ns: Counter,
+    /// Elapsed nanoseconds minus time spent inside child spans on the
+    /// same thread — the span's own work.
+    pub self_ns: Counter,
+    /// Longest single close, in nanoseconds.
+    pub max_ns: MaxGauge,
+    /// Distribution of per-close elapsed ns ([`TIMING_NS_BOUNDS`]).
+    pub ns_hist: Histogram,
+}
+
+fn timings_registry() -> &'static RwLock<Vec<(&'static str, &'static SpanStats)>> {
+    static REG: OnceLock<RwLock<Vec<(&'static str, &'static SpanStats)>>> = OnceLock::new();
+    REG.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// The [`SpanStats`] slot for `name`, created on first use. Slots are
+/// leaked into `'static`: span names are a small closed set of string
+/// literals, so the registry is bounded and the leak is the price of
+/// lock-free recording on the hot drop path (a linear scan of a dozen
+/// entries under a read lock, then plain relaxed atomics).
+pub fn span_stats(name: &'static str) -> &'static SpanStats {
+    let reg = timings_registry();
+    {
+        let read = match reg.read() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        if let Some(&(_, stats)) = read.iter().find(|(n, _)| *n == name) {
+            return stats;
+        }
+    }
+    let mut write = match reg.write() {
+        Ok(g) => g,
+        Err(e) => e.into_inner(),
+    };
+    if let Some(&(_, stats)) = write.iter().find(|(n, _)| *n == name) {
+        return stats;
+    }
+    let stats: &'static SpanStats = Box::leak(Box::new(SpanStats {
+        count: Counter::new(),
+        total_ns: Counter::new(),
+        self_ns: Counter::new(),
+        max_ns: MaxGauge::new(),
+        ns_hist: Histogram::new(TIMING_NS_BOUNDS),
+    }));
+    write.push((name, stats));
+    stats
+}
+
+/// A point-in-time copy of one span name's timing aggregates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanTiming {
+    /// Span name.
+    pub name: &'static str,
+    /// See [`SpanStats::count`].
+    pub count: u64,
+    /// See [`SpanStats::total_ns`].
+    pub total_ns: u64,
+    /// See [`SpanStats::self_ns`].
+    pub self_ns: u64,
+    /// See [`SpanStats::max_ns`].
+    pub max_ns: u64,
+    /// See [`SpanStats::ns_hist`].
+    pub ns_hist: [u64; HISTOGRAM_BUCKETS],
+}
+
+/// A snapshot of every span name's timing aggregates, sorted by name —
+/// the `timings` block of the run report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimingsSnapshot {
+    /// Per-span-name aggregates, sorted by name.
+    pub spans: Vec<SpanTiming>,
+}
+
+impl TimingsSnapshot {
+    /// Snapshot the process-wide timing registry right now.
+    pub fn capture() -> TimingsSnapshot {
+        let read = match timings_registry().read() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        let mut spans: Vec<SpanTiming> = read
+            .iter()
+            .map(|&(name, s)| SpanTiming {
+                name,
+                count: s.count.get(),
+                total_ns: s.total_ns.get(),
+                self_ns: s.self_ns.get(),
+                max_ns: s.max_ns.get(),
+                ns_hist: s.ns_hist.counts(),
+            })
+            .collect();
+        drop(read);
+        spans.sort_by_key(|t| t.name);
+        TimingsSnapshot { spans }
+    }
+
+    /// The aggregates for `name`, if that span has closed at least once.
+    pub fn get(&self, name: &str) -> Option<&SpanTiming> {
+        self.spans.iter().find(|t| t.name == name)
+    }
+
+    /// Render as a stable JSON object keyed by span name:
+    /// `{"dense_build":{"count":1,"total_ns":…,"self_ns":…,"max_ns":…,
+    /// "ns_hist":[…]}}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(64 + 128 * self.spans.len());
+        s.push('{');
+        for (i, t) in self.spans.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let hist: Vec<String> = t.ns_hist.iter().map(|c| c.to_string()).collect();
+            s.push_str(&json_string(t.name));
+            s.push_str(&format!(
+                ":{{\"count\":{},\"total_ns\":{},\"self_ns\":{},\"max_ns\":{},\"ns_hist\":[{}]}}",
+                t.count,
+                t.total_ns,
+                t.self_ns,
+                t.max_ns,
+                hist.join(",")
+            ));
+        }
+        s.push('}');
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Run reports
 // ---------------------------------------------------------------------------
 
@@ -1293,14 +1728,22 @@ pub fn host_report_json() -> String {
     )
 }
 
-/// The standard run report: schema tag, host block, and the current
-/// metrics registry. This is the exact payload of the CLI's
-/// `--metrics-out`, the bench binaries' `--metrics-out`, and the
-/// `run_report` records embedded in `BENCH_*.json`.
+/// The standard run report: schema tag, host block, per-span `timings`,
+/// the `faults` injected by an armed failpoint plan (empty when none is
+/// armed — a run report is self-describing about whether chaos was in
+/// play), and the current metrics registry. This is the exact payload of
+/// the CLI's `--metrics-out`, the bench binaries' `--metrics-out`, and
+/// the `run_report` records embedded in `BENCH_*.json`.
 pub fn run_report_json() -> String {
+    let faults: Vec<String> = crate::failpoint::injection_log()
+        .iter()
+        .map(|f| json_string(f))
+        .collect();
     format!(
-        "{{\"schema\":\"aggclust-run-report-v1\",\"host\":{},\"metrics\":{}}}",
+        "{{\"schema\":\"aggclust-run-report-v1\",\"host\":{},\"timings\":{},\"faults\":[{}],\"metrics\":{}}}",
         host_report_json(),
+        TimingsSnapshot::capture().to_json(),
+        faults.join(","),
         MetricsSnapshot::capture().to_json()
     )
 }
@@ -1345,6 +1788,20 @@ pub fn json_f64(x: f64) -> String {
     } else {
         "null".to_owned()
     }
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small process-unique id for the calling thread (1-based, assigned
+/// at the thread's first telemetry use). Stamped as `tid` on every JSONL
+/// trace record so offline analysis can rebuild per-thread span stacks —
+/// span nesting is only meaningful within one thread.
+pub fn current_tid() -> u64 {
+    TID.with(|t| *t)
 }
 
 fn fields_json(fields: &[(&'static str, Value)]) -> String {
@@ -1445,15 +1902,92 @@ impl Collector for StderrSink {
     }
 }
 
+/// Renders only the rate-limited `progress` heartbeats (see [`Heartbeat`])
+/// as single human-readable stderr lines, ignoring every other event and
+/// all spans. Meant to ride in a [`TeeCollector`] next to a quieter
+/// [`StderrSink`]: the CLI's `--progress` flag without dragging the whole
+/// debug firehose along.
+///
+/// Line shape (fields appear when the heartbeat carried them):
+///
+/// ```text
+/// progress: local_search 2500/5000 (50.0%) elapsed 1.2s eta 1.3s mem 12.4 MB deadline 3.0s
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgressSink;
+
+impl ProgressSink {
+    /// A fresh progress renderer.
+    pub fn new() -> ProgressSink {
+        ProgressSink
+    }
+}
+
+fn field_u64(fields: &[(&'static str, Value)], key: &str) -> Option<u64> {
+    fields.iter().find_map(|(k, v)| match v {
+        Value::U64(x) if *k == key => Some(*x),
+        _ => None,
+    })
+}
+
+fn human_secs(ms: u64) -> String {
+    format!("{:.1}s", ms as f64 / 1e3)
+}
+
+impl Collector for ProgressSink {
+    fn enabled(&self, level: Level) -> bool {
+        // Heartbeats are emitted at Debug; chattier levels are not needed.
+        level <= Level::Debug
+    }
+
+    fn event(&self, event: &Event<'_>) {
+        if event.message != "progress" {
+            return;
+        }
+        let phase = event
+            .fields
+            .iter()
+            .find_map(|(k, v)| match v {
+                Value::Str(s) if *k == "phase" => Some(s.as_str()),
+                _ => None,
+            })
+            .unwrap_or("?");
+        let done = field_u64(event.fields, "done").unwrap_or(0);
+        let total = field_u64(event.fields, "total").unwrap_or(0);
+        let mut line = format!("progress: {phase} {done}/{total}");
+        if total > 0 {
+            line.push_str(&format!(" ({:.1}%)", 100.0 * done as f64 / total as f64));
+        }
+        if let Some(ms) = field_u64(event.fields, "elapsed_ms") {
+            line.push_str(&format!(" elapsed {}", human_secs(ms)));
+        }
+        if let Some(ms) = field_u64(event.fields, "eta_ms") {
+            line.push_str(&format!(" eta {}", human_secs(ms)));
+        }
+        if let Some(bytes) = field_u64(event.fields, "mem_bytes") {
+            line.push_str(&format!(" mem {:.1} MB", bytes as f64 / (1 << 20) as f64));
+        }
+        if let Some(ms) = field_u64(event.fields, "deadline_remaining_ms") {
+            line.push_str(&format!(" deadline {}", human_secs(ms)));
+        }
+        eprintln!("{line}"); // lint:allow-eprintln
+    }
+
+    fn span_start(&self, _span: &SpanData) {}
+
+    fn span_end(&self, _span: &SpanData, _elapsed: Duration) {}
+}
+
 /// A machine-readable trace sink: one JSON object per line (JSONL), one
 /// line per event / span start / span end.
 ///
-/// Record shapes:
+/// Record shapes (`tid` is [`current_tid`] — the key for rebuilding
+/// per-thread span stacks offline):
 ///
 /// ```json
-/// {"type":"event","ts_ns":123,"level":"info","message":"...","fields":{...}}
-/// {"type":"span_start","ts_ns":123,"span":"balls","id":7,"fields":{...}}
-/// {"type":"span_end","ts_ns":456,"span":"balls","id":7,"elapsed_ns":333,"fields":{...}}
+/// {"type":"event","ts_ns":123,"tid":1,"level":"info","message":"...","fields":{...}}
+/// {"type":"span_start","ts_ns":123,"tid":1,"span":"balls","id":7,"fields":{...}}
+/// {"type":"span_end","ts_ns":456,"tid":1,"span":"balls","id":7,"elapsed_ns":333,"fields":{...}}
 /// ```
 pub struct JsonlSink {
     out: Mutex<Box<dyn Write + Send>>,
@@ -1499,8 +2033,9 @@ impl Collector for JsonlSink {
 
     fn event(&self, event: &Event<'_>) {
         self.write_line(format!(
-            "{{\"type\":\"event\",\"ts_ns\":{},\"level\":{},\"message\":{},\"fields\":{}}}",
+            "{{\"type\":\"event\",\"ts_ns\":{},\"tid\":{},\"level\":{},\"message\":{},\"fields\":{}}}",
             self.clock.now_ns(),
+            current_tid(),
             json_string(event.level.as_str()),
             json_string(event.message),
             fields_json(event.fields),
@@ -1509,8 +2044,9 @@ impl Collector for JsonlSink {
 
     fn span_start(&self, span: &SpanData) {
         self.write_line(format!(
-            "{{\"type\":\"span_start\",\"ts_ns\":{},\"span\":{},\"id\":{},\"fields\":{}}}",
+            "{{\"type\":\"span_start\",\"ts_ns\":{},\"tid\":{},\"span\":{},\"id\":{},\"fields\":{}}}",
             self.clock.now_ns(),
+            current_tid(),
             json_string(span.name),
             span.id,
             fields_json(&span.fields),
@@ -1519,8 +2055,9 @@ impl Collector for JsonlSink {
 
     fn span_end(&self, span: &SpanData, elapsed: Duration) {
         self.write_line(format!(
-            "{{\"type\":\"span_end\",\"ts_ns\":{},\"span\":{},\"id\":{},\"elapsed_ns\":{},\"fields\":{}}}",
+            "{{\"type\":\"span_end\",\"ts_ns\":{},\"tid\":{},\"span\":{},\"id\":{},\"elapsed_ns\":{},\"fields\":{}}}",
             self.clock.now_ns(),
+            current_tid(),
             json_string(span.name),
             span.id,
             u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
@@ -1816,6 +2353,154 @@ mod tests {
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn cadence_fires_once_per_period() {
+        let clock = Clock::mock();
+        let mut cadence = Cadence::with_clock(clock.clone(), Duration::from_millis(10));
+        assert!(!cadence.due(), "not due immediately after construction");
+        clock.advance(Duration::from_millis(9));
+        assert!(!cadence.due());
+        clock.advance(Duration::from_millis(1));
+        assert!(cadence.due());
+        assert!(!cadence.due(), "due resets the countdown");
+        clock.advance(Duration::from_millis(25));
+        assert!(cadence.due());
+        cadence.reset();
+        clock.advance(Duration::from_millis(5));
+        assert!(!cadence.due(), "reset restarts the countdown");
+        assert_eq!(cadence.every(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn heartbeat_emits_rate_limited_progress_events() {
+        let _guard = global_state_lock();
+        let collector = Arc::new(MemoryCollector::new());
+        install_collector(collector.clone());
+        let clock = Clock::mock();
+        let cadence = Cadence::with_clock(clock.clone(), Duration::from_millis(10));
+        let mut hb = Heartbeat::with_cadence("test_phase", 100, cadence);
+        hb.tick(1); // cadence not yet due
+        clock.advance(Duration::from_millis(10));
+        hb.tick(25); // due: one event
+        hb.tick(26); // immediately after: suppressed
+        clock.advance(Duration::from_millis(10));
+        hb.tick(50); // due again
+        clear_collector();
+        let progress: Vec<String> = collector
+            .records()
+            .into_iter()
+            .filter(|r| r.contains("progress"))
+            .collect();
+        assert_eq!(progress.len(), 2, "got {progress:?}");
+        assert!(progress[0].contains("phase=test_phase"));
+        assert!(progress[0].contains("done=25"));
+        assert!(progress[0].contains("total=100"));
+        assert!(progress[0].contains("eta_ms="));
+        // Without a collector a tick is inert regardless of cadence.
+        clock.advance(Duration::from_secs(1));
+        hb.tick(99);
+        assert_eq!(collector.records().len(), progress.len());
+    }
+
+    #[test]
+    fn heartbeat_carries_budget_deadline() {
+        let _guard = global_state_lock();
+        let collector = Arc::new(MemoryCollector::new());
+        install_collector(collector.clone());
+        let clock = Clock::mock();
+        let budget = crate::robust::ResourceBudget::unlimited()
+            .with_clock(clock.clone())
+            .with_deadline(Duration::from_secs(2));
+        let cadence = Cadence::with_clock(clock.clone(), Duration::from_millis(1));
+        let mut hb = Heartbeat::with_cadence("budgeted", 10, cadence).with_budget(&budget);
+        clock.advance(Duration::from_millis(500));
+        hb.tick(5);
+        clear_collector();
+        let records = collector.records();
+        let line = records
+            .iter()
+            .find(|r| r.contains("progress"))
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            line.contains("deadline_remaining_ms=1500"),
+            "missing deadline field: {line}"
+        );
+        assert!(line.contains("mem_bytes="), "missing mem field: {line}");
+    }
+
+    #[test]
+    fn span_timings_attribute_self_and_total() {
+        let _guard = global_state_lock();
+        let clock = Clock::mock();
+        set_timing_clock(clock.clone());
+        set_metrics_enabled(true);
+        let outer_before = TimingsSnapshot::capture()
+            .get("timing_outer")
+            .cloned()
+            .unwrap_or(SpanTiming {
+                name: "timing_outer",
+                count: 0,
+                total_ns: 0,
+                self_ns: 0,
+                max_ns: 0,
+                ns_hist: [0; HISTOGRAM_BUCKETS],
+            });
+        {
+            let _outer = crate::span!("timing_outer");
+            clock.advance(Duration::from_nanos(100));
+            {
+                let _inner = crate::span!("timing_inner");
+                clock.advance(Duration::from_nanos(40));
+            }
+            clock.advance(Duration::from_nanos(60));
+        }
+        set_metrics_enabled(false);
+        set_timing_clock(Clock::system());
+        let snap = TimingsSnapshot::capture();
+        let outer = snap.get("timing_outer").cloned();
+        let inner = snap.get("timing_inner").cloned();
+        let outer = outer.as_ref().map(|t| {
+            (
+                t.count - outer_before.count,
+                t.total_ns - outer_before.total_ns,
+                t.self_ns - outer_before.self_ns,
+            )
+        });
+        assert_eq!(outer, Some((1, 200, 160)), "outer self = total - child");
+        let inner = inner.map(|t| (t.total_ns, t.self_ns));
+        assert_eq!(inner, Some((40, 40)), "leaf self == total");
+    }
+
+    #[test]
+    fn timings_snapshot_json_shape() {
+        let _guard = global_state_lock();
+        set_metrics_enabled(true);
+        {
+            let _g = crate::span!("timing_json_probe");
+        }
+        set_metrics_enabled(false);
+        let json = TimingsSnapshot::capture().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"timing_json_probe\":{\"count\":"));
+        assert!(json.contains("\"total_ns\":"));
+        assert!(json.contains("\"self_ns\":"));
+        assert!(json.contains("\"max_ns\":"));
+        assert!(json.contains("\"ns_hist\":["));
+        let report = run_report_json();
+        assert!(report.contains("\"timings\":{"));
+        assert!(report.contains("\"faults\":["));
+    }
+
+    #[test]
+    fn current_tid_is_stable_and_distinct() {
+        let here = current_tid();
+        assert_eq!(here, current_tid());
+        let other = std::thread::spawn(current_tid).join().unwrap_or_default();
+        assert_ne!(here, other);
+        assert!(other >= 1);
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! Span-tree reconstruction from a JSONL trace.
+//!
+//! The main binary's `--trace-out` sink emits one JSON object per line:
+//! `span_start` / `span_end` pairs (correlated by `id`, LIFO within a
+//! thread) plus one-shot `event` records, every record stamped with the
+//! emitting thread's `tid`. This module replays those records into
+//!
+//! * an aggregated **span tree** — per call-path node with count, total
+//!   (wall-clock inside the span) and self time (total minus child spans
+//!   on the same thread), and
+//! * **folded stacks** — `root;child;leaf self_ns` lines, the input format
+//!   of flamegraph tooling (`flamegraph.pl`, speedscope, inferno).
+
+use crate::json::{self, Json};
+use std::collections::BTreeMap;
+
+/// One node of the aggregated span tree: a unique call path.
+#[derive(Debug, Default)]
+pub struct SpanNode {
+    /// Number of `span_end` records folded into this node.
+    pub count: u64,
+    /// Total nanoseconds spent inside spans at this path.
+    pub total_ns: u64,
+    /// Total minus time attributed to child spans on the same thread.
+    pub self_ns: u64,
+    /// Child paths, keyed by span name.
+    pub children: BTreeMap<String, SpanNode>,
+}
+
+/// Everything the analyzer extracted from one trace file.
+#[derive(Debug, Default)]
+pub struct TraceStats {
+    /// Virtual root; its children are the top-level spans.
+    pub root: SpanNode,
+    /// Folded stacks: `"a;b;c" -> self_ns` summed over occurrences.
+    pub folded: BTreeMap<String, u64>,
+    /// Total records parsed.
+    pub records: u64,
+    /// One-shot events seen (not part of the tree).
+    pub events: u64,
+    /// `span_end` records with no matching open span — a truncated trace
+    /// or interleaving bug; they are dropped from the tree.
+    pub unmatched_ends: u64,
+    /// Spans still open when the trace ended (killed run): reported, not
+    /// folded into the tree (their elapsed time is unknown).
+    pub unclosed_spans: u64,
+    /// Lines that did not parse as JSON (typically a torn final line).
+    pub malformed_lines: u64,
+}
+
+#[derive(Debug)]
+struct OpenFrame {
+    name: String,
+    id: u64,
+    /// Nanoseconds attributed to already-closed child spans.
+    child_ns: u64,
+}
+
+/// Replay a JSONL trace into aggregated span statistics.
+///
+/// Tolerant by design: malformed lines and unmatched records are counted
+/// and skipped — a trace from a killed or faulted run still analyzes.
+pub fn analyze(text: &str) -> TraceStats {
+    let mut stats = TraceStats::default();
+    // Per-thread stack of open spans. `tid` is the emitting thread's
+    // process-unique id, so LIFO pairing holds within each key.
+    let mut stacks: BTreeMap<u64, Vec<OpenFrame>> = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let record = match json::parse(line) {
+            Ok(v) => v,
+            Err(_) => {
+                stats.malformed_lines += 1;
+                continue;
+            }
+        };
+        stats.records += 1;
+        let tid = record.get("tid").and_then(Json::as_u64).unwrap_or(0);
+        match record.get("type").and_then(Json::as_str) {
+            Some("span_start") => {
+                let name = record
+                    .get("span")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                let id = record.get("id").and_then(Json::as_u64).unwrap_or(0);
+                stacks.entry(tid).or_default().push(OpenFrame {
+                    name,
+                    id,
+                    child_ns: 0,
+                });
+            }
+            Some("span_end") => {
+                let id = record.get("id").and_then(Json::as_u64).unwrap_or(0);
+                let elapsed_ns = record.get("elapsed_ns").and_then(Json::as_u64).unwrap_or(0);
+                let stack = stacks.entry(tid).or_default();
+                match stack.last() {
+                    Some(top) if top.id == id => {}
+                    _ => {
+                        // Out-of-order end: drop it rather than corrupt the
+                        // pairing of everything beneath.
+                        stats.unmatched_ends += 1;
+                        continue;
+                    }
+                }
+                let frame = match stack.pop() {
+                    Some(f) => f,
+                    None => continue, // unreachable: guarded above
+                };
+                if let Some(parent) = stack.last_mut() {
+                    parent.child_ns = parent.child_ns.saturating_add(elapsed_ns);
+                }
+                let self_ns = elapsed_ns.saturating_sub(frame.child_ns);
+                let path: Vec<&str> = stack
+                    .iter()
+                    .map(|f| f.name.as_str())
+                    .chain(std::iter::once(frame.name.as_str()))
+                    .collect();
+                let mut node = &mut stats.root;
+                for seg in &path {
+                    node = node.children.entry((*seg).to_string()).or_default();
+                }
+                node.count += 1;
+                node.total_ns = node.total_ns.saturating_add(elapsed_ns);
+                node.self_ns = node.self_ns.saturating_add(self_ns);
+                let folded = stats.folded.entry(path.join(";")).or_insert(0);
+                *folded = folded.saturating_add(self_ns);
+            }
+            Some("event") => stats.events += 1,
+            _ => {}
+        }
+    }
+    stats.unclosed_spans = stacks.values().map(|s| s.len() as u64).sum();
+    stats
+}
+
+impl SpanNode {
+    /// Total nanoseconds across the immediate children (= root wall-clock
+    /// when called on the virtual root).
+    pub fn children_total_ns(&self) -> u64 {
+        self.children
+            .values()
+            .fold(0u64, |acc, c| acc.saturating_add(c.total_ns))
+    }
+}
+
+/// Render the aggregated tree as indented lines, children sorted by total
+/// time descending (name as tiebreak, so output is deterministic).
+pub fn render_tree(stats: &TraceStats) -> String {
+    let mut out = String::new();
+    let denom = stats.root.children_total_ns().max(1);
+    fn walk(out: &mut String, name: &str, node: &SpanNode, depth: usize, denom: u64) {
+        let indent = "  ".repeat(depth);
+        out.push_str(&format!(
+            "{indent}{name:<30} count {:>8}  total {:>12}  self {:>12}  ({:>5.1}% self)\n",
+            node.count,
+            human_ns(node.total_ns),
+            human_ns(node.self_ns),
+            100.0 * node.self_ns as f64 / denom as f64,
+        ));
+        let mut kids: Vec<(&String, &SpanNode)> = node.children.iter().collect();
+        kids.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+        for (child_name, child) in kids {
+            walk(out, child_name, child, depth + 1, denom);
+        }
+    }
+    let mut tops: Vec<(&String, &SpanNode)> = stats.root.children.iter().collect();
+    tops.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+    for (name, node) in tops {
+        walk(&mut out, name, node, 0, denom);
+    }
+    out
+}
+
+/// Render the folded stacks: one `path self_ns` line per unique call path,
+/// sorted by path for deterministic output. Zero-self lines are kept —
+/// flamegraph tools treat them as structure-only frames.
+pub fn render_folded(stats: &TraceStats) -> String {
+    let mut out = String::new();
+    for (path, self_ns) in &stats.folded {
+        out.push_str(path);
+        out.push(' ');
+        out.push_str(&self_ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// `123456789` → `"123.457ms"`; keeps tree columns readable.
+pub fn human_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(tid: u64, span: &str, id: u64, ts: u64) -> String {
+        format!(
+            "{{\"type\":\"span_start\",\"ts_ns\":{ts},\"tid\":{tid},\"span\":\"{span}\",\"id\":{id},\"fields\":{{}}}}"
+        )
+    }
+
+    fn end(tid: u64, span: &str, id: u64, ts: u64, elapsed: u64) -> String {
+        format!(
+            "{{\"type\":\"span_end\",\"ts_ns\":{ts},\"tid\":{tid},\"span\":\"{span}\",\"id\":{id},\"elapsed_ns\":{elapsed},\"fields\":{{}}}}"
+        )
+    }
+
+    #[test]
+    fn nesting_attributes_self_and_total() {
+        let trace = [
+            start(1, "outer", 1, 0),
+            start(1, "inner", 2, 10),
+            end(1, "inner", 2, 40, 30),
+            end(1, "outer", 1, 100, 100),
+        ]
+        .join("\n");
+        let stats = analyze(&trace);
+        let outer = &stats.root.children["outer"];
+        assert_eq!(outer.count, 1);
+        assert_eq!(outer.total_ns, 100);
+        assert_eq!(outer.self_ns, 70);
+        let inner = &outer.children["inner"];
+        assert_eq!(inner.total_ns, 30);
+        assert_eq!(inner.self_ns, 30);
+        assert_eq!(stats.folded["outer"], 70);
+        assert_eq!(stats.folded["outer;inner"], 30);
+        assert_eq!(stats.unmatched_ends, 0);
+        assert_eq!(stats.unclosed_spans, 0);
+    }
+
+    #[test]
+    fn threads_do_not_interleave() {
+        // Two threads with overlapping span ids; pairing is per-tid.
+        let trace = [
+            start(1, "a", 1, 0),
+            start(2, "b", 2, 0),
+            end(2, "b", 2, 50, 50),
+            end(1, "a", 1, 80, 80),
+        ]
+        .join("\n");
+        let stats = analyze(&trace);
+        assert_eq!(stats.root.children["a"].self_ns, 80);
+        assert_eq!(stats.root.children["b"].self_ns, 50);
+        assert!(stats.root.children["a"].children.is_empty());
+    }
+
+    #[test]
+    fn repeated_paths_aggregate() {
+        let trace = [
+            start(1, "p", 1, 0),
+            end(1, "p", 1, 10, 10),
+            start(1, "p", 2, 20),
+            end(1, "p", 2, 35, 15),
+        ]
+        .join("\n");
+        let stats = analyze(&trace);
+        let p = &stats.root.children["p"];
+        assert_eq!(p.count, 2);
+        assert_eq!(p.total_ns, 25);
+        assert_eq!(stats.folded["p"], 25);
+    }
+
+    #[test]
+    fn torn_tail_and_unmatched_are_tolerated() {
+        let trace = [
+            start(1, "a", 1, 0),
+            end(1, "zzz", 99, 5, 5), // end with no open span of that id
+            "{\"type\":\"span_en".to_string(), // torn final line
+        ]
+        .join("\n");
+        let stats = analyze(&trace);
+        assert_eq!(stats.unmatched_ends, 1);
+        assert_eq!(stats.malformed_lines, 1);
+        assert_eq!(stats.unclosed_spans, 1);
+        assert!(stats.root.children.is_empty());
+    }
+
+    #[test]
+    fn folded_render_is_flamegraph_shaped() {
+        let trace = [
+            start(1, "a", 1, 0),
+            start(1, "b", 2, 1),
+            end(1, "b", 2, 4, 3),
+            end(1, "a", 1, 10, 10),
+        ]
+        .join("\n");
+        let rendered = render_folded(&analyze(&trace));
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines, vec!["a 7", "a;b 3"]);
+        for line in lines {
+            let (stack, value) = line.rsplit_once(' ').unwrap();
+            assert!(!stack.is_empty());
+            assert!(value.parse::<u64>().is_ok());
+        }
+    }
+}

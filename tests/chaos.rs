@@ -127,7 +127,10 @@ fn the_same_plan_and_seed_replay_the_same_injection_sequence() {
     let first = drive();
     let second = drive();
     assert!(!first.is_empty(), "a prob=0.5 storm over 32 ops must fire");
-    assert_eq!(first, second, "injection sequence must replay bit-identically");
+    assert_eq!(
+        first, second,
+        "injection sequence must replay bit-identically"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -191,10 +194,7 @@ fn spill_storms_report_every_hard_failure_as_a_typed_warning() {
     let dir = chaos_dir("hardfail");
     // Deny the spill directory itself: the run must degrade with a
     // SpillFailed warning (then lazy/sampling), not die.
-    let spec = format!(
-        "spill.create_dir=io_error:path={}",
-        dir.display()
-    );
+    let spec = format!("spill.create_dir=io_error:path={}", dir.display());
     let guard = arm(FaultPlan::parse(&spec).expect("parse"));
     let result = ConsensusBuilder::new()
         .algorithm(Algorithm::Balls(BallsParams::default()))

@@ -15,7 +15,9 @@ use aggclust_core::clustering::{Clustering, PartialClustering};
 use aggclust_core::consensus::ConsensusBuilder;
 use aggclust_core::cost::correlation_cost;
 use aggclust_core::instance::{ClusteringsOracle, CorrelationInstance, DenseOracle, MissingPolicy};
-use aggclust_core::test_support::{for_each_bit_flip, for_each_truncation, strided_cuts, ALL_BITS, SPOT_BITS};
+use aggclust_core::test_support::{
+    for_each_bit_flip, for_each_truncation, strided_cuts, ALL_BITS, SPOT_BITS,
+};
 use aggclust_core::{AggError, CancelToken, RunBudget, RunStatus};
 use aggclust_tests::{adversarial_disagreeing, clustering, corrupt_bytes, truncate_text};
 use proptest::prelude::*;
